@@ -1,0 +1,400 @@
+// Package repro's benchmark harness: one benchmark per table and figure of
+// the paper's evaluation, plus ablations for the design choices DESIGN.md
+// calls out. Each benchmark regenerates its figure at a reduced repetition
+// count and reports the figure's headline quantities as benchmark metrics;
+// run `go test -bench . -benchmem` to regenerate everything, or the cmd/
+// tools for full-fidelity tables.
+package repro
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+	"repro/internal/workload/pgbench"
+	"repro/internal/workload/qps"
+	"repro/internal/workload/spec"
+)
+
+// benchScale shrinks SPEC footprints further than the cmd tools (1/128
+// instead of 1/64) so the full benchmark suite stays tractable.
+const benchScale = 128
+
+func specCfg() harness.Config {
+	cfg := harness.SpecConfig()
+	cfg.Scale = benchScale
+	return cfg
+}
+
+// cell parses a "+12.3%" or "1.234" table cell back into a float.
+func cell(s string) float64 {
+	s = strings.TrimSuffix(strings.TrimPrefix(s, "+"), "%")
+	s = strings.TrimSuffix(s, "x")
+	s = strings.TrimSuffix(s, "ms")
+	s = strings.TrimSuffix(s, "MiB")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// findRow returns the row whose first cell equals name.
+func findRow(t *harness.Table, name string) []string {
+	for _, r := range t.Rows {
+		if r[0] == name {
+			return r
+		}
+	}
+	return nil
+}
+
+func BenchmarkFig1WallClock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig1WallClock(specCfg(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		if r := findRow(t, "xalancbmk"); r != nil {
+			b.ReportMetric(cell(r[1]), "xalancbmk_reloaded_wall_ov_%")
+		}
+		if r := findRow(t, "omnetpp"); r != nil {
+			b.ReportMetric(cell(r[1]), "omnetpp_reloaded_wall_ov_%")
+		}
+	}
+}
+
+func BenchmarkFig2CPUTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig2CPUTime(specCfg(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		if r := findRow(t, "omnetpp"); r != nil {
+			b.ReportMetric(cell(r[1]), "omnetpp_reloaded_cpu_ov_%")
+			b.ReportMetric(cell(r[2]), "omnetpp_cornucopia_cpu_ov_%")
+		}
+	}
+}
+
+func BenchmarkFig3RSS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig3RSS(specCfg(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		if r := findRow(t, "xalancbmk"); r != nil {
+			b.ReportMetric(cell(r[2]), "xalancbmk_reloaded_rss_ratio")
+		}
+	}
+}
+
+func BenchmarkFig4BusTraffic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig4BusTraffic(specCfg(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		if r := findRow(t, "omnetpp"); r != nil {
+			b.ReportMetric(cell(r[2]), "omnetpp_reloaded_dram_ov_%")
+			b.ReportMetric(cell(r[5]), "omnetpp_rel_vs_cor_%")
+		}
+	}
+}
+
+func BenchmarkFig5PgbenchTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig5PgbenchTime(2500, harness.PgbenchConfig(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		if r := findRow(t, "Reloaded"); r != nil {
+			b.ReportMetric(cell(r[1]), "reloaded_wall_ov_%")
+		}
+	}
+}
+
+func BenchmarkFig6PgbenchBus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig6PgbenchBus(2500, harness.PgbenchConfig(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		rel, cor := findRow(t, "Reloaded"), findRow(t, "Cornucopia")
+		if rel != nil && cor != nil && cell(cor[1]) != 0 {
+			b.ReportMetric(100*cell(rel[1])/cell(cor[1]), "rel_traffic_ov_vs_cor_%")
+		}
+	}
+}
+
+func BenchmarkFig7PgbenchCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig7PgbenchCDF(2500, harness.PgbenchConfig(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		rel, chv := findRow(t, "Reloaded"), findRow(t, "CHERIvoke")
+		if rel != nil && chv != nil {
+			b.ReportMetric(cell(rel[5]), "reloaded_p99_ms")
+			b.ReportMetric(cell(chv[5]), "cherivoke_p99_ms")
+		}
+	}
+}
+
+func BenchmarkTable1RateSchedules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table1RateSchedules(2000, harness.PgbenchConfig(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		if r := findRow(t, "unscheduled"); r != nil {
+			b.ReportMetric(cell(r[5]), "unscheduled_p99.9_ms")
+		}
+	}
+}
+
+func BenchmarkFig8QPSLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig8QPSLatency(750_000_000, 75_000_000, harness.QPSConfig(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		rel, cor := findRow(t, "Reloaded"), findRow(t, "Cornucopia")
+		if rel != nil && cor != nil {
+			b.ReportMetric(cell(rel[4]), "reloaded_p99_x")
+			b.ReportMetric(cell(cor[4]), "cornucopia_p99_x")
+			b.ReportMetric(cell(rel[6]), "reloaded_qps_delta_%")
+		}
+	}
+}
+
+func BenchmarkFig9Phases(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Fig9Phases(specCfg(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		// Headline: Reloaded's stop-the-world vs Cornucopia's on the
+		// largest-heap benchmark.
+		var relSTW, corSTW float64
+		for _, r := range t.Rows {
+			if r[0] == "xalancbmk" && r[2] == "stop-the-world" {
+				med := cell(strings.Split(r[3], "/")[2])
+				switch r[1] {
+				case "Reloaded":
+					relSTW = med
+				case "Cornucopia":
+					corSTW = med
+				}
+			}
+		}
+		b.ReportMetric(relSTW, "xalancbmk_reloaded_stw_ms")
+		b.ReportMetric(corSTW, "xalancbmk_cornucopia_stw_ms")
+	}
+}
+
+func BenchmarkTable2RevRates(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := harness.Table2RevRates(specCfg(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("\n%s", t)
+		if r := findRow(t, "pgbench"); r != nil {
+			b.ReportMetric(cell(r[3]), "pgbench_freed_to_alloc_ratio")
+		}
+	}
+}
+
+// --- ablations ----------------------------------------------------------------
+
+// BenchmarkAblationMultiRevokers measures §7.1: splitting the background
+// sweep across worker threads shortens the concurrent phase.
+func BenchmarkAblationMultiRevokers(b *testing.B) {
+	p := spec.ByName("omnetpp")[0]
+	for i := 0; i < b.N; i++ {
+		conc := map[int]float64{}
+		for _, workers := range []int{1, 2} {
+			cond := harness.Condition{
+				Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded,
+				RevokerCores: []int{1, 2}, Workers: workers,
+			}
+			r, err := harness.Run(p, cond, specCfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := &metrics.Samples{}
+			for _, e := range r.Epochs {
+				s.AddU(e.ConcurrentCycles)
+			}
+			conc[workers] = s.Median() / (r.HzGHz * 1e6)
+		}
+		b.ReportMetric(conc[1], "concurrent_med_ms_1worker")
+		b.ReportMetric(conc[2], "concurrent_med_ms_2workers")
+		b.ReportMetric(conc[1]/conc[2], "speedup")
+	}
+}
+
+// BenchmarkAblationColoring measures §7.3: the coloring composition's
+// reduction in quarantine pressure and epochs on a churn-heavy workload.
+func BenchmarkAblationColoring(b *testing.B) {
+	p := spec.ByName("omnetpp")[0]
+	for i := 0; i < b.N; i++ {
+		plain, err := harness.Run(p, harness.StandardConditions()[0], specCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		colored, err := harness.Run(p, harness.ColoringCondition(revoke.Reloaded), specCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(plain.Epochs)), "epochs_plain")
+		b.ReportMetric(float64(len(colored.Epochs)), "epochs_colored")
+		b.ReportMetric(float64(plain.Quar.TotalQuarantined)/float64(max64(colored.Quar.TotalQuarantined, 1)),
+			"quarantine_pressure_reduction_x")
+	}
+}
+
+// BenchmarkAblationQuarantinePolicy sweeps §7.2: the quarantine fraction
+// trades memory overhead against revocation frequency.
+func BenchmarkAblationQuarantinePolicy(b *testing.B) {
+	p := spec.ByName("hmmer")[0]
+	for i := 0; i < b.N; i++ {
+		for _, frac := range []float64{0.125, 0.25, 0.5} {
+			cond := harness.Condition{
+				Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded,
+				RevokerCores: []int{2},
+				Policy: quarantine.Policy{
+					HeapFraction: frac, MinBytes: (8 << 20) / benchScale, BlockFactor: 2,
+				},
+			}
+			r, err := harness.Run(p, cond, specCfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			tag := strconv.FormatFloat(frac, 'g', -1, 64)
+			b.ReportMetric(float64(len(r.Epochs)), "epochs_frac"+tag)
+			b.ReportMetric(float64(r.PeakRSSPages)*4096/(1<<20), "rss_mib_frac"+tag)
+		}
+	}
+}
+
+// BenchmarkAblationTwoPass reproduces the §3.1 observation that iterating
+// Cornucopia's concurrent pass barely shrinks the stop-the-world phase
+// while increasing total work.
+func BenchmarkAblationTwoPass(b *testing.B) {
+	p := spec.ByName("xalancbmk")[0]
+	for i := 0; i < b.N; i++ {
+		stw := map[string]float64{}
+		work := map[string]float64{}
+		for _, strat := range []revoke.Strategy{revoke.Cornucopia, revoke.CornucopiaTwoPass} {
+			cond := harness.Condition{Name: strat.String(), Shimmed: true,
+				Strategy: strat, RevokerCores: []int{2}}
+			r, err := harness.Run(p, cond, specCfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			s := &metrics.Samples{}
+			var pages uint64
+			for _, e := range r.Epochs {
+				s.AddU(e.STWCycles)
+				pages += e.PagesVisited
+			}
+			stw[strat.String()] = s.Median() / (r.HzGHz * 1e6)
+			work[strat.String()] = float64(pages)
+		}
+		b.ReportMetric(stw["Cornucopia"], "stw_med_ms_1pass")
+		b.ReportMetric(stw["Cornucopia-2pass"], "stw_med_ms_2pass")
+		b.ReportMetric(work["Cornucopia-2pass"]/work["Cornucopia"], "work_ratio_2pass")
+	}
+}
+
+// BenchmarkAblationAlwaysTrap measures the §7.6 PTE disposition: background
+// page visits avoided on workloads with many capability-clean pages.
+func BenchmarkAblationAlwaysTrap(b *testing.B) {
+	p := spec.ByName("hmmer")[0] // data-heavy: most pages never hold caps
+	for i := 0; i < b.N; i++ {
+		visits := map[bool]float64{}
+		wall := map[bool]float64{}
+		for _, at := range []bool{false, true} {
+			cond := harness.Condition{Name: "Reloaded", Shimmed: true,
+				Strategy: revoke.Reloaded, RevokerCores: []int{2}, AlwaysTrap: at}
+			r, err := harness.Run(p, cond, specCfg())
+			if err != nil {
+				b.Fatal(err)
+			}
+			var pages float64
+			for _, e := range r.Epochs {
+				pages += float64(e.PagesVisited)
+			}
+			visits[at] = pages
+			wall[at] = r.Millis(r.WallCycles)
+		}
+		b.ReportMetric(visits[false], "pages_visited_plain")
+		b.ReportMetric(visits[true], "pages_visited_alwaystrap")
+		b.ReportMetric(wall[true]/wall[false], "wall_ratio")
+	}
+}
+
+// BenchmarkWorkloads runs each surrogate once under Reloaded (throughput of
+// the simulator itself, cycles simulated per host second).
+func BenchmarkWorkloads(b *testing.B) {
+	cases := []struct {
+		name string
+		run  func() (uint64, error)
+	}{
+		{"xalancbmk", func() (uint64, error) {
+			r, err := harness.Run(spec.ByName("xalancbmk")[0], harness.StandardConditions()[0], specCfg())
+			if err != nil {
+				return 0, err
+			}
+			return r.WallCycles, nil
+		}},
+		{"pgbench", func() (uint64, error) {
+			r, err := harness.Run(pgbench.New(2000), harness.StandardConditions()[0], harness.PgbenchConfig())
+			if err != nil {
+				return 0, err
+			}
+			return r.WallCycles, nil
+		}},
+		{"qps", func() (uint64, error) {
+			w := qps.New(500_000_000, 50_000_000)
+			r, err := harness.Run(w, harness.QPSConditions()[0], harness.QPSConfig())
+			if err != nil {
+				return 0, err
+			}
+			return r.WallCycles, nil
+		}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				var err error
+				cycles, err = c.run()
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cycles), "virtual_cycles")
+		})
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

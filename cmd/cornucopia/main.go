@@ -1,0 +1,141 @@
+// Command cornucopia runs one workload under one temporal-safety condition
+// and prints every measured quantity: the general-purpose entry point for
+// exploring the simulator.
+//
+// Usage:
+//
+//	cornucopia [-workload NAME] [-strategy NAME] [-scale N] [-seed N] [-workers N]
+//
+// Workloads: any SPEC surrogate name (astar, bzip2, gobmk, hmmer,
+// libquantum, omnetpp, sjeng, xalancbmk), pgbench, or qps. Strategies:
+// baseline, paintsync, cherivoke, cornucopia, reloaded.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+	"repro/internal/revoke"
+	"repro/internal/workload"
+	"repro/internal/workload/pgbench"
+	"repro/internal/workload/qps"
+	"repro/internal/workload/spec"
+)
+
+func condition(name string, workers int) (harness.Condition, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return harness.Baseline(), nil
+	case "paintsync", "paint+sync":
+		return harness.Condition{Name: "Paint+sync", Shimmed: true, Strategy: revoke.PaintSync, RevokerCores: []int{2}}, nil
+	case "cherivoke":
+		return harness.Condition{Name: "CHERIvoke", Shimmed: true, Strategy: revoke.CHERIvoke, RevokerCores: []int{2}}, nil
+	case "cornucopia":
+		return harness.Condition{Name: "Cornucopia", Shimmed: true, Strategy: revoke.Cornucopia, RevokerCores: []int{2}, Workers: workers}, nil
+	case "reloaded":
+		return harness.Condition{Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded, RevokerCores: []int{2}, Workers: workers}, nil
+	}
+	return harness.Condition{}, fmt.Errorf("unknown strategy %q", name)
+}
+
+func pick(name string, cfg *harness.Config) (workload.Workload, error) {
+	switch strings.ToLower(name) {
+	case "pgbench":
+		*cfg = harness.PgbenchConfig()
+		return pgbench.New(4000), nil
+	case "qps", "grpc-qps":
+		*cfg = harness.QPSConfig()
+		return qps.New(1_000_000_000, 100_000_000), nil
+	}
+	ps := spec.ByName(name)
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("unknown workload %q", name)
+	}
+	return ps[0], nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cornucopia: ")
+	wl := flag.String("workload", "xalancbmk", "workload name")
+	strat := flag.String("strategy", "reloaded", "temporal-safety strategy")
+	scale := flag.Uint64("scale", 0, "override footprint divisor (0 = per-workload default)")
+	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "background revoker threads (§7.1)")
+	timeline := flag.Bool("timeline", false, "print a per-epoch timeline")
+	flag.Parse()
+
+	cfg := harness.SpecConfig()
+	w, err := pick(*wl, &cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *scale != 0 {
+		cfg.Scale = *scale
+	}
+	cfg.Seed = *seed
+	cond, err := condition(*strat, *workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	r, err := harness.Run(w, cond, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload   %s under %s (scale 1/%d, seed %d)\n", r.Workload, r.Condition, cfg.Scale, cfg.Seed)
+	fmt.Printf("wall       %.3f ms   (%d cycles)\n", r.Millis(r.WallCycles), r.WallCycles)
+	fmt.Printf("cpu total  %.3f ms   app thread %.3f ms\n", r.Millis(r.CPUCycles), r.Millis(r.AppCPUCycles))
+	fmt.Printf("DRAM       %d transactions (app %d, alloc %d, revoker %d, kernel %d)\n",
+		r.DRAMTotal, r.DRAMByAgent[0], r.DRAMByAgent[1], r.DRAMByAgent[2], r.DRAMByAgent[3])
+	fmt.Printf("peak RSS   %d pages (%.1f MiB)\n", r.PeakRSSPages, float64(r.PeakRSSPages)*4096/(1<<20))
+	fmt.Printf("heap       allocs %d frees %d peak live %.2f MiB\n",
+		r.Heap.Allocs, r.Heap.Frees, float64(r.Heap.PeakLiveBytes)/(1<<20))
+	if cond.Shimmed {
+		fmt.Printf("quarantine total %.2f MiB, peak %.2f MiB, triggers %d, blocks %d (%.3f ms)\n",
+			float64(r.Quar.TotalQuarantined)/(1<<20), float64(r.Quar.PeakQuarantinedBytes)/(1<<20),
+			r.Quar.Triggers, r.Quar.Blocks, r.Millis(r.Quar.BlockCycles))
+		fmt.Printf("mem events cap loads %d, cap stores %d, gen faults %d (%.3f ms), TLB refills %d\n",
+			r.Proc.CapLoads, r.Proc.CapStores, r.Proc.GenFaults, r.Millis(r.Proc.GenFaultCycles), r.Proc.TLBRefills)
+		fmt.Printf("epochs     %d\n", len(r.Epochs))
+		if len(r.Epochs) > 0 {
+			var stw, conc, faults metrics.Samples
+			var visited, revoked uint64
+			for _, e := range r.Epochs {
+				stw.AddU(e.STWCycles)
+				conc.AddU(e.ConcurrentCycles)
+				faults.AddU(e.FaultCycles)
+				visited += e.CapsVisited
+				revoked += e.CapsRevoked
+			}
+			hz := r.HzGHz * 1e6
+			fmt.Printf("  stop-the-world  med %.4f ms  max %.4f ms\n", stw.Median()/hz, stw.Max()/hz)
+			fmt.Printf("  concurrent      med %.4f ms  max %.4f ms\n", conc.Median()/hz, conc.Max()/hz)
+			fmt.Printf("  faults/epoch    med %.4f ms  max %.4f ms\n", faults.Median()/hz, faults.Max()/hz)
+			fmt.Printf("  caps inspected  %d, revoked %d\n", visited, revoked)
+		}
+	}
+	if *timeline && len(r.Epochs) > 0 {
+		hz := r.HzGHz * 1e6
+		fmt.Println("\nepoch timeline (ms):")
+		fmt.Printf("  %5s %10s %9s %9s %9s %7s %8s %8s\n",
+			"epoch", "start", "stw", "concur", "faults", "nfault", "pages", "revoked")
+		for _, e := range r.Epochs {
+			fmt.Printf("  %5d %10.3f %9.4f %9.4f %9.4f %7d %8d %8d\n",
+				e.Epoch, float64(e.StartCycle)/hz, float64(e.STWCycles)/hz,
+				float64(e.ConcurrentCycles)/hz, float64(e.FaultCycles)/hz,
+				e.FaultCount, e.PagesVisited, e.CapsRevoked)
+		}
+	}
+	if r.Lat.N() > 0 {
+		hz := r.HzGHz * 1e6
+		fmt.Printf("latency    n=%d p50=%.3f p90=%.3f p99=%.3f p99.9=%.3f ms\n",
+			r.Lat.N(), r.Lat.Percentile(50)/hz, r.Lat.Percentile(90)/hz,
+			r.Lat.Percentile(99)/hz, r.Lat.Percentile(99.9)/hz)
+	}
+}

@@ -1,0 +1,63 @@
+// Command pgbench regenerates the paper's PostgreSQL pgbench results:
+// Figure 5 (normalized time overheads), Figure 6 (bus access overheads),
+// Figure 7 (per-transaction latency distribution with phase medians) and
+// Table 1 (latency percentiles under fixed-rate schedules).
+//
+// Usage:
+//
+//	pgbench [-fig N] [-table 1] [-txs N] [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("pgbench: ")
+	fig := flag.Int("fig", 0, "regenerate only this figure (5-7)")
+	table := flag.Int("table", 0, "regenerate only this table (1)")
+	txs := flag.Int("txs", 6000, "transactions per run")
+	reps := flag.Int("reps", 3, "runs per condition")
+	plot := flag.Bool("plot", false, "render Figure 7 as an ASCII CDF instead of a table")
+	flag.Parse()
+
+	cfg := harness.PgbenchConfig()
+	run := func(n int, f func() (*harness.Table, error)) {
+		if (*fig != 0 || *table != 0) && n != *fig*10 && n != *table {
+			return
+		}
+		t, err := f()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Fprint(os.Stdout)
+	}
+	run(50, func() (*harness.Table, error) { return harness.Fig5PgbenchTime(*txs, cfg, *reps) })
+	run(60, func() (*harness.Table, error) { return harness.Fig6PgbenchBus(*txs, cfg, *reps) })
+	if *plot {
+		if *fig == 0 || *fig == 7 {
+			samples, err := harness.Fig7Samples(*txs, cfg, *reps)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p := &metrics.CDFPlot{
+				Title:  "Figure 7: pgbench per-transaction latency CDF",
+				XLabel: "latency (ms)",
+			}
+			for _, name := range []string{"Paint+sync", "CHERIvoke", "Cornucopia", "Reloaded"} {
+				p.Add(name, samples[name])
+			}
+			fmt.Print(p.Render())
+		}
+	} else {
+		run(70, func() (*harness.Table, error) { return harness.Fig7PgbenchCDF(*txs, cfg, *reps) })
+	}
+	run(1, func() (*harness.Table, error) { return harness.Table1RateSchedules(*txs, cfg, *reps) })
+}

@@ -1,0 +1,71 @@
+// Command phases regenerates Figure 9: the distribution of revocation
+// phase times (stop-the-world, concurrent, and Reloaded's cumulative
+// per-epoch fault handling) across the representative benchmark subset.
+//
+// Usage:
+//
+//	phases [-reps N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("phases: ")
+	reps := flag.Int("reps", 2, "runs per (benchmark, condition) pair")
+	plot := flag.Bool("plot", false, "also render per-benchmark ASCII box strips")
+	flag.Parse()
+
+	t, err := harness.Fig9Phases(harness.SpecConfig(), *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.Fprint(os.Stdout)
+
+	if *plot {
+		// Group rows by benchmark and draw one strip each.
+		var order []string
+		groups := map[string][][]string{}
+		for _, row := range t.Rows {
+			if _, ok := groups[row[0]]; !ok {
+				order = append(order, row[0])
+			}
+			groups[row[0]] = append(groups[row[0]], row)
+		}
+		for _, bench := range order {
+			strip := &metrics.BoxStrip{Title: bench, XLabel: "ms", Width: 56}
+			for _, row := range groups[bench] {
+				if row[3] == "--" {
+					continue
+				}
+				parts := strings.Split(row[3], "/")
+				if len(parts) != 5 {
+					continue
+				}
+				var v [5]float64
+				ok := true
+				for i, p := range parts {
+					if _, err := fmt.Sscanf(p, "%g", &v[i]); err != nil {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				strip.Add(row[1]+" "+row[2], metrics.Box{Min: v[0], P25: v[1], Median: v[2], P75: v[3], Max: v[4]})
+			}
+			fmt.Print(strip.Render())
+			fmt.Println()
+		}
+	}
+}

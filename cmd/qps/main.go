@@ -1,0 +1,33 @@
+// Command qps regenerates the paper's gRPC QPS results: Figure 8 (latency
+// percentiles normalized to baseline and throughput impact). The revoker is
+// unpinned and competes with the two server threads for cores 2 and 3.
+//
+// Usage:
+//
+//	qps [-measure-ms N] [-warmup-ms N] [-reps N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("qps: ")
+	measureMs := flag.Uint64("measure-ms", 500, "measurement window, virtual milliseconds")
+	warmupMs := flag.Uint64("warmup-ms", 50, "warmup, virtual milliseconds")
+	reps := flag.Int("reps", 3, "runs per condition")
+	flag.Parse()
+
+	cfg := harness.QPSConfig()
+	cyclesPerMs := uint64(cfg.Machine.Sim.HzGHz * 1e6)
+	t, err := harness.Fig8QPSLatency(*measureMs*cyclesPerMs, *warmupMs*cyclesPerMs, cfg, *reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t.Fprint(os.Stdout)
+}

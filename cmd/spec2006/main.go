@@ -1,0 +1,53 @@
+// Command spec2006 regenerates the paper's SPEC CPU2006 INT results:
+// Figure 1 (wall-clock overheads), Figure 2 (CPU-time overheads), Figure 3
+// (peak RSS ratios), Figure 4 (DRAM traffic overheads) and the SPEC rows of
+// Table 2 (revocation rates).
+//
+// Usage:
+//
+//	spec2006 [-fig N] [-table 2] [-reps N] [-scale N]
+//
+// Without -fig/-table it runs everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spec2006: ")
+	fig := flag.Int("fig", 0, "regenerate only this figure (1-4)")
+	table := flag.Int("table", 0, "regenerate only this table (2)")
+	reps := flag.Int("reps", 3, "runs per (benchmark, condition) pair")
+	scale := flag.Uint64("scale", 64, "footprint divisor versus full-size workloads")
+	flag.Parse()
+
+	cfg := harness.SpecConfig()
+	cfg.Scale = *scale
+
+	run := func(n int, f func() (*harness.Table, error)) {
+		if (*fig != 0 || *table != 0) && n != *fig*10 && n != *table {
+			return
+		}
+		t, err := f()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Fprint(os.Stdout)
+	}
+
+	if *fig == 0 && *table == 0 {
+		fmt.Println("Running the full SPEC CPU2006 INT evaluation; this takes a few minutes per figure.")
+	}
+	run(10, func() (*harness.Table, error) { return harness.Fig1WallClock(cfg, *reps) })
+	run(20, func() (*harness.Table, error) { return harness.Fig2CPUTime(cfg, *reps) })
+	run(30, func() (*harness.Table, error) { return harness.Fig3RSS(cfg, *reps) })
+	run(40, func() (*harness.Table, error) { return harness.Fig4BusTraffic(cfg, *reps) })
+	run(2, func() (*harness.Table, error) { return harness.Table2RevRates(cfg, *reps) })
+}

@@ -1,0 +1,18 @@
+// Package repro is a from-scratch, simulation-based reproduction of
+// "Cornucopia Reloaded: Load Barriers for CHERI Heap Temporal Safety"
+// (Filardo et al., ASPLOS 2024).
+//
+// The root package holds only the benchmark harness (bench_test.go), with
+// one benchmark per table and figure of the paper's evaluation. The
+// library lives under internal/ — see README.md for the map, DESIGN.md for
+// the substitution argument (there is no CHERI hardware to run Go on, so
+// the entire stack is a deterministic software model), and EXPERIMENTS.md
+// for paper-versus-measured results.
+//
+// Entry points:
+//
+//   - cmd/spec2006, cmd/pgbench, cmd/qps, cmd/phases regenerate the
+//     evaluation's figures and tables;
+//   - cmd/cornucopia runs one workload under one strategy;
+//   - examples/ holds five runnable walkthroughs of the public API.
+package repro

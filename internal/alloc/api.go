@@ -1,0 +1,48 @@
+package alloc
+
+import (
+	"repro/internal/ca"
+	"repro/internal/kernel"
+)
+
+// API is the malloc/free interface workloads program against. The bare
+// Heap implements it (no temporal safety: freed storage is reused
+// immediately); the quarantine shim and the coloring shim wrap a Heap to
+// add temporal safety.
+type API interface {
+	Malloc(th *kernel.Thread, size uint64) (ca.Capability, error)
+	Free(th *kernel.Thread, c ca.Capability) error
+}
+
+// Malloc implements API for the bare heap.
+func (h *Heap) Malloc(th *kernel.Thread, size uint64) (ca.Capability, error) {
+	return h.Alloc(th, size)
+}
+
+// Realloc resizes an allocation through any API (so quarantine semantics
+// apply to the old storage under mrs): if the rounded size is unchanged the
+// capability is returned as-is; otherwise a new object is allocated, the
+// contents copied tag-preservingly, and the old object freed.
+func Realloc(mem API, th *kernel.Thread, c ca.Capability, size uint64) (ca.Capability, error) {
+	if !c.Tag() {
+		return mem.Malloc(th, size)
+	}
+	if RoundAlloc(size) == c.Len() {
+		return c, nil
+	}
+	n, err := mem.Malloc(th, size)
+	if err != nil {
+		return ca.Capability{}, err
+	}
+	copyLen := c.Len()
+	if n.Len() < copyLen {
+		copyLen = n.Len()
+	}
+	if err := th.CopyRange(n, c, copyLen); err != nil {
+		return ca.Capability{}, err
+	}
+	if err := mem.Free(th, c); err != nil {
+		return ca.Capability{}, err
+	}
+	return n, nil
+}

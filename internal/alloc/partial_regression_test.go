@@ -1,0 +1,77 @@
+package alloc
+
+import (
+	"testing"
+
+	"repro/internal/ca"
+	"repro/internal/kernel"
+)
+
+// TestPartialListNoDuplicateAfterRefillCycle is the regression test for a
+// bug found by the gRPC workload: a slab that filled while buried in the
+// partial list (only end-of-list slabs are popped) and later freed an
+// object used to be appended a second time; when the slab emptied and its
+// span was reclaimed, the surviving duplicate reference handed out
+// addresses inside a span that now backed a different size class.
+func TestPartialListNoDuplicateAfterRefillCycle(t *testing.T) {
+	withHeap(t, func(h *Heap, th *kernel.Thread) {
+		const size = 4096
+		perSlab := SlabSize / size
+
+		// Fill slab S completely.
+		var inS []ca.Capability
+		for i := 0; i < perSlab; i++ {
+			c, err := h.Alloc(th, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inS = append(inS, c)
+		}
+		// Allocate once more: a new slab T is created and appended after
+		// S, burying the (full) S in the partial list.
+		extra, err := h.Alloc(th, size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Free one object of S: S regains space and must be re-listed
+		// exactly once.
+		if err := h.Free(th, inS[0]); err != nil {
+			t.Fatal(err)
+		}
+		// Now empty S entirely so its span is reclaimed...
+		for _, c := range inS[1:] {
+			if err := h.Free(th, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// ...and let another size class take the span.
+		var small []ca.Capability
+		for i := 0; i < 32; i++ {
+			c, err := h.Alloc(th, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			small = append(small, c)
+		}
+		// Allocating from S's class again must NOT resurrect the zombie:
+		// every new object must be disjoint from every live one.
+		for i := 0; i < perSlab; i++ {
+			c, err := h.Alloc(th, size)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, o := range small {
+				if c.Base() < o.Top() && o.Base() < c.Top() {
+					t.Fatalf("allocation %v overlaps live small object %v (zombie slab)", c, o)
+				}
+			}
+			if c.Base() < extra.Top() && extra.Base() < c.Top() {
+				t.Fatalf("allocation %v overlaps %v", c, extra)
+			}
+			// Freeing must validate cleanly, too.
+			if err := h.Free(th, c); err != nil {
+				t.Fatalf("free of fresh object: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,113 @@
+// Package color implements the paper's §7.3 proposal: a non-orthogonal
+// composition of CHERI and memory coloring. Capabilities carry a small
+// version color under the tag's integrity protection; memory carries a
+// matching color per granule, changeable only with PermRecolor authority.
+//
+// free() recolors the object's memory immediately, so stale capabilities
+// become permanently useless the moment the storage is reused — closing the
+// UAF/UAR gap — and the address space can be recycled at once, without
+// waiting for a revocation epoch. Because the color space is finite,
+// sweeping revocation is still required, but only when a span has exhausted
+// its colors: quarantine pressure grows at a rate inversely proportional to
+// the number of colors.
+package color
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/ca"
+	"repro/internal/kernel"
+	"repro/internal/quarantine"
+)
+
+// MaxColors is the number of version colors per span (a 4-bit field, as in
+// Arm MTE).
+const MaxColors = 16
+
+// Stats counts the shim's activity.
+type Stats struct {
+	// FastFrees released storage immediately via recoloring.
+	FastFrees uint64
+	// ExhaustedFrees hit the end of the color space and fell back to
+	// quarantine + revocation.
+	ExhaustedFrees uint64
+	// RecoloredBytes accumulates recolored volume.
+	RecoloredBytes uint64
+}
+
+// Shim is the coloring allocator shim. It implements alloc.API. The heap
+// must have coloring enabled (Heap.SetColoring) and the process must be in
+// color mode (Process.SetColorMode), or stale capabilities would retain
+// access between free and reuse.
+type Shim struct {
+	H *alloc.Heap
+	// Q is the quarantine shim used for the color-exhausted slow path.
+	Q     *quarantine.Shim
+	stats Stats
+}
+
+// New creates a coloring shim over heap h, falling back to mrs shim q when
+// a span exhausts its colors.
+func New(h *alloc.Heap, q *quarantine.Shim) *Shim {
+	return &Shim{H: h, Q: q}
+}
+
+// Stats returns a snapshot of shim counters.
+func (s *Shim) Stats() Stats { return s.stats }
+
+// Malloc allocates through the underlying heap (which stamps the returned
+// capability with its memory's current color) after letting the quarantine
+// shim drain and apply policy for the slow-path spans.
+func (s *Shim) Malloc(th *kernel.Thread, size uint64) (ca.Capability, error) {
+	return s.Q.Malloc(th, size)
+}
+
+// Free releases an allocation. Fast path: bump the memory's color and
+// return the storage immediately — every existing capability to it is now
+// permanently mis-colored (they can never be "read back", so discarding
+// them is sound, §7.3). Slow path (color space exhausted): reset the color
+// and route through quarantine, so a revocation epoch scrubs all stale
+// capabilities of every color before reuse.
+func (s *Shim) Free(th *kernel.Thread, c ca.Capability) error {
+	if !c.Tag() {
+		return fmt.Errorf("%w: untagged capability", alloc.ErrBadFree)
+	}
+	base, size, ok := s.H.Lookup(c.Base())
+	if !ok {
+		return alloc.ErrDoubleFree
+	}
+	if base != c.Base() {
+		return alloc.ErrWildFree
+	}
+	cur := s.colorAt(th, base)
+	if c.Color() != cur {
+		// The freeing capability is itself stale.
+		return alloc.ErrDoubleFree
+	}
+	if cur < MaxColors-1 {
+		if err := s.H.RecolorRange(th, base, size, cur+1); err != nil {
+			return err
+		}
+		s.stats.FastFrees++
+		s.stats.RecoloredBytes += size
+		return s.H.Release(th, base, size)
+	}
+	// Exhausted: reset to color zero and quarantine until revocation has
+	// destroyed every capability to the span (mis-colored or not).
+	if err := s.H.RecolorRange(th, base, size, 0); err != nil {
+		return err
+	}
+	s.stats.ExhaustedFrees++
+	return s.Q.Free(th, c)
+}
+
+// colorAt reads the current memory color at base.
+func (s *Shim) colorAt(th *kernel.Thread, base uint64) uint8 {
+	pte, ok := th.P.AS.Lookup(base)
+	if !ok {
+		return 0
+	}
+	g := int(base%4096) / ca.GranuleSize
+	return th.P.M.Phys.ColorOf(pte.Frame, g)
+}

@@ -1,0 +1,217 @@
+package color
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/ca"
+	"repro/internal/kernel"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+)
+
+type rig struct {
+	m *kernel.Machine
+	p *kernel.Process
+	h *alloc.Heap
+	s *revoke.Service
+	c *Shim
+}
+
+func newRig() *rig {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	p := m.NewProcess(3)
+	p.SetColorMode(true)
+	h := alloc.NewHeap(p)
+	h.SetColoring(true)
+	s := revoke.NewService(p, revoke.Config{Strategy: revoke.Reloaded, RevokerCores: []int{2}})
+	q := quarantine.New(h, s, quarantine.Policy{HeapFraction: 0.25, MinBytes: 4 << 10, BlockFactor: 2})
+	return &rig{m: m, p: p, h: h, s: s, c: New(h, q)}
+}
+
+func (r *rig) runApp(t *testing.T, fn func(th *kernel.Thread)) {
+	t.Helper()
+	r.s.Start()
+	r.p.Spawn("app", []int{3}, func(th *kernel.Thread) {
+		fn(th)
+		r.s.Shutdown(th)
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastFreeReusesImmediately(t *testing.T) {
+	r := newRig()
+	r.runApp(t, func(th *kernel.Thread) {
+		c1, err := r.c.Malloc(th, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Store(c1, 0, 32); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.c.Free(th, c1); err != nil {
+			t.Fatal(err)
+		}
+		// Storage reused immediately — no epoch needed.
+		c2, err := r.c.Malloc(th, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c2.Base() != c1.Base() {
+			t.Fatalf("recolored storage not reused: %#x vs %#x", c2.Base(), c1.Base())
+		}
+		if c2.Color() == c1.Color() {
+			t.Fatal("reused storage kept the old color")
+		}
+		// The new owner works; the stale capability traps.
+		if err := th.Store(c2, 0, 32); err != nil {
+			t.Fatalf("new owner store failed: %v", err)
+		}
+		if err := th.Load(c1, 0, 16); err == nil {
+			t.Fatal("UAR through stale-colored capability succeeded")
+		}
+	})
+	if st := r.c.Stats(); st.FastFrees != 1 || st.ExhaustedFrees != 0 {
+		t.Fatalf("stats = %+v", r.c.Stats())
+	}
+	if len(r.s.Records()) != 0 {
+		t.Fatal("fast-path free triggered revocation")
+	}
+}
+
+func TestStaleColoredCapFilteredOnLoad(t *testing.T) {
+	r := newRig()
+	r.runApp(t, func(th *kernel.Thread) {
+		holder, _ := r.c.Malloc(th, 64)
+		victim, _ := r.c.Malloc(th, 64)
+		if err := th.StoreCap(holder, 0, victim); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.c.Free(th, victim); err != nil {
+			t.Fatal(err)
+		}
+		// CHERIoT-style load filter (§6.3/§7.3): loading the stale
+		// capability strips its tag on the way into the register file.
+		got, err := th.LoadCap(holder, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag() {
+			t.Fatal("stale-colored capability loaded with tag intact")
+		}
+	})
+}
+
+func TestDoubleFreeDetectedByColor(t *testing.T) {
+	r := newRig()
+	r.runApp(t, func(th *kernel.Thread) {
+		c1, _ := r.c.Malloc(th, 64)
+		if err := r.c.Free(th, c1); err != nil {
+			t.Fatal(err)
+		}
+		// Reallocate the same storage, then double-free via the stale cap.
+		c2, _ := r.c.Malloc(th, 64)
+		if c2.Base() != c1.Base() {
+			t.Fatalf("expected reuse")
+		}
+		if err := r.c.Free(th, c1); !errors.Is(err, alloc.ErrDoubleFree) {
+			t.Fatalf("double free via stale color: err = %v", err)
+		}
+		// The live allocation is unharmed.
+		if err := th.Store(c2, 0, 16); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestColorExhaustionFallsBackToRevocation(t *testing.T) {
+	r := newRig()
+	r.runApp(t, func(th *kernel.Thread) {
+		// Churn one address MaxColors times: the last free must quarantine.
+		var base uint64
+		for i := 0; i < MaxColors; i++ {
+			c, err := r.c.Malloc(th, 64)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				base = c.Base()
+			} else if c.Base() != base {
+				t.Fatalf("iteration %d did not reuse %#x (got %#x)", i, base, c.Base())
+			}
+			if want := uint8(i); c.Color() != want {
+				t.Fatalf("iteration %d color = %d, want %d", i, c.Color(), want)
+			}
+			if err := r.c.Free(th, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := r.c.Stats()
+		if st.FastFrees != MaxColors-1 || st.ExhaustedFrees != 1 {
+			t.Fatalf("stats = %+v", st)
+		}
+		// The exhausted span is quarantined: not immediately reusable.
+		c, err := r.c.Malloc(th, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Base() == base {
+			t.Fatal("exhausted span reused before revocation")
+		}
+	})
+}
+
+func TestColoringReducesRevocationPressure(t *testing.T) {
+	// The same churn volume under plain mrs vs the coloring composition:
+	// quarantine pressure (painted volume) must fall by roughly the color
+	// count, since only every MaxColors-th free of a span quarantines
+	// (§7.3: "quarantine ... grows at a rate inversely proportional to the
+	// number of colors available").
+	churn := func(coloring bool) uint64 {
+		m := kernel.NewMachine(kernel.DefaultMachineConfig())
+		p := m.NewProcess(3)
+		h := alloc.NewHeap(p)
+		s := revoke.NewService(p, revoke.Config{Strategy: revoke.Reloaded, RevokerCores: []int{2}})
+		q := quarantine.New(h, s, quarantine.Policy{HeapFraction: 0.25, MinBytes: 8 << 10, BlockFactor: 2})
+		var mem alloc.API = q
+		if coloring {
+			p.SetColorMode(true)
+			h.SetColoring(true)
+			mem = New(h, q)
+		}
+		s.Start()
+		p.Spawn("app", []int{3}, func(th *kernel.Thread) {
+			var keep []ca.Capability
+			for i := 0; i < 16; i++ {
+				c, _ := mem.Malloc(th, 2048)
+				keep = append(keep, c)
+			}
+			for i := 0; i < 4000; i++ {
+				c, err := mem.Malloc(th, 512)
+				if err != nil {
+					panic(err)
+				}
+				if err := mem.Free(th, c); err != nil {
+					panic(err)
+				}
+			}
+			_ = keep
+			s.Shutdown(th)
+		})
+		if err := m.Run(); err != nil {
+			panic(err)
+		}
+		return q.Stats().TotalQuarantined
+	}
+	plain := churn(false)
+	colored := churn(true)
+	if plain == 0 {
+		t.Fatal("plain mrs never quarantined; test underpowered")
+	}
+	if colored*8 > plain {
+		t.Fatalf("coloring did not reduce quarantine pressure: %d vs %d bytes", colored, plain)
+	}
+}

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// tinyCfg keeps figure smoke tests fast.
+func tinyCfg() Config {
+	cfg := DefaultConfig()
+	cfg.Scale = 512
+	return cfg
+}
+
+// expectRows asserts the table has a row starting with each given name and
+// that every row has as many cells as the header.
+func expectRows(t *testing.T, tb *Table, names ...string) {
+	t.Helper()
+	for _, row := range tb.Rows {
+		if len(row) != len(tb.Header) {
+			t.Errorf("row %v has %d cells, header has %d", row, len(row), len(tb.Header))
+		}
+	}
+	for _, n := range names {
+		found := false
+		for _, row := range tb.Rows {
+			if row[0] == n {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("table %q missing row %q:\n%s", tb.Title, n, tb)
+		}
+	}
+}
+
+func TestFig1Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	tb, err := Fig1WallClock(tinyCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, tb, "astar", "bzip2", "gobmk", "hmmer", "libquantum", "omnetpp", "sjeng", "xalancbmk")
+	if len(tb.Header) != 4 {
+		t.Fatalf("header = %v", tb.Header)
+	}
+}
+
+func TestFig2Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	tb, err := Fig2CPUTime(tinyCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, tb, "astar", "gobmk", "hmmer", "libquantum", "omnetpp", "xalancbmk")
+	for _, row := range tb.Rows {
+		if row[0] == "bzip2" || row[0] == "sjeng" {
+			t.Fatalf("non-engaging benchmark %s in Figure 2", row[0])
+		}
+	}
+}
+
+func TestFig3Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	tb, err := Fig3RSS(tinyCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(tb.Rows))
+	}
+	// Sorted descending by baseline RSS.
+	prev := 1e18
+	for _, row := range tb.Rows {
+		v := cellMiB(row[1])
+		if v > prev {
+			t.Fatalf("rows not sorted by baseline RSS: %v", tb.Rows)
+		}
+		prev = v
+	}
+}
+
+func cellMiB(s string) float64 {
+	var v float64
+	_, err := sscanf(s, &v)
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// sscanf extracts the leading float of a cell like "12.3MiB".
+func sscanf(s string, v *float64) (int, error) {
+	end := 0
+	for end < len(s) && (s[end] == '.' || s[end] == '-' || (s[end] >= '0' && s[end] <= '9')) {
+		end++
+	}
+	if end == 0 {
+		return 0, nil
+	}
+	var x float64
+	var frac, div float64 = 0, 1
+	seen := false
+	for i := 0; i < end; i++ {
+		if s[i] == '.' {
+			seen = true
+			continue
+		}
+		d := float64(s[i] - '0')
+		if seen {
+			div *= 10
+			frac += d / div
+		} else {
+			x = x*10 + d
+		}
+	}
+	*v = x + frac
+	return 1, nil
+}
+
+func TestFig4Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	tb, err := Fig4BusTraffic(tinyCfg(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, tb, "omnetpp", "xalancbmk")
+	if len(tb.Notes) == 0 || !strings.Contains(tb.Notes[0], "median") {
+		t.Fatal("missing Rel/Cor median note")
+	}
+}
+
+func TestFig5To7Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	cfg := PgbenchConfig()
+	cfg.Scale = 64
+	tb5, err := Fig5PgbenchTime(300, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, tb5, "Reloaded", "Cornucopia", "CHERIvoke", "Paint+sync")
+	tb6, err := Fig6PgbenchBus(300, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, tb6, "Reloaded", "Paint+sync")
+	tb7, err := Fig7PgbenchCDF(300, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, tb7, "Reloaded", "CHERIvoke")
+	if len(tb7.Notes) < 3 {
+		t.Fatalf("Figure 7 notes = %v", tb7.Notes)
+	}
+}
+
+func TestTable1Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	cfg := PgbenchConfig()
+	cfg.Scale = 64
+	tb, err := Table1RateSchedules(300, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (3 rates + unscheduled)", len(tb.Rows))
+	}
+	expectRows(t, tb, "unscheduled")
+}
+
+func TestFig8Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	tb, err := Fig8QPSLatency(100_000_000, 10_000_000, QPSConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, tb, "Baseline(ms)", "Reloaded", "Cornucopia", "Paint+sync")
+	for _, row := range tb.Rows {
+		if row[0] == "CHERIvoke" {
+			t.Fatal("CHERIvoke must be excluded from Figure 8")
+		}
+	}
+}
+
+func TestFig9AndTable2Structure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure smoke test")
+	}
+	cfg := tinyCfg()
+	tb, err := Fig9Phases(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, tb, "xalancbmk", "pgbench", "gRPC QPS")
+	// Each SPEC benchmark contributes six phase rows.
+	count := 0
+	for _, row := range tb.Rows {
+		if row[0] == "xalancbmk" {
+			count++
+		}
+	}
+	if count != 6 {
+		t.Fatalf("xalancbmk phase rows = %d, want 6", count)
+	}
+	t2, err := Table2RevRates(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, t2, "xalancbmk", "pgbench", "gRPC QPS")
+}

@@ -1,0 +1,163 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/vm"
+)
+
+func TestForkCOWSharesFramesUntilWrite(t *testing.T) {
+	m := testMachine()
+	parent := m.NewProcess(1)
+	parent.Spawn("parent", []int{3}, func(th *Thread) {
+		_, root := mustMmap(t, th, 8*vm.PageSize)
+		for i := uint64(0); i < 8; i++ {
+			th.Store(root, i*vm.PageSize, 64)
+		}
+		framesBefore := m.Phys.Allocated()
+		child := parent.ForkCOW(th)
+		if got := m.Phys.Allocated(); got != framesBefore {
+			t.Fatalf("COW fork allocated %d frames", got-framesBefore)
+		}
+		// The child writes one page: exactly one frame is copied.
+		child.Spawn("child", []int{2}, func(cth *Thread) {
+			if err := cth.Store(root, 2*vm.PageSize, 64); err != nil {
+				t.Error(err)
+			}
+			if got := m.Phys.Allocated(); got != framesBefore+1 {
+				t.Errorf("after one COW write: %d new frames, want 1", got-framesBefore)
+			}
+			if child.Stats().COWFaults != 1 {
+				t.Errorf("COW faults = %d, want 1", child.Stats().COWFaults)
+			}
+		})
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCOWWriteIsolation(t *testing.T) {
+	m := testMachine()
+	parent := m.NewProcess(1)
+	parent.Spawn("parent", []int{3}, func(th *Thread) {
+		_, root := mustMmap(t, th, vm.PageSize)
+		obj, _ := root.WithAddr(root.Base() + 512).SetBoundsExact(64)
+		th.StoreCap(root, 0, obj)
+		child := parent.ForkCOW(th)
+		// The child overwrites the capability slot with data.
+		done := false
+		child.Spawn("child", []int{2}, func(cth *Thread) {
+			if err := cth.Store(root, 0, 16); err != nil {
+				t.Error(err)
+			}
+			got, _ := cth.LoadCap(root, 0)
+			if got.Tag() {
+				t.Error("child still sees the capability after its own overwrite")
+			}
+			done = true
+		})
+		th.Idle(10_000_000)
+		if !done {
+			t.Fatal("child did not run")
+		}
+		// The parent's view is intact.
+		got, err := th.LoadCap(root, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Tag() {
+			t.Fatal("parent's capability destroyed by child's COW write")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCOWRevocationDoesNotDestroyAliases is the footnote-20 scenario: the
+// child quarantines and revokes an object whose page is still shared
+// copy-on-write with the parent. The revocation write must break the
+// sharing, leaving the parent's (not quarantined there) capability alive.
+func TestCOWRevocationDoesNotDestroyAliases(t *testing.T) {
+	m := testMachine()
+	parent := m.NewProcess(1)
+	parent.Spawn("parent", []int{3}, func(th *Thread) {
+		_, root := mustMmap(t, th, vm.PageSize)
+		obj, _ := root.WithAddr(root.Base() + 512).SetBoundsExact(64)
+		th.StoreCap(root, 0, obj)
+		child := parent.ForkCOW(th)
+		done := false
+		child.Spawn("child-revoker", []int{2}, func(cth *Thread) {
+			// The child quarantines the object in ITS shadow and sweeps.
+			auth := root // root carries PermPaint from mustMmap
+			if err := cth.PaintShadow(auth, obj.Base(), obj.Len()); err != nil {
+				t.Error(err)
+			}
+			pte, ok := child.AS.Lookup(root.Base())
+			if !ok {
+				t.Error("child page missing")
+				return
+			}
+			if pte.Bits&vm.PTECOW == 0 {
+				t.Error("page not COW before sweep")
+			}
+			_, revoked := cth.SweepPage(root.Base()>>vm.PageShift, pte)
+			if revoked != 1 {
+				t.Errorf("child revoked %d capabilities, want 1", revoked)
+			}
+			got, _ := cth.LoadCap(root, 0)
+			if got.Tag() {
+				t.Error("child's revoked capability still alive")
+			}
+			done = true
+		})
+		th.Idle(10_000_000)
+		if !done {
+			t.Fatal("child did not run")
+		}
+		// The parent never quarantined the object; its capability must
+		// have survived the child's sweep.
+		got, err := th.LoadCap(root, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Tag() {
+			t.Fatal("FOOTNOTE-20 BUG: child's revocation destroyed the parent's capability through the shared frame")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCOWSweepReadOnlyHeuristic: sweeping a shared page with nothing to
+// revoke must not break the sharing (§4.3: "the page is put back into
+// service as-is").
+func TestCOWSweepReadOnlyHeuristic(t *testing.T) {
+	m := testMachine()
+	parent := m.NewProcess(1)
+	parent.Spawn("parent", []int{3}, func(th *Thread) {
+		_, root := mustMmap(t, th, vm.PageSize)
+		obj, _ := root.WithAddr(root.Base() + 512).SetBoundsExact(64)
+		th.StoreCap(root, 0, obj)
+		child := parent.ForkCOW(th)
+		frames := m.Phys.Allocated()
+		child.Spawn("child", []int{2}, func(cth *Thread) {
+			pte, _ := child.AS.Lookup(root.Base())
+			visited, revoked := cth.SweepPage(root.Base()>>vm.PageShift, pte)
+			if visited == 0 || revoked != 0 {
+				t.Errorf("visited=%d revoked=%d", visited, revoked)
+			}
+			if pte.Bits&vm.PTECOW == 0 {
+				t.Error("read-only sweep broke the COW sharing")
+			}
+			if m.Phys.Allocated() != frames {
+				t.Error("read-only sweep copied the frame")
+			}
+		})
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

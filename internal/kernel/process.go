@@ -1,0 +1,405 @@
+package kernel
+
+import (
+	"math/rand"
+
+	"repro/internal/bus"
+
+	"repro/internal/ca"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// LoadBarrierHandler is implemented by a revoker that arms the per-page
+// capability load barrier (§3.2). HandleLoadGenFault runs in the faulting
+// thread's context: it must sweep the page, update its PTE generation, and
+// charge its costs to th. The load is then re-executed (the barrier is
+// self-healing, footnote 14).
+type LoadBarrierHandler interface {
+	HandleLoadGenFault(th *Thread, va uint64, pte *vm.PTE)
+}
+
+// Hoard is a kernel-held stash of user capabilities (saved register files,
+// kqueue/aio registrations, ...). Hoards must be scanned during revocation
+// (§4.4): the kernel may never divulge a capability the revoker has not
+// checked.
+type Hoard struct {
+	Name string
+	caps []ca.Capability
+}
+
+// Put stores a capability in slot i, growing the hoard as needed.
+func (h *Hoard) Put(i int, c ca.Capability) {
+	for len(h.caps) <= i {
+		h.caps = append(h.caps, ca.Capability{})
+	}
+	h.caps[i] = c
+}
+
+// Get returns the capability in slot i.
+func (h *Hoard) Get(i int) ca.Capability {
+	if i >= len(h.caps) {
+		return ca.Capability{}
+	}
+	return h.caps[i]
+}
+
+// Len returns the hoard's slot count.
+func (h *Hoard) Len() int { return len(h.caps) }
+
+// ProcStats counts per-process memory-system events.
+type ProcStats struct {
+	Loads, Stores       uint64
+	CapLoads, CapStores uint64
+	GenFaults           uint64
+	GenFaultCycles      uint64
+	COWFaults           uint64
+	TLBRefills          uint64
+	ColorTraps          uint64
+	StopTheWorlds       uint64
+}
+
+// Process is one simulated CheriABI process.
+type Process struct {
+	M      *Machine
+	AS     *vm.AddressSpace
+	Shadow *shadow.Bitmap
+
+	threads []*Thread
+
+	// epoch is the public revocation epoch counter (§2.2.3): odd while a
+	// revocation pass is in flight, even otherwise.
+	epoch   uint64
+	epochEv *sim.Event
+
+	stwActive    bool
+	stwInitiator *Thread
+	stwEv        *sim.Event // broadcast by threads as they park
+	resumeEv     *sim.Event // broadcast by the initiator to release the world
+
+	barrier      LoadBarrierHandler
+	barrierArmed bool
+	colorMode    bool
+
+	hoards []*Hoard
+	// ephemeral holds capabilities carried into in-flight system calls,
+	// keyed by thread; scanned like any hoard (§4.4).
+	ephemeral map[*Thread][]ca.Capability
+	rng       *rand.Rand
+	stats     ProcStats
+}
+
+// NewProcess creates a process on the machine.
+func (m *Machine) NewProcess(seed int64) *Process {
+	p := &Process{
+		M:      m,
+		AS:     vm.NewAddressSpace(m.Phys, m.Eng.Config().Cores),
+		Shadow: shadow.New(),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
+	p.epochEv = m.Eng.NewEvent()
+	p.stwEv = m.Eng.NewEvent()
+	p.resumeEv = m.Eng.NewEvent()
+	m.procs = append(m.procs, p)
+	return p
+}
+
+// Spawn creates a thread of this process on the given cores, running fn.
+func (p *Process) Spawn(name string, affinity []int, fn func(*Thread)) *Thread {
+	th := &Thread{P: p}
+	th.Sim = p.M.Eng.Spawn(name, affinity, func(st *sim.Thread) {
+		fn(th)
+		// A finishing thread is quiescent forever; let any pause initiator
+		// re-examine the world.
+		th.parked = true
+		th.quiesceNotify()
+	})
+	p.threads = append(p.threads, th)
+	return th
+}
+
+// Fork clones the process, as the CheriBSD implementation must support
+// (§4.3). Bulk address-space operations are excluded while a revocation
+// sweep is in flight, so Fork first waits for any odd epoch to complete.
+// The clone is an eager copy — every resident page's tags, capabilities
+// and colors are duplicated into fresh frames — which sidesteps the
+// copy-on-write aliasing defects the paper acknowledges (footnote 20).
+// The revocation bitmap and kernel hoards are duplicated; threads are not
+// (spawn the child's threads explicitly). The child starts at epoch zero
+// with its own revocation state and a steady-state generation view.
+func (p *Process) Fork(th *Thread) (*Process, error) {
+	if p.epoch%2 == 1 {
+		p.WaitEpochAtLeast(th, p.epoch+1)
+	}
+	th.Syscall(p.M.Costs.Syscall)
+	as, err := p.AS.Clone()
+	if err != nil {
+		return nil, err
+	}
+	th.Sim.Tick(uint64(as.MappedPageCount()) * p.M.Costs.ForkPageCopy)
+	child := &Process{
+		M:      p.M,
+		AS:     as,
+		Shadow: p.Shadow.Clone(),
+		rng:    rand.New(rand.NewSource(int64(p.rng.Uint64()))),
+	}
+	child.epochEv = p.M.Eng.NewEvent()
+	child.stwEv = p.M.Eng.NewEvent()
+	child.resumeEv = p.M.Eng.NewEvent()
+	for _, h := range p.hoards {
+		nh := child.NewHoard(h.Name)
+		nh.caps = append([]ca.Capability(nil), h.caps...)
+	}
+	child.colorMode = p.colorMode
+	p.M.procs = append(p.M.procs, child)
+	return child, nil
+}
+
+// ForkCOW clones the process with copy-on-write frame sharing instead of
+// an eager copy: fork is cheap (one PTE walk) and pages are copied only
+// when either side writes. Revocation sweeps handle shared frames with the
+// read-only heuristic of §4.3. Like Fork, it is excluded while a
+// revocation pass is in flight.
+func (p *Process) ForkCOW(th *Thread) *Process {
+	if p.epoch%2 == 1 {
+		p.WaitEpochAtLeast(th, p.epoch+1)
+	}
+	th.Syscall(p.M.Costs.Syscall)
+	as := p.AS.CloneCOW()
+	th.Sim.Tick(uint64(as.MappedPageCount()) * p.M.Costs.PTEUpdate)
+	child := &Process{
+		M:      p.M,
+		AS:     as,
+		Shadow: p.Shadow.Clone(),
+		rng:    rand.New(rand.NewSource(int64(p.rng.Uint64()))),
+	}
+	child.epochEv = p.M.Eng.NewEvent()
+	child.stwEv = p.M.Eng.NewEvent()
+	child.resumeEv = p.M.Eng.NewEvent()
+	for _, h := range p.hoards {
+		nh := child.NewHoard(h.Name)
+		nh.caps = append([]ca.Capability(nil), h.caps...)
+	}
+	child.colorMode = p.colorMode
+	p.M.procs = append(p.M.procs, child)
+	return child
+}
+
+// AdoptKernelThread wraps an existing simulated thread as an in-kernel
+// thread of this process: it charges costs and initiates stop-the-world
+// against this process, but is not itself subject to the process's pauses
+// (in-kernel revocation workers are not user threads, §7.1). Pair with
+// ReleaseKernelThread.
+func (p *Process) AdoptKernelThread(st *sim.Thread, agent bus.Agent) *Thread {
+	return &Thread{Sim: st, P: p, Agent: agent}
+}
+
+// ReleaseKernelThread ends an AdoptKernelThread borrow. (The wrapper holds
+// no process state; this exists for symmetry and future accounting.)
+func (p *Process) ReleaseKernelThread(t *Thread) {}
+
+// Threads returns the process's threads.
+func (p *Process) Threads() []*Thread { return p.threads }
+
+// Stats returns a snapshot of process counters.
+func (p *Process) Stats() ProcStats { return p.stats }
+
+// setEphemeral records the capabilities an in-flight system call carries.
+func (p *Process) setEphemeral(t *Thread, caps []ca.Capability) {
+	if p.ephemeral == nil {
+		p.ephemeral = make(map[*Thread][]ca.Capability)
+	}
+	p.ephemeral[t] = append([]ca.Capability(nil), caps...)
+}
+
+// takeEphemeral removes and returns a thread's in-flight capabilities.
+func (p *Process) takeEphemeral(t *Thread) []ca.Capability {
+	caps := p.ephemeral[t]
+	delete(p.ephemeral, t)
+	return caps
+}
+
+// NewHoard registers a kernel hoard for this process.
+func (p *Process) NewHoard(name string) *Hoard {
+	h := &Hoard{Name: name}
+	p.hoards = append(p.hoards, h)
+	return h
+}
+
+// SetLoadBarrier installs the Reloaded revoker's fault handler and arms
+// generation checking on capability loads.
+func (p *Process) SetLoadBarrier(h LoadBarrierHandler) {
+	p.barrier = h
+	p.barrierArmed = h != nil
+}
+
+// SetColorMode enables the §7.3 memory-coloring composition: every access
+// compares the capability's color with the memory's color and fails on
+// mismatch.
+func (p *Process) SetColorMode(on bool) { p.colorMode = on }
+
+// ColorMode reports whether the coloring composition is active.
+func (p *Process) ColorMode() bool { return p.colorMode }
+
+// --- epoch counter (§2.2.3) ----------------------------------------------
+
+// Epoch returns the public revocation epoch counter.
+func (p *Process) Epoch() uint64 { return p.epoch }
+
+// AdvanceEpoch increments the epoch counter (before a revocation begins and
+// again after it ends) and wakes epoch waiters.
+func (p *Process) AdvanceEpoch(th *Thread) {
+	p.epoch++
+	p.epochEv.Broadcast(th.Sim)
+}
+
+// WaitEpochAtLeast blocks th until the epoch counter reaches target. This
+// is the allocator's synchronization primitive: after painting, wait for
+// the counter to advance twice (if even) or thrice (if odd) to be certain a
+// full revocation pass began and ended after the paint.
+func (p *Process) WaitEpochAtLeast(th *Thread, target uint64) {
+	th.WaitOn(p.epochEv, func() bool { return p.epoch >= target })
+}
+
+// EpochClearTarget returns the epoch value that must be reached before
+// memory painted at epoch e may be reused (§2.2.3).
+func EpochClearTarget(e uint64) uint64 {
+	if e%2 == 0 {
+		return e + 2
+	}
+	return e + 3
+}
+
+// --- stop-the-world (§4.4) -------------------------------------------------
+
+// StopTheWorld quiesces every other thread of the process. Threads stop at
+// their next kernel operation; threads blocked or sleeping (e.g. awaiting a
+// transaction or in think-time) count as stopped and will park if they wake
+// before ResumeTheWorld. The initiator is charged IPI, per-thread stop and
+// in-flight-syscall drain costs.
+func (p *Process) StopTheWorld(initiator *Thread) {
+	if p.stwActive {
+		panic("kernel: nested StopTheWorld")
+	}
+	p.stwActive = true
+	p.stwInitiator = initiator
+	p.stats.StopTheWorlds++
+	cores := map[int]bool{}
+	for _, th := range p.threads {
+		if th == initiator || th.Sim.State() == sim.Finished {
+			continue
+		}
+		cores[th.Sim.CoreID()] = true
+		initiator.Sim.Tick(p.M.Costs.StopThread)
+		if th.inSyscall {
+			drain := p.M.Costs.SyscallDrain
+			if p.M.Costs.SyscallDrainTailOdds > 0 &&
+				p.rng.Uint64()%p.M.Costs.SyscallDrainTailOdds == 0 {
+				drain = p.M.Costs.SyscallDrainTail
+			}
+			initiator.Sim.Tick(drain)
+		}
+	}
+	for range cores {
+		initiator.Sim.Tick(p.M.Costs.IPI)
+	}
+	p.stwEv.WaitUntil(initiator.Sim, func() bool { return p.worldStopped(initiator) })
+}
+
+// worldStopped reports whether every other thread is parked, blocked,
+// sleeping or finished.
+func (p *Process) worldStopped(initiator *Thread) bool {
+	for _, th := range p.threads {
+		if th == initiator || th.parked {
+			continue
+		}
+		switch th.Sim.State() {
+		case sim.Blocked, sim.Sleeping, sim.Finished:
+			// Quiescent at an operation boundary; if it wakes during the
+			// pause it will park at its first kernel operation.
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ResumeTheWorld releases a stopped world.
+func (p *Process) ResumeTheWorld(initiator *Thread) {
+	if !p.stwActive || p.stwInitiator != initiator {
+		panic("kernel: ResumeTheWorld without matching stop")
+	}
+	for _, th := range p.threads {
+		if th != initiator && th.Sim.State() != sim.Finished {
+			initiator.Sim.Tick(p.M.Costs.ResumeThread)
+		}
+	}
+	p.stwActive = false
+	p.stwInitiator = nil
+	p.resumeEv.Broadcast(initiator.Sim)
+}
+
+// ScanRoots visits every capability root the kernel holds for this process
+// — all thread register files and all kernel hoards — testing each against
+// the revocation bitmap and clearing the tags of revoked capabilities. It
+// must only be called with the world stopped. It returns (scanned, revoked)
+// counts; costs are charged to the scanning thread.
+func (p *Process) ScanRoots(scanner *Thread) (scanned, revoked int) {
+	costs := p.M.Costs
+	scanOne := func(c ca.Capability) (ca.Capability, bool) {
+		scanner.Sim.Tick(costs.CapScan)
+		if !c.Tag() {
+			return c, false
+		}
+		scanner.Sim.Tick(p.M.Bus.Access(scanner.Sim.CoreID(), shadow.VAOf(c.Base()), scanner.Agent, false))
+		scanned++
+		if p.Shadow.Test(c.Base()) {
+			revoked++
+			return c.ClearTag(), true
+		}
+		return c, false
+	}
+	for _, th := range p.threads {
+		for i, c := range th.regs {
+			if nc, changed := scanOne(c); changed {
+				th.regs[i] = nc
+			}
+		}
+	}
+	for _, h := range p.hoards {
+		for i, c := range h.caps {
+			if nc, changed := scanOne(c); changed {
+				h.caps[i] = nc
+			}
+		}
+	}
+	// Ephemeral syscall hoards, in deterministic thread order.
+	for _, th := range p.threads {
+		caps, ok := p.ephemeral[th]
+		if !ok {
+			continue
+		}
+		for i, c := range caps {
+			if nc, changed := scanOne(c); changed {
+				caps[i] = nc
+			}
+		}
+	}
+	return scanned, revoked
+}
+
+// BumpGenerations toggles the in-core capability load generation on every
+// core and invalidates all TLBs (§4.1). Must be called with the world
+// stopped; PTEs are not touched. The cores were already interrupted by the
+// stop-the-world rendezvous, so the toggle and shootdown ride those IPIs —
+// only a small per-core register write and TLB-invalidate cost remains.
+func (p *Process) BumpGenerations(initiator *Thread) {
+	ncores := p.M.Eng.Config().Cores
+	for c := 0; c < ncores; c++ {
+		p.AS.BumpCoreGen(c)
+		initiator.Sim.Tick(p.M.Costs.PTEUpdate)
+	}
+	p.AS.ShootdownAll()
+	initiator.Sim.Tick(p.M.Costs.PTEUpdate)
+}

@@ -1,0 +1,99 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/ca"
+)
+
+// TestSyscallCapsScannedDuringSTW: a capability carried into a blocking
+// system call is an ephemeral kernel hoard (§4.4): if a revocation pass
+// stops the world while the call is in flight, the capability is checked,
+// and the kernel never returns a stale one to user space.
+func TestSyscallCapsScannedDuringSTW(t *testing.T) {
+	m := testMachine()
+	p := m.NewProcess(1)
+	var returned []ca.Capability
+	p.Spawn("app", []int{3}, func(th *Thread) {
+		_, root := mustMmap(t, th, 1<<14)
+		stale, _ := root.WithAddr(root.Base()).SetBoundsExact(64)
+		live, _ := root.WithAddr(root.Base() + 4096).SetBoundsExact(64)
+		if err := th.PaintShadow(root, stale.Base(), 64); err != nil {
+			t.Error(err)
+		}
+		// Enter a long blocking syscall carrying both capabilities.
+		returned = th.SyscallCaps(5_000_000, []ca.Capability{stale, live})
+	})
+	p.Spawn("revoker", []int{2}, func(th *Thread) {
+		th.Work(500_000) // the app is now inside the syscall
+		p.StopTheWorld(th)
+		scanned, revoked := p.ScanRoots(th)
+		p.ResumeTheWorld(th)
+		if scanned < 2 || revoked != 1 {
+			t.Errorf("scanned=%d revoked=%d, want ≥2 and 1", scanned, revoked)
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(returned) != 2 {
+		t.Fatalf("returned %d capabilities", len(returned))
+	}
+	if returned[0].Tag() {
+		t.Fatal("kernel divulged a stale capability from a syscall (§4.4 violated)")
+	}
+	if !returned[1].Tag() {
+		t.Fatal("live capability revoked in syscall hoard")
+	}
+}
+
+// TestSyscallCapsNoSTWPassThrough: without a pause, the capabilities come
+// back untouched.
+func TestSyscallCapsNoSTWPassThrough(t *testing.T) {
+	runProc(t, func(th *Thread) {
+		_, root := mustMmap(t, th, 1<<14)
+		out := th.SyscallCaps(10_000, []ca.Capability{root})
+		if len(out) != 1 || !out[0].Tag() || out[0].Base() != root.Base() {
+			t.Fatalf("pass-through mangled: %v", out)
+		}
+	})
+}
+
+// TestCopyRangePreservesBarrierChecks: copying memory with CopyRange runs
+// the loaded capabilities through the load barrier, so a revoked
+// capability cannot be laundered through memcpy.
+func TestCopyRangeUnderColorFilter(t *testing.T) {
+	m := testMachine()
+	p := m.NewProcess(1)
+	p.SetColorMode(true)
+	p.Spawn("app", []int{3}, func(th *Thread) {
+		r, err := th.Mmap(1<<14, ca.PermsData|ca.PermRecolor|ca.PermPaint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := r.Root
+		victim, _ := root.WithAddr(root.Base() + 8192).SetBoundsExact(64)
+		if err := th.StoreCap(root, 0, victim); err != nil {
+			t.Fatal(err)
+		}
+		// Recolor the victim's memory: the stored capability is now stale.
+		pte, _, _ := p.AS.EnsureMapped(victim.Base())
+		m.Phys.SetColor(pte.Frame, int(victim.Base()%4096)/16, 4, 5)
+		// memcpy the holder region elsewhere: the stale capability must
+		// arrive tag-cleared (filtered on load), not laundered.
+		dst := root.WithAddr(root.Base() + 256)
+		if err := th.CopyRange(dst, root, 64); err != nil {
+			t.Fatal(err)
+		}
+		got, err := th.LoadCap(root, 256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag() {
+			t.Fatal("stale-colored capability laundered through CopyRange")
+		}
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

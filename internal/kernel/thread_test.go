@@ -1,0 +1,164 @@
+package kernel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ca"
+	"repro/internal/vm"
+)
+
+func TestSharedMappingRefusesCapabilities(t *testing.T) {
+	runProc(t, func(th *Thread) {
+		r, err := th.MmapShared(1 << 14)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := r.Root
+		// Data works fine.
+		if err := th.Store(root, 0, 64); err != nil {
+			t.Fatal(err)
+		}
+		// The mmap-returned capability itself lacks PermStoreCap, so the
+		// architectural check already refuses tagged stores.
+		_, heapRoot := mustMmap(t, th, 1<<14)
+		if err := th.StoreCap(root, 0, heapRoot); err == nil {
+			t.Fatal("tagged store through shared-mapping capability allowed")
+		}
+		// Even a (kernel-conjured) capability with full permissions hits
+		// the PTE-level prohibition: the page lacks PTECapWrite.
+		forged := ca.NewRoot(root.Base(), root.Len(), ca.PermsAll)
+		err = th.StoreCap(forged, 0, heapRoot)
+		var f *vm.Fault
+		if !errors.As(err, &f) || f.Kind != vm.FaultCapStore {
+			t.Fatalf("err = %v, want cap-store fault", err)
+		}
+		// Untagged capability-width stores are permitted.
+		if err := th.StoreCap(forged, 0, ca.Null(42)); err != nil {
+			t.Fatalf("untagged store to shared mapping: %v", err)
+		}
+	})
+}
+
+func TestStoreSpanningPagesClearsAllTags(t *testing.T) {
+	runProc(t, func(th *Thread) {
+		_, root := mustMmap(t, th, 4*vm.PageSize)
+		// Place capabilities just before and after a page boundary.
+		th.StoreCap(root, vm.PageSize-16, root)
+		th.StoreCap(root, vm.PageSize, root)
+		// A data store straddling the boundary clears both.
+		if err := th.Store(root, vm.PageSize-16, 32); err != nil {
+			t.Fatal(err)
+		}
+		a, _ := th.LoadCap(root, vm.PageSize-16)
+		b, _ := th.LoadCap(root, vm.PageSize)
+		if a.Tag() || b.Tag() {
+			t.Fatal("straddling store left a tag")
+		}
+	})
+}
+
+func TestLoadCapWithoutLoadCapPermStripsTag(t *testing.T) {
+	runProc(t, func(th *Thread) {
+		_, root := mustMmap(t, th, 1<<14)
+		th.StoreCap(root, 0, root)
+		noLC := root.ClearPerms(ca.PermLoadCap)
+		got, err := th.LoadCap(noLC, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag() {
+			t.Fatal("tag survived a load without PermLoadCap")
+		}
+		// With the permission the tag flows through.
+		got, _ = th.LoadCap(root, 0)
+		if !got.Tag() {
+			t.Fatal("tag lost on permitted load")
+		}
+	})
+}
+
+func TestStoreCapWithoutStoreCapPermRejected(t *testing.T) {
+	runProc(t, func(th *Thread) {
+		_, root := mustMmap(t, th, 1<<14)
+		noSC := root.ClearPerms(ca.PermStoreCap)
+		if err := th.StoreCap(noSC, 0, root); err == nil {
+			t.Fatal("tagged store without PermStoreCap allowed")
+		}
+		// Untagged store through the same capability is fine.
+		if err := th.StoreCap(noSC, 0, ca.Null(1)); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestSyscallDrainTailDeterministic(t *testing.T) {
+	// The same seed must produce the same STW costs (the drain tail draw
+	// comes from the process RNG).
+	run := func() uint64 {
+		m := testMachine()
+		p := m.NewProcess(123)
+		p.Spawn("app", []int{3}, func(th *Thread) {
+			for i := 0; i < 300; i++ {
+				th.Syscall(50_000)
+			}
+		})
+		var cost uint64
+		p.Spawn("revoker", []int{2}, func(th *Thread) {
+			for i := 0; i < 50; i++ {
+				th.Work(200_000)
+				before := th.Sim.CPU()
+				p.StopTheWorld(th)
+				p.ResumeTheWorld(th)
+				cost += th.Sim.CPU() - before
+			}
+		})
+		if err := m.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return cost
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("drain costs nondeterministic: %d vs %d", a, b)
+	}
+}
+
+func TestHoardGrowsAndReads(t *testing.T) {
+	m := testMachine()
+	p := m.NewProcess(1)
+	h := p.NewHoard("x")
+	if h.Len() != 0 || h.Get(5).Tag() {
+		t.Fatal("empty hoard misbehaves")
+	}
+	h.Put(3, ca.NewRoot(0, 16, ca.PermsData))
+	if h.Len() != 4 {
+		t.Fatalf("len = %d", h.Len())
+	}
+	if !h.Get(3).Tag() || h.Get(2).Tag() {
+		t.Fatal("hoard slots wrong")
+	}
+}
+
+func TestRegFileGrowth(t *testing.T) {
+	runProc(t, func(th *Thread) {
+		if th.Reg(100).Tag() {
+			t.Fatal("unset register tagged")
+		}
+		th.SetReg(100, ca.NewRoot(0, 16, ca.PermsData))
+		if th.RegCount() != 101 {
+			t.Fatalf("reg count = %d", th.RegCount())
+		}
+		if !th.Reg(100).Tag() {
+			t.Fatal("register lost value")
+		}
+	})
+}
+
+func TestLoadZeroSize(t *testing.T) {
+	runProc(t, func(th *Thread) {
+		_, root := mustMmap(t, th, 1<<14)
+		if err := th.Load(root, 0, 0); err != nil {
+			t.Fatalf("zero-size load: %v", err)
+		}
+	})
+}

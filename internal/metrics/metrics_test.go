@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func samplesOf(xs ...float64) *Samples {
+	s := &Samples{}
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+func TestPercentileExact(t *testing.T) {
+	s := samplesOf(1, 2, 3, 4, 5)
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {90, 4.6},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileSingle(t *testing.T) {
+	s := samplesOf(7)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := s.Percentile(p); got != 7 {
+			t.Fatalf("P%v = %v", p, got)
+		}
+	}
+}
+
+func TestPercentileEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	(&Samples{}).Percentile(50)
+}
+
+func TestMeanStddevCI(t *testing.T) {
+	s := samplesOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if m := s.Mean(); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if sd := s.Stddev(); math.Abs(sd-2.13809) > 1e-4 {
+		t.Fatalf("stddev = %v", sd)
+	}
+	m, ci := s.MeanCI()
+	if m != 5 || ci <= 0 {
+		t.Fatalf("mean ci = %v ± %v", m, ci)
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	s := &Samples{}
+	for i := 1; i <= 101; i++ {
+		s.Add(float64(i))
+	}
+	b := s.Boxplot()
+	if b.Min != 1 || b.Max != 101 || b.Median != 51 || b.P25 != 26 || b.P75 != 76 {
+		t.Fatalf("box = %+v", b)
+	}
+	if b.N != 101 {
+		t.Fatalf("n = %d", b.N)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	s := &Samples{}
+	for i := 0; i < 1000; i++ {
+		s.Add(float64((i * 7919) % 1000))
+	}
+	cdf := s.CDF(50)
+	if len(cdf) != 50 {
+		t.Fatalf("len = %d", len(cdf))
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X < cdf[i-1].X || cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Fatal("CDF not monotone")
+		}
+	}
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Fatalf("final fraction = %v", cdf[len(cdf)-1].Fraction)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{1, 4}); g != 2 {
+		t.Fatalf("geomean = %v", g)
+	}
+	if g := Geomean([]float64{2, 2, 2}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("geomean = %v", g)
+	}
+}
+
+func TestOverheadRatio(t *testing.T) {
+	if o := Overhead(1.25, 1.0); math.Abs(o-25) > 1e-9 {
+		t.Fatalf("overhead = %v", o)
+	}
+	if r := Ratio(3, 2); r != 1.5 {
+		t.Fatalf("ratio = %v", r)
+	}
+	if Ratio(3, 0) != 0 || Overhead(3, 0) != 0 {
+		t.Fatal("zero baseline not guarded")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := samplesOf(1, 2)
+	b := samplesOf(3, 4)
+	a.Merge(b)
+	if a.N() != 4 || a.Max() != 4 {
+		t.Fatalf("merge: n=%d max=%v", a.N(), a.Max())
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	f := func(raw []uint16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := &Samples{}
+		for _, x := range raw {
+			s.AddU(uint64(x))
+		}
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := s.Percentile(a), s.Percentile(b)
+		return pa <= pb && pa >= s.Min() && pb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCDFPlotRenders(t *testing.T) {
+	p := &CDFPlot{Title: "latency", XLabel: "ms", Width: 40, Height: 8}
+	a := &Samples{}
+	bSer := &Samples{}
+	for i := 1; i <= 500; i++ {
+		a.Add(float64(i))
+		bSer.Add(float64(i * 3))
+	}
+	p.Add("fast", a)
+	p.Add("slow", bSer)
+	out := p.Render()
+	for _, want := range []string{"latency", "* fast", "o slow", "x: ms"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("plot too short:\n%s", out)
+	}
+	// Top row corresponds to fraction 1.00, bottom to 0.00.
+	if !strings.HasPrefix(lines[1], " 1.00") {
+		t.Fatalf("first data row %q", lines[1])
+	}
+}
+
+func TestCDFPlotLogScaleKicksIn(t *testing.T) {
+	p := &CDFPlot{Width: 30, Height: 6}
+	s := &Samples{}
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i * i * i)) // spans decades
+	}
+	p.Add("x", s)
+	if out := p.Render(); !strings.Contains(out, "log scale") && !strings.Contains(out, "(log") {
+		// XLabel empty: scale note only printed with label; re-render with label.
+		p.XLabel = "v"
+		out = p.Render()
+		if !strings.Contains(out, "log scale") {
+			t.Fatalf("log scale not engaged:\n%s", out)
+		}
+	}
+}
+
+func TestCDFPlotEmpty(t *testing.T) {
+	p := &CDFPlot{Title: "t"}
+	p.Add("none", &Samples{})
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot rendered: %q", out)
+	}
+}
+
+func TestBoxStripRenders(t *testing.T) {
+	p := &BoxStrip{Title: "phases", XLabel: "ms", Width: 40}
+	p.Add("stw", Box{Min: 1, P25: 2, Median: 3, P75: 4, Max: 5, N: 10})
+	p.Add("concurrent", Box{Min: 2, P25: 3, Median: 4, P75: 4.5, Max: 5, N: 10})
+	out := p.Render()
+	for _, want := range []string{"phases", "stw", "concurrent", "M", "=", "(ms,"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("strip missing %q:\n%s", want, out)
+		}
+	}
+	// Median marker between the box ends on each row.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "M") {
+			if !strings.Contains(line, "|") {
+				t.Fatalf("box row malformed: %q", line)
+			}
+		}
+	}
+}
+
+func TestBoxStripDegenerate(t *testing.T) {
+	p := &BoxStrip{Width: 20}
+	p.Add("flat", Box{Min: 7, P25: 7, Median: 7, P75: 7, Max: 7, N: 3})
+	out := p.Render()
+	if !strings.Contains(out, "flat") {
+		t.Fatalf("degenerate box missing:\n%s", out)
+	}
+}

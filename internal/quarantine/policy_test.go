@@ -1,0 +1,118 @@
+package quarantine
+
+import (
+	"testing"
+
+	"repro/internal/ca"
+	"repro/internal/kernel"
+	"repro/internal/revoke"
+)
+
+func TestDefaultPolicyMatchesPaper(t *testing.T) {
+	p := DefaultPolicy()
+	if p.HeapFraction != 0.25 {
+		t.Fatalf("fraction = %v, want 1/4 of total heap", p.HeapFraction)
+	}
+	if p.MinBytes != 8<<20 {
+		t.Fatalf("min = %d, want 8 MiB", p.MinBytes)
+	}
+	if p.BlockFactor != 2 {
+		t.Fatalf("block factor = %v", p.BlockFactor)
+	}
+}
+
+func TestNoTriggerBelowFloor(t *testing.T) {
+	// Churn volume below MinBytes must never trigger revocation, no matter
+	// the fraction.
+	r := newRig(revoke.Reloaded, Policy{HeapFraction: 0.01, MinBytes: 1 << 20, BlockFactor: 2})
+	r.runApp(t, func(th *kernel.Thread) {
+		for i := 0; i < 200; i++ {
+			c, err := r.q.Malloc(th, 256)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.q.Free(th, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if r.q.Stats().Triggers != 0 {
+		t.Fatalf("triggered %d times below the floor", r.q.Stats().Triggers)
+	}
+	if len(r.s.Records()) != 0 {
+		t.Fatal("epochs ran below the floor")
+	}
+}
+
+func TestFractionControlsTriggerPoint(t *testing.T) {
+	// With a tiny floor, the trigger point tracks the fraction: a 1/2
+	// fraction policy triggers about half as often as a 1/4 policy for
+	// the same churn.
+	run := func(frac float64) uint64 {
+		r := newRig(revoke.Reloaded, Policy{HeapFraction: frac, MinBytes: 1 << 10, BlockFactor: 2})
+		r.runApp(t, func(th *kernel.Thread) {
+			var keep []ca.Capability
+			for i := 0; i < 16; i++ {
+				c, _ := r.q.Malloc(th, 2048)
+				keep = append(keep, c)
+			}
+			for i := 0; i < 2000; i++ {
+				c, err := r.q.Malloc(th, 512)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.q.Free(th, c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			_ = keep
+		})
+		return r.q.Stats().Triggers
+	}
+	quarterTriggers := run(0.25)
+	halfTriggers := run(0.5)
+	if quarterTriggers == 0 || halfTriggers == 0 {
+		t.Fatalf("policies never triggered: %d %d", quarterTriggers, halfTriggers)
+	}
+	if halfTriggers >= quarterTriggers {
+		t.Fatalf("1/2 policy triggered %d ≥ 1/4 policy's %d", halfTriggers, quarterTriggers)
+	}
+}
+
+func TestFlushIdempotentWhenEmpty(t *testing.T) {
+	r := newRig(revoke.Reloaded, smallPolicy())
+	r.runApp(t, func(th *kernel.Thread) {
+		r.q.Flush(th) // nothing quarantined: must return immediately
+		c, _ := r.q.Malloc(th, 64)
+		r.q.Free(th, c)
+		r.q.Flush(th)
+		r.q.Flush(th) // second flush is a no-op
+	})
+	if got := r.q.Stats().QuarantinedBytes; got != 0 {
+		t.Fatalf("quarantine = %d after double flush", got)
+	}
+}
+
+func TestStatsSnapshotIncludesBothBuffers(t *testing.T) {
+	r := newRig(revoke.PaintSync, Policy{HeapFraction: 0.25, MinBytes: 1 << 10, BlockFactor: 100})
+	r.runApp(t, func(th *kernel.Thread) {
+		var keep []ca.Capability
+		for i := 0; i < 8; i++ {
+			c, _ := r.q.Malloc(th, 4096)
+			keep = append(keep, c)
+		}
+		// Fill quarantine past a trigger so one buffer is in flight, then
+		// keep freeing into the fresh buffer.
+		for i := 0; i < 60; i++ {
+			c, _ := r.q.Malloc(th, 512)
+			if err := r.q.Free(th, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		st := r.q.Stats()
+		if st.QuarantinedBytes == 0 {
+			t.Fatal("snapshot lost quarantined bytes")
+		}
+		_ = keep
+	})
+}

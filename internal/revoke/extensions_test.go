@@ -1,0 +1,160 @@
+package revoke
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+func newRigCfg(cfg Config) *rig {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	p := m.NewProcess(42)
+	h := alloc.NewHeap(p)
+	s := NewService(p, cfg)
+	return &rig{m: m, p: p, h: h, s: s}
+}
+
+func TestCornucopiaTwoPassGuarantee(t *testing.T) {
+	epochGuarantee(t, CornucopiaTwoPass, 0)
+}
+
+func TestCornucopiaTwoPassDoesMoreWork(t *testing.T) {
+	// The ablation's claim (§3.1): the second concurrent pass increases
+	// total pages visited relative to plain Cornucopia under an active
+	// mutator.
+	visited := map[Strategy]uint64{}
+	for _, strat := range []Strategy{Cornucopia, CornucopiaTwoPass} {
+		r := newRig(strat, 0)
+		r.runApp(t, func(th *kernel.Thread) {
+			arr, err := r.h.Alloc(th, 512<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj, _ := r.h.Alloc(th, 64)
+			for off := uint64(0); off < arr.Len(); off += 64 {
+				th.StoreCap(arr, off, obj)
+			}
+			auth, _ := r.h.PaintAuth(obj.Base())
+			th.PaintShadow(auth, obj.Base(), obj.Len())
+			e := r.s.RequestRevocation(th)
+			live, _ := r.h.Alloc(th, 64)
+			for i := 0; th.P.Epoch() <= e+1 && i < 500_000; i++ {
+				off := (uint64(i) * 13 % (arr.Len() / 16)) * 16
+				th.StoreCap(arr, off, live)
+			}
+			th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+		})
+		for _, rec := range r.s.Records() {
+			visited[strat] += rec.PagesVisited
+		}
+	}
+	if visited[CornucopiaTwoPass] <= visited[Cornucopia] {
+		t.Errorf("two-pass visited %d pages, plain %d; expected more total work",
+			visited[CornucopiaTwoPass], visited[Cornucopia])
+	}
+}
+
+func TestAlwaysTrapSkipsCleanPages(t *testing.T) {
+	r := newRigCfg(Config{Strategy: Reloaded, RevokerCores: []int{2}, AlwaysTrapCleanPages: true})
+	r.runApp(t, func(th *kernel.Thread) {
+		// A heap with many clean (data-only) pages and one dirty page.
+		data, err := r.h.Alloc(th, 512<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := th.Store(data, 0, data.Len()); err != nil {
+			t.Fatal(err)
+		}
+		holder, _ := r.h.Alloc(th, 64)
+		victim, _ := r.h.Alloc(th, 64)
+		th.StoreCap(holder, 0, victim)
+		auth, _ := r.h.PaintAuth(victim.Base())
+		th.PaintShadow(auth, victim.Base(), victim.Len())
+
+		// First epoch: clean pages are armed and skipped.
+		e := r.s.RequestRevocation(th)
+		th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+		got, err := th.LoadCap(holder, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag() {
+			t.Fatal("revocation guarantee violated under always-trap")
+		}
+		rec1 := r.s.Records()[0]
+		if rec1.PagesSkippedClean == 0 {
+			t.Fatal("no clean pages skipped")
+		}
+
+		// Second epoch: the armed pages cost nothing again, and the
+		// guarantee still holds for a fresh quarantined object.
+		victim2, _ := r.h.Alloc(th, 64)
+		th.StoreCap(holder, 0, victim2)
+		auth2, _ := r.h.PaintAuth(victim2.Base())
+		th.PaintShadow(auth2, victim2.Base(), victim2.Len())
+		e2 := r.s.RequestRevocation(th)
+		th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e2))
+		got2, err := th.LoadCap(holder, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got2.Tag() {
+			t.Fatal("second-epoch guarantee violated under always-trap")
+		}
+
+		// Storing a capability to an armed page and loading it back must
+		// work: the trap resolves by installing the current generation.
+		pte, ok := th.P.AS.Lookup(data.Base())
+		if !ok {
+			t.Fatal("data page unmapped")
+		}
+		if pte.Bits&vm.PTECapLoadTrap == 0 {
+			t.Fatal("clean data page not armed with always-trap")
+		}
+		if err := th.StoreCap(data, 0, holder); err != nil {
+			t.Fatal(err)
+		}
+		back, err := th.LoadCap(data, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Tag() {
+			t.Fatal("capability lost through always-trap page")
+		}
+		if pte.Bits&vm.PTECapLoadTrap != 0 {
+			t.Fatal("trap disposition not cleared by resolution")
+		}
+	})
+}
+
+func TestAlwaysTrapReducesBackgroundWork(t *testing.T) {
+	// Many clean pages: the second epoch under always-trap should visit
+	// far fewer pages than without it.
+	run := func(alwaysTrap bool) (visited2 uint64) {
+		r := newRigCfg(Config{Strategy: Reloaded, RevokerCores: []int{2}, AlwaysTrapCleanPages: alwaysTrap})
+		r.runApp(t, func(th *kernel.Thread) {
+			data, _ := r.h.Alloc(th, 1<<20)
+			th.Store(data, 0, data.Len())
+			holder, _ := r.h.Alloc(th, 64)
+			for round := 0; round < 2; round++ {
+				v, _ := r.h.Alloc(th, 64)
+				th.StoreCap(holder, 0, v)
+				auth, _ := r.h.PaintAuth(v.Base())
+				th.PaintShadow(auth, v.Base(), v.Len())
+				e := r.s.RequestRevocation(th)
+				th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+			}
+		})
+		recs := r.s.Records()
+		last := recs[len(recs)-1]
+		return last.PagesVisited
+	}
+	plain := run(false)
+	trapped := run(true)
+	if trapped*4 > plain {
+		t.Errorf("always-trap visited %d pages in the steady epoch, plain %d; expected a large reduction",
+			trapped, plain)
+	}
+}

@@ -1,0 +1,136 @@
+package revoke_test
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/kernel"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+)
+
+// TestPoolServesMultipleProcesses runs two processes whose revocation
+// requests are served by one shared two-worker pool: both get the epoch
+// guarantee, neither owns a revoker thread, and the pool's workers appear
+// on the configured cores.
+func TestPoolServesMultipleProcesses(t *testing.T) {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	host := m.NewProcess(99) // in-kernel entity owning the workers
+	pool := revoke.NewPool(m, host, 2, []int{1, 2})
+	pool.Start()
+
+	type proc struct {
+		p   *kernel.Process
+		h   *alloc.Heap
+		s   *revoke.Service
+		mrs *quarantine.Shim
+	}
+	mk := func(seed int64) *proc {
+		p := m.NewProcess(seed)
+		h := alloc.NewHeap(p)
+		s := pool.Attach(p, revoke.Config{Strategy: revoke.Reloaded})
+		mrs := quarantine.New(h, s, quarantine.Policy{HeapFraction: 0.25, MinBytes: 4 << 10, BlockFactor: 2})
+		return &proc{p: p, h: h, s: s, mrs: mrs}
+	}
+	a, b := mk(1), mk(2)
+
+	finished := 0
+	body := func(pr *proc, core int) func(th *kernel.Thread) {
+		return func(th *kernel.Thread) {
+			holder, err := pr.mrs.Malloc(th, 64)
+			if err != nil {
+				t.Errorf("malloc: %v", err)
+				return
+			}
+			victim, _ := pr.mrs.Malloc(th, 128)
+			th.StoreCap(holder, 0, victim)
+			if err := pr.mrs.Free(th, victim); err != nil {
+				t.Errorf("free: %v", err)
+				return
+			}
+			pr.mrs.Flush(th)
+			got, err := th.LoadCap(holder, 0)
+			if err != nil {
+				t.Errorf("load: %v", err)
+				return
+			}
+			if got.Tag() {
+				t.Error("stale capability survived a pool-served epoch")
+			}
+			// Churn enough to trigger policy-driven epochs through the
+			// pool as well.
+			for i := 0; i < 400; i++ {
+				c, err := pr.mrs.Malloc(th, 512)
+				if err != nil {
+					t.Errorf("churn malloc: %v", err)
+					return
+				}
+				if err := pr.mrs.Free(th, c); err != nil {
+					t.Errorf("churn free: %v", err)
+					return
+				}
+			}
+			pr.mrs.Flush(th)
+			finished++
+			if finished == 2 {
+				pool.Shutdown(th)
+			}
+		}
+	}
+	a.p.Spawn("app-a", []int{3}, body(a, 3))
+	b.p.Spawn("app-b", []int{0}, body(b, 0))
+
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.s.Records()) == 0 || len(b.s.Records()) == 0 {
+		t.Fatalf("pool ran %d/%d epochs for the two processes",
+			len(a.s.Records()), len(b.s.Records()))
+	}
+	// Neither process spawned its own revoker thread: each has exactly its
+	// app thread.
+	if len(a.p.Threads()) != 1 || len(b.p.Threads()) != 1 {
+		t.Fatalf("processes own %d and %d threads; the pool should own the workers",
+			len(a.p.Threads()), len(b.p.Threads()))
+	}
+}
+
+func TestPoolAttachedServiceRefusesStart(t *testing.T) {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	host := m.NewProcess(1)
+	pool := revoke.NewPool(m, host, 1, nil)
+	p := m.NewProcess(2)
+	s := pool.Attach(p, revoke.Config{Strategy: revoke.Reloaded})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start on pool-attached service did not panic")
+		}
+	}()
+	s.Start()
+}
+
+func TestPoolCoalescesDuplicateRequests(t *testing.T) {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	host := m.NewProcess(1)
+	pool := revoke.NewPool(m, host, 1, []int{2})
+	pool.Start()
+	p := m.NewProcess(2)
+	h := alloc.NewHeap(p)
+	s := pool.Attach(p, revoke.Config{Strategy: revoke.CHERIvoke})
+	p.Spawn("app", []int{3}, func(th *kernel.Thread) {
+		if _, err := h.Alloc(th, 64); err != nil {
+			t.Error(err)
+		}
+		e := s.RequestRevocation(th)
+		s.RequestRevocation(th)
+		s.RequestRevocation(th)
+		p.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+		pool.Shutdown(th)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.Records()); n > 2 {
+		t.Fatalf("%d epochs for coalesced requests, want ≤ 2", n)
+	}
+}

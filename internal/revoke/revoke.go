@@ -1,0 +1,577 @@
+// Package revoke implements global subset capability revocation (§2.2) in
+// four strategies:
+//
+//   - CHERIvoke: a single stop-the-world sweep of all capability-carrying
+//     pages, the baseline of Xia et al.
+//   - Cornucopia: a concurrent sweep of capability-dirty pages followed by
+//     a stop-the-world re-sweep of pages re-dirtied meanwhile (§2.2.5).
+//   - Reloaded: the paper's contribution — a near-instant stop-the-world
+//     phase (bump per-core capability load generations, scan register files
+//     and kernel hoards), then a fully concurrent background sweep racing
+//     self-healing per-page load-barrier faults (§3.2, §4.3).
+//   - PaintSync: no sweeping at all; epochs complete immediately. This
+//     measures quarantine machinery costs in isolation (§5's "Paint+sync").
+//
+// All strategies share the epoch protocol of §2.2.3: the public counter is
+// odd while an epoch is in flight, and memory painted at epoch e may be
+// reused once the counter reaches e+2 (e even) or e+3 (e odd).
+package revoke
+
+import (
+	"fmt"
+
+	"repro/internal/bus"
+	"repro/internal/ca"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Strategy selects the revocation algorithm.
+type Strategy int
+
+// The implemented strategies.
+const (
+	// PaintSync quarantines and synchronizes epochs but never sweeps.
+	PaintSync Strategy = iota
+	// CHERIvoke sweeps everything with the world stopped.
+	CHERIvoke
+	// Cornucopia sweeps concurrently, then re-sweeps re-dirtied pages with
+	// the world stopped.
+	Cornucopia
+	// Reloaded arms the per-page capability load barrier and sweeps in the
+	// background.
+	Reloaded
+	// CornucopiaTwoPass is the §3.1 ablation: Cornucopia with a second
+	// concurrent pass over re-dirtied pages before stopping the world. The
+	// paper (citing Cornucopia's fig. 15) reports it reduces pause times
+	// very little while increasing total work and DRAM traffic.
+	CornucopiaTwoPass
+)
+
+// String names the strategy as the paper does.
+func (s Strategy) String() string {
+	switch s {
+	case PaintSync:
+		return "Paint+sync"
+	case CHERIvoke:
+		return "CHERIvoke"
+	case Cornucopia:
+		return "Cornucopia"
+	case Reloaded:
+		return "Reloaded"
+	case CornucopiaTwoPass:
+		return "Cornucopia-2pass"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Config parameterizes a revocation Service.
+type Config struct {
+	Strategy Strategy
+	// RevokerCores pins the background revoker thread (nil = unpinned, as
+	// in the gRPC experiment; the SPEC and pgbench experiments pin to core
+	// 2).
+	RevokerCores []int
+	// Workers is the number of background sweep threads (§7.1). Zero or
+	// one means the classic single-threaded revoker.
+	Workers int
+	// AlwaysTrapCleanPages enables the §7.6 PTE disposition for Reloaded:
+	// capability-clean pages are armed with an always-trap bit once and
+	// then skipped entirely by later background passes, instead of having
+	// their generation refreshed every epoch.
+	AlwaysTrapCleanPages bool
+}
+
+// EpochRecord captures one revocation epoch's phase timing and work.
+type EpochRecord struct {
+	// Epoch is the (odd) counter value during this pass.
+	Epoch uint64
+	// StartCycle and EndCycle bracket the whole pass.
+	StartCycle, EndCycle uint64
+	// STWCycles is the stop-the-world phase duration.
+	STWCycles uint64
+	// ConcurrentCycles is the concurrent/background phase duration.
+	ConcurrentCycles uint64
+	// FaultCount and FaultCycles accumulate Reloaded's application-side
+	// load-barrier faults during this epoch.
+	FaultCount, FaultCycles uint64
+	// PagesVisited, CapsVisited and CapsRevoked count sweep work; for
+	// Cornucopia, PagesResweptSTW counts the re-dirtied pages swept with
+	// the world stopped.
+	PagesVisited, PagesResweptSTW uint64
+	CapsVisited, CapsRevoked      uint64
+	// PagesSkippedClean counts pages the §7.6 always-trap disposition let
+	// the background pass skip outright.
+	PagesSkippedClean uint64
+}
+
+// Service runs revocation for one process. It owns the background revoker
+// thread(s) and implements the load-barrier fault handler when the strategy
+// is Reloaded.
+type Service struct {
+	P   *kernel.Process
+	cfg Config
+
+	reqEv    *sim.Event
+	workEv   *sim.Event
+	workDone *sim.Event
+
+	reqPending bool
+	shutdown   bool
+
+	records []EpochRecord
+	cur     *EpochRecord
+
+	// faultBase tracks kernel GenFault counters at epoch start so the
+	// record holds per-epoch deltas.
+	faultBase       uint64
+	faultCyclesBase uint64
+
+	// pool, when non-nil, serves this service's requests from the shared
+	// in-kernel worker pool (§7.1) instead of a dedicated thread.
+	pool *Pool
+
+	// deadResv holds mmap-level quarantined reservations (§6.2) with the
+	// epoch counter value they may be released at.
+	deadResv []deadReservation
+
+	// worker coordination (§7.1)
+	workSlices [][]pageRef
+	workSeq    int
+	workLeft   int
+	workGen    uint8
+}
+
+type deadReservation struct {
+	r      *vm.Reservation
+	auth   ca.Capability
+	target uint64
+}
+
+type pageRef struct {
+	vpn uint64
+	pte *vm.PTE
+}
+
+// NewService creates (but does not start) a revocation service.
+func NewService(p *kernel.Process, cfg Config) *Service {
+	s := &Service{
+		P:        p,
+		cfg:      cfg,
+		reqEv:    p.M.Eng.NewEvent(),
+		workEv:   p.M.Eng.NewEvent(),
+		workDone: p.M.Eng.NewEvent(),
+	}
+	if cfg.Strategy == Reloaded {
+		p.SetLoadBarrier(s)
+	}
+	return s
+}
+
+// Start spawns the revoker thread (and §7.1 worker threads), which run
+// until Shutdown. Services attached to a shared Pool must not be started:
+// the pool's workers serve them.
+func (s *Service) Start() {
+	if s.pool != nil {
+		panic("revoke: Start on a pool-attached service")
+	}
+	s.P.Spawn("revoker", s.cfg.RevokerCores, func(th *kernel.Thread) {
+		th.Agent = bus.AgentRevoker
+		s.run(th)
+	})
+	for i := 1; i < s.cfg.Workers; i++ {
+		i := i
+		s.P.Spawn(fmt.Sprintf("revoker-w%d", i), s.cfg.RevokerCores, func(th *kernel.Thread) {
+			th.Agent = bus.AgentRevoker
+			s.worker(th, i)
+		})
+	}
+}
+
+// RequestRevocation asks the service to run an epoch; it returns
+// immediately with the epoch counter at the time of the request. Redundant
+// requests coalesce.
+func (s *Service) RequestRevocation(th *kernel.Thread) uint64 {
+	e := s.P.Epoch()
+	s.reqPending = true
+	if s.pool != nil {
+		s.pool.submit(th, s)
+	} else {
+		s.reqEv.Broadcast(th.Sim)
+	}
+	return e
+}
+
+// Shutdown stops the revoker thread(s) after any in-flight work.
+func (s *Service) Shutdown(th *kernel.Thread) {
+	s.shutdown = true
+	s.reqEv.Broadcast(th.Sim)
+	s.workEv.Broadcast(th.Sim)
+}
+
+// Records returns the per-epoch phase records.
+func (s *Service) Records() []EpochRecord { return s.records }
+
+// Strategy returns the configured strategy.
+func (s *Service) Strategy() Strategy { return s.cfg.Strategy }
+
+// QuarantineReservation paints and holds a fully-unmapped reservation
+// (§6.2) until a future epoch completes, then releases its address space.
+func (s *Service) QuarantineReservation(th *kernel.Thread, r *vm.Reservation) {
+	// The kernel conjures paint authority over the dead span.
+	auth := ca.NewRoot(r.Base, r.Length, ca.PermPaint)
+	if err := s.P.Shadow.Paint(auth, r.Base, r.Length); err != nil {
+		panic(fmt.Sprintf("revoke: reservation paint: %v", err))
+	}
+	s.deadResv = append(s.deadResv, deadReservation{
+		r: r, auth: auth, target: kernel.EpochClearTarget(s.P.Epoch()),
+	})
+}
+
+// run is the revoker thread's main loop.
+func (s *Service) run(th *kernel.Thread) {
+	for {
+		th.WaitOn(s.reqEv, func() bool { return s.reqPending || s.shutdown })
+		if !s.reqPending {
+			if s.shutdown {
+				return
+			}
+			continue
+		}
+		s.reqPending = false
+		s.RevokeEpoch(th)
+	}
+}
+
+// RevokeEpoch performs one full revocation epoch synchronously on th.
+// (The Service's own thread calls this; tests and custom policies may too.)
+func (s *Service) RevokeEpoch(th *kernel.Thread) EpochRecord {
+	p := s.P
+	rec := EpochRecord{StartCycle: th.Sim.Now()}
+	stats := p.Stats()
+	s.faultBase = stats.GenFaults
+	s.faultCyclesBase = stats.GenFaultCycles
+
+	p.AdvanceEpoch(th) // counter becomes odd: pass in flight
+	rec.Epoch = p.Epoch()
+	s.cur = &rec
+
+	switch s.cfg.Strategy {
+	case PaintSync:
+		// No sweeping: the epoch completes immediately.
+		th.Work(p.M.Costs.Syscall)
+	case CHERIvoke:
+		s.epochCHERIvoke(th, &rec)
+	case Cornucopia:
+		s.epochCornucopia(th, &rec)
+	case CornucopiaTwoPass:
+		s.epochCornucopiaTwoPass(th, &rec)
+	case Reloaded:
+		s.epochReloaded(th, &rec)
+	}
+
+	stats = p.Stats()
+	rec.FaultCount = stats.GenFaults - s.faultBase
+	rec.FaultCycles = stats.GenFaultCycles - s.faultCyclesBase
+	p.AdvanceEpoch(th) // counter even: pass complete
+	rec.EndCycle = th.Sim.Now()
+	s.cur = nil
+	s.records = append(s.records, rec)
+	s.releaseDeadReservations(th)
+	return rec
+}
+
+// releaseDeadReservations recycles mmap-quarantined address space whose
+// clearance epoch has arrived.
+func (s *Service) releaseDeadReservations(th *kernel.Thread) {
+	kept := s.deadResv[:0]
+	for _, d := range s.deadResv {
+		if s.P.Epoch() >= d.target {
+			if err := s.P.Shadow.Unpaint(d.auth, d.r.Base, d.r.Length); err != nil {
+				panic(fmt.Sprintf("revoke: reservation unpaint: %v", err))
+			}
+			s.P.AS.ReleaseReservation(d.r)
+			th.Work(s.P.M.Costs.Munmap)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	s.deadResv = kept
+}
+
+// snapshotPages collects the resident pages to sweep, in VA order. If
+// dirtyOnly is set, only pages that have ever carried a capability are
+// returned (clean pages need no visit under CHERIvoke/Cornucopia, whose
+// correctness rests on the store barrier, §2.2.4).
+func (s *Service) snapshotPages(dirtyOnly bool) []pageRef {
+	var pages []pageRef
+	s.P.AS.ForEachMappedPage(func(vpn uint64, pte *vm.PTE) bool {
+		if !dirtyOnly || pte.Bits&vm.PTEEverCapDirty != 0 {
+			pages = append(pages, pageRef{vpn, pte})
+		}
+		return true
+	})
+	return pages
+}
+
+// sweepPages sweeps the given pages on th, accumulating into rec.
+func (s *Service) sweepPages(th *kernel.Thread, pages []pageRef, rec *EpochRecord) {
+	for _, pr := range pages {
+		v, r := th.SweepPage(pr.vpn, pr.pte)
+		rec.PagesVisited++
+		rec.CapsVisited += uint64(v)
+		rec.CapsRevoked += uint64(r)
+	}
+}
+
+// --- CHERIvoke --------------------------------------------------------------
+
+func (s *Service) epochCHERIvoke(th *kernel.Thread, rec *EpochRecord) {
+	p := s.P
+	t0 := th.Sim.Now()
+	p.StopTheWorld(th)
+	sc, rv := p.ScanRoots(th)
+	rec.CapsVisited += uint64(sc)
+	rec.CapsRevoked += uint64(rv)
+	s.sweepPages(th, s.snapshotPages(true), rec)
+	p.ResumeTheWorld(th)
+	rec.STWCycles = th.Sim.Now() - t0
+}
+
+// --- Cornucopia (§2.2.5) -----------------------------------------------------
+
+func (s *Service) epochCornucopia(th *kernel.Thread, rec *EpochRecord) {
+	p := s.P
+	// Phase 1, concurrent: sweep every capability-carrying page while the
+	// application runs. SweepPage clears the dirty bit before scanning, so
+	// pages the application stores capabilities to afterwards are re-marked.
+	t0 := th.Sim.Now()
+	s.sweepShared(th, s.snapshotPages(true), rec, 0)
+	rec.ConcurrentCycles = th.Sim.Now() - t0
+
+	// Phase 2, stop-the-world: scan thread registers and kernel hoards,
+	// then re-sweep the pages re-dirtied during phase 1.
+	t1 := th.Sim.Now()
+	p.StopTheWorld(th)
+	sc, rv := p.ScanRoots(th)
+	rec.CapsVisited += uint64(sc)
+	rec.CapsRevoked += uint64(rv)
+	var redirtied []pageRef
+	p.AS.ForEachMappedPage(func(vpn uint64, pte *vm.PTE) bool {
+		if pte.Bits&vm.PTECapDirty != 0 {
+			redirtied = append(redirtied, pageRef{vpn, pte})
+		}
+		return true
+	})
+	before := rec.PagesVisited
+	s.sweepPages(th, redirtied, rec)
+	rec.PagesResweptSTW = rec.PagesVisited - before
+	p.ResumeTheWorld(th)
+	rec.STWCycles = th.Sim.Now() - t1
+}
+
+// epochCornucopiaTwoPass is the §3.1 ablation: iterate the concurrent
+// strategy with a second pass over pages re-dirtied during the first,
+// hoping to shrink the stop-the-world re-sweep. The application keeps
+// dirtying pages during the second pass too, so the reduction is marginal
+// while the total work grows.
+func (s *Service) epochCornucopiaTwoPass(th *kernel.Thread, rec *EpochRecord) {
+	p := s.P
+	t0 := th.Sim.Now()
+	s.sweepShared(th, s.snapshotPages(true), rec, 0)
+	// Second concurrent pass: whatever got re-dirtied meanwhile.
+	var redirtied []pageRef
+	p.AS.ForEachMappedPage(func(vpn uint64, pte *vm.PTE) bool {
+		if pte.Bits&vm.PTECapDirty != 0 {
+			redirtied = append(redirtied, pageRef{vpn, pte})
+		}
+		return true
+	})
+	s.sweepShared(th, redirtied, rec, 0)
+	rec.ConcurrentCycles = th.Sim.Now() - t0
+
+	t1 := th.Sim.Now()
+	p.StopTheWorld(th)
+	sc, rv := p.ScanRoots(th)
+	rec.CapsVisited += uint64(sc)
+	rec.CapsRevoked += uint64(rv)
+	redirtied = redirtied[:0]
+	p.AS.ForEachMappedPage(func(vpn uint64, pte *vm.PTE) bool {
+		if pte.Bits&vm.PTECapDirty != 0 {
+			redirtied = append(redirtied, pageRef{vpn, pte})
+		}
+		return true
+	})
+	before := rec.PagesVisited
+	s.sweepPages(th, redirtied, rec)
+	rec.PagesResweptSTW = rec.PagesVisited - before
+	p.ResumeTheWorld(th)
+	rec.STWCycles = th.Sim.Now() - t1
+}
+
+// --- Cornucopia Reloaded (§3.2, §4.3) -----------------------------------------
+
+func (s *Service) epochReloaded(th *kernel.Thread, rec *EpochRecord) {
+	p := s.P
+	// Phase 1, stop-the-world — brief: toggle the in-core capability load
+	// generations (PTEs untouched), shoot down TLBs, and scan register
+	// files and kernel hoards. From here on, the application cannot load an
+	// unchecked capability: the load barrier is armed.
+	t0 := th.Sim.Now()
+	p.StopTheWorld(th)
+	p.BumpGenerations(th)
+	sc, rv := p.ScanRoots(th)
+	rec.CapsVisited += uint64(sc)
+	rec.CapsRevoked += uint64(rv)
+	p.ResumeTheWorld(th)
+	rec.STWCycles = th.Sim.Now() - t0
+
+	// Phase 2, background: visit every page whose generation is stale.
+	// Application load faults perform the same visit in the foreground,
+	// concurrently; visits are idempotent and the PTE generation records
+	// who got there first.
+	t1 := th.Sim.Now()
+	newGen := p.AS.CoreGen(th.Sim.CoreID())
+	pages := s.snapshotPages(false)
+	s.sweepShared(th, pages, rec, newGen)
+	rec.ConcurrentCycles = th.Sim.Now() - t1
+}
+
+// visitReloaded brings one page to the current generation: a content sweep
+// if the page may carry capabilities, otherwise just the PTE update
+// (§7.6's "unnecessarily taking the pmap lock" cost). Idempotent.
+func (s *Service) visitReloaded(th *kernel.Thread, pr pageRef, rec *EpochRecord, newGen uint8) {
+	pte := pr.pte
+	if pte.Gen == newGen {
+		return // foreground fault (or another worker) got here first
+	}
+	if s.cfg.AlwaysTrapCleanPages && pte.Bits&vm.PTEEverCapDirty == 0 {
+		// §7.6: leave the clean page's generation stale behind an
+		// always-trap disposition. Arming costs one PTE update the first
+		// time; afterwards the page costs the revoker nothing per epoch.
+		if pte.Bits&vm.PTECapLoadTrap == 0 {
+			pte.Bits |= vm.PTECapLoadTrap
+			th.Sim.Tick(s.P.M.Costs.PTEUpdate)
+		}
+		rec.PagesSkippedClean++
+		return
+	}
+	pte.Bits &^= vm.PTECapLoadTrap
+	if pte.Bits&vm.PTEEverCapDirty != 0 {
+		v, r := th.SweepPage(pr.vpn, pte)
+		rec.PagesVisited++
+		rec.CapsVisited += uint64(v)
+		rec.CapsRevoked += uint64(r)
+		if v == 0 {
+			// The page holds no capabilities: note that, so future epochs
+			// skip its content (§4.5's clean-page detection).
+			pte.Bits &^= vm.PTEEverCapDirty
+		}
+	} else {
+		rec.PagesVisited++
+	}
+	th.Sim.Tick(s.P.M.Costs.PTEUpdate)
+	pte.Gen = newGen
+}
+
+// HandleLoadGenFault implements kernel.LoadBarrierHandler: the application
+// thread that tripped the barrier sweeps the target page itself and heals
+// the PTE (§4.3's foreground work).
+func (s *Service) HandleLoadGenFault(th *kernel.Thread, va uint64, pte *vm.PTE) {
+	prev := th.Agent
+	th.Agent = bus.AgentRevoker
+	newGen := th.P.AS.CoreGen(th.Sim.CoreID())
+	if pte.Bits&vm.PTECapLoadTrap != 0 && (s.cur == nil || pte.Bits&vm.PTEEverCapDirty == 0) {
+		// §7.6 trap resolution: install a PTE with the current generation
+		// and drop the always-trap disposition. No sweep is needed — the
+		// page was capability-clean when armed, and any capability stored
+		// to it since was already checked by the load barrier.
+		pte.Bits &^= vm.PTECapLoadTrap
+		pte.Gen = newGen
+		th.Sim.Tick(th.P.M.Costs.PTEUpdate)
+		th.Agent = prev
+		return
+	}
+	rec := s.cur
+	if rec == nil {
+		// Between this trap being raised and the handler running, the
+		// background revoker healed the page AND completed the epoch (the
+		// "another visitor got there first" case of §4.3). Nothing to do:
+		// the re-executed load sees the current generation. A genuinely
+		// stale page with no epoch in flight would be a broken invariant.
+		if pte.Gen != newGen {
+			panic(fmt.Sprintf("revoke: stale page %#x (gen %d vs %d) outside a revocation epoch",
+				va, pte.Gen, newGen))
+		}
+		th.Agent = prev
+		return
+	}
+	s.visitReloaded(th, pageRef{va >> vm.PageShift, pte}, rec, newGen)
+	th.Agent = prev
+}
+
+// --- shared/background sweeping (§7.1) ----------------------------------------
+
+// sweepShared distributes the page list over the worker pool (if any) or
+// sweeps inline. newGen selects Reloaded's visit (non-zero semantics: pass
+// the generation) versus Cornucopia's plain sweep (gen handling off, pass
+// 0 and use plain SweepPage); we disambiguate with the strategy.
+func (s *Service) sweepShared(th *kernel.Thread, pages []pageRef, rec *EpochRecord, newGen uint8) {
+	if s.cfg.Workers <= 1 {
+		if s.cfg.Strategy == Reloaded {
+			for _, pr := range pages {
+				s.visitReloaded(th, pr, rec, newGen)
+			}
+		} else {
+			s.sweepPages(th, pages, rec)
+		}
+		return
+	}
+	// Partition among workers; the service thread takes slice 0.
+	n := s.cfg.Workers
+	s.workSlices = make([][]pageRef, n)
+	for i := range s.workSlices {
+		lo := len(pages) * i / n
+		hi := len(pages) * (i + 1) / n
+		s.workSlices[i] = pages[lo:hi]
+	}
+	s.workLeft = n - 1
+	s.workGen = newGen
+	s.workSeq++
+	s.workEv.Broadcast(th.Sim)
+	if s.cfg.Strategy == Reloaded {
+		for _, pr := range s.workSlices[0] {
+			s.visitReloaded(th, pr, rec, newGen)
+		}
+	} else {
+		s.sweepPages(th, s.workSlices[0], rec)
+	}
+	th.WaitOn(s.workDone, func() bool { return s.workLeft == 0 })
+	s.workSlices = nil
+}
+
+// worker is the §7.1 background sweep worker loop.
+func (s *Service) worker(th *kernel.Thread, idx int) {
+	seen := 0
+	for {
+		th.WaitOn(s.workEv, func() bool {
+			return s.shutdown || s.workSeq > seen
+		})
+		if s.shutdown {
+			return
+		}
+		seen = s.workSeq
+		slice := s.workSlices[idx]
+		rec := s.cur
+		if s.cfg.Strategy == Reloaded {
+			for _, pr := range slice {
+				s.visitReloaded(th, pr, rec, s.workGen)
+			}
+		} else {
+			s.sweepPages(th, slice, rec)
+		}
+		s.workLeft--
+		s.workDone.Broadcast(th.Sim)
+	}
+}

@@ -1,0 +1,355 @@
+package revoke
+
+import (
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/ca"
+	"repro/internal/kernel"
+	"repro/internal/vm"
+)
+
+// rig wires a machine, process, heap and revocation service together.
+type rig struct {
+	m *kernel.Machine
+	p *kernel.Process
+	h *alloc.Heap
+	s *Service
+}
+
+func newRig(strategy Strategy, workers int) *rig {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	p := m.NewProcess(42)
+	h := alloc.NewHeap(p)
+	s := NewService(p, Config{Strategy: strategy, RevokerCores: []int{2}, Workers: workers})
+	return &rig{m: m, p: p, h: h, s: s}
+}
+
+// runApp runs fn as the app thread on core 3 with the service started, and
+// shuts the service down when fn returns.
+func (r *rig) runApp(t *testing.T, fn func(th *kernel.Thread)) {
+	t.Helper()
+	r.s.Start()
+	r.p.Spawn("app", []int{3}, func(th *kernel.Thread) {
+		fn(th)
+		r.s.Shutdown(th)
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// quarantineObject allocates an object, stores a capability to it in
+// simulated memory and a register, paints it, and returns the holder
+// location. Returns (holder capability, object).
+func quarantineObject(t *testing.T, th *kernel.Thread, h *alloc.Heap) (holder, obj ca.Capability) {
+	t.Helper()
+	var err error
+	holder, err = h.Alloc(th, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err = h.Alloc(th, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := th.StoreCap(holder, 0, obj); err != nil {
+		t.Fatal(err)
+	}
+	th.SetReg(0, obj)
+	auth, ok := h.PaintAuth(obj.Base())
+	if !ok {
+		t.Fatal("no paint authority")
+	}
+	if err := th.PaintShadow(auth, obj.Base(), obj.Len()); err != nil {
+		t.Fatal(err)
+	}
+	return holder, obj
+}
+
+// epochGuarantee verifies the central guarantee for a strategy: after one
+// full epoch, capabilities to painted memory are gone from memory and
+// registers.
+func epochGuarantee(t *testing.T, strategy Strategy, workers int) {
+	r := newRig(strategy, workers)
+	r.runApp(t, func(th *kernel.Thread) {
+		holder, obj := quarantineObject(t, th, r.h)
+		e := r.s.RequestRevocation(th)
+		th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+
+		got, err := th.LoadCap(holder, 0)
+		if err != nil {
+			t.Errorf("%v: load after epoch: %v", strategy, err)
+		}
+		if got.Tag() {
+			t.Errorf("%v: stale capability in memory survived the epoch", strategy)
+		}
+		if th.Reg(0).Tag() {
+			t.Errorf("%v: stale capability in register survived the epoch", strategy)
+		}
+		_ = obj
+	})
+	if strategy != PaintSync {
+		recs := r.s.Records()
+		if len(recs) == 0 {
+			t.Fatalf("%v: no epoch records", strategy)
+		}
+		var revoked uint64
+		for _, rec := range recs {
+			revoked += rec.CapsRevoked
+		}
+		if revoked < 2 {
+			t.Errorf("%v: revoked %d capabilities, want ≥ 2 (memory + register)", strategy, revoked)
+		}
+	}
+}
+
+func TestCHERIvokeGuarantee(t *testing.T)  { epochGuarantee(t, CHERIvoke, 0) }
+func TestCornucopiaGuarantee(t *testing.T) { epochGuarantee(t, Cornucopia, 0) }
+func TestReloadedGuarantee(t *testing.T)   { epochGuarantee(t, Reloaded, 0) }
+func TestReloadedGuaranteeMultiWorker(t *testing.T) {
+	// §7.1: parallel background revocation preserves the guarantee.
+	epochGuarantee(t, Reloaded, 3)
+}
+func TestCornucopiaGuaranteeMultiWorker(t *testing.T) {
+	epochGuarantee(t, Cornucopia, 2)
+}
+
+func TestPaintSyncDoesNotRevoke(t *testing.T) {
+	r := newRig(PaintSync, 0)
+	r.runApp(t, func(th *kernel.Thread) {
+		holder, _ := quarantineObject(t, th, r.h)
+		e := r.s.RequestRevocation(th)
+		th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+		got, err := th.LoadCap(holder, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Tag() {
+			t.Fatal("Paint+sync revoked a capability; it must not sweep")
+		}
+	})
+}
+
+func TestEpochCounterOddDuringPass(t *testing.T) {
+	r := newRig(CHERIvoke, 0)
+	r.runApp(t, func(th *kernel.Thread) {
+		if e := r.p.Epoch(); e != 0 {
+			t.Fatalf("initial epoch = %d", e)
+		}
+		e := r.s.RequestRevocation(th)
+		th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+		if e := r.p.Epoch(); e%2 != 0 {
+			t.Fatalf("epoch %d odd after completion", e)
+		}
+		recs := r.s.Records()
+		if len(recs) != 1 || recs[0].Epoch%2 != 1 {
+			t.Fatalf("in-flight epoch number %d not odd", recs[0].Epoch)
+		}
+	})
+}
+
+func TestReloadedSTWMuchShorterThanCornucopia(t *testing.T) {
+	// Identical pointer-dense heaps with an ACTIVE mutator during the
+	// epoch (the paper's scenario) and compare stop-the-world durations:
+	// Reloaded ≪ Cornucopia < CHERIvoke.
+	stw := map[Strategy]uint64{}
+	for _, strat := range []Strategy{CHERIvoke, Cornucopia, Reloaded} {
+		r := newRig(strat, 0)
+		r.runApp(t, func(th *kernel.Thread) {
+			// 512 KiB of pointer-dense heap.
+			arr, err := r.h.Alloc(th, 512<<10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj, _ := r.h.Alloc(th, 64)
+			for off := uint64(0); off < arr.Len(); off += 64 {
+				if err := th.StoreCap(arr, off, obj); err != nil {
+					t.Fatal(err)
+				}
+			}
+			auth, _ := r.h.PaintAuth(obj.Base())
+			th.PaintShadow(auth, obj.Base(), obj.Len())
+			e := r.s.RequestRevocation(th)
+			// Keep mutating (stores and loads) until the epoch finishes,
+			// re-dirtying pages under Cornucopia and faulting under
+			// Reloaded.
+			live, _ := r.h.Alloc(th, 64)
+			for i := 0; th.P.Epoch() <= e+1 && i < 500_000; i++ {
+				off := (uint64(i) * 13 % (arr.Len() / 16)) * 16
+				if i%2 == 0 {
+					th.StoreCap(arr, off, live)
+				} else if _, err := th.LoadCap(arr, off); err != nil {
+					t.Fatal(err)
+				}
+			}
+			th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+		})
+		recs := r.s.Records()
+		if len(recs) == 0 {
+			t.Fatalf("%v: no records", strat)
+		}
+		stw[strat] = recs[0].STWCycles
+	}
+	if stw[Reloaded]*5 > stw[Cornucopia] {
+		t.Errorf("Reloaded STW %d not ≪ Cornucopia STW %d", stw[Reloaded], stw[Cornucopia])
+	}
+	if stw[Cornucopia] >= stw[CHERIvoke] {
+		t.Errorf("Cornucopia STW %d not < CHERIvoke STW %d", stw[Cornucopia], stw[CHERIvoke])
+	}
+}
+
+func TestReloadedLoadFaultDuringEpoch(t *testing.T) {
+	// An application load racing the background sweep must fault, sweep
+	// the page in the app's context, and return the healed (revoked)
+	// value.
+	r := newRig(Reloaded, 0)
+	var faultsSeen uint64
+	r.runApp(t, func(th *kernel.Thread) {
+		// Enough pages that the background sweep takes many scheduler
+		// slices, so application loads race it.
+		var holders []ca.Capability
+		for i := 0; i < 2000; i++ {
+			h, err := r.h.Alloc(th, 4096)
+			if err != nil {
+				t.Fatal(err)
+			}
+			obj, _ := r.h.Alloc(th, 64)
+			th.StoreCap(h, 0, obj)
+			holders = append(holders, h)
+		}
+		victim, _ := r.h.Alloc(th, 64)
+		th.StoreCap(holders[len(holders)-1], 16, victim)
+		auth, _ := r.h.PaintAuth(victim.Base())
+		th.PaintShadow(auth, victim.Base(), victim.Len())
+
+		e := r.s.RequestRevocation(th)
+		// Hammer loads until the epoch finishes: loads racing the
+		// background sweep must fault against the barrier.
+		for i := 0; th.P.Epoch() <= e+1 && i < 500_000; i++ {
+			if _, err := th.LoadCap(holders[i%len(holders)], 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, err := th.LoadCap(holders[len(holders)-1], 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag() {
+			t.Error("revoked capability observable through load barrier")
+		}
+		faultsSeen = th.P.Stats().GenFaults
+	})
+	if faultsSeen == 0 {
+		t.Fatal("no load-generation faults were taken")
+	}
+	recs := r.s.Records()
+	if recs[0].FaultCount == 0 {
+		t.Fatal("epoch record has no faults")
+	}
+}
+
+func TestCornucopiaResweepsRedirtiedPages(t *testing.T) {
+	r := newRig(Cornucopia, 0)
+	r.runApp(t, func(th *kernel.Thread) {
+		// A big pointer-dense heap so the concurrent phase is long.
+		arr, err := r.h.Alloc(th, 512<<10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		obj, _ := r.h.Alloc(th, 64)
+		for off := uint64(0); off < arr.Len(); off += 256 {
+			th.StoreCap(arr, off, obj)
+		}
+		auth, _ := r.h.PaintAuth(obj.Base())
+		th.PaintShadow(auth, obj.Base(), obj.Len())
+		e := r.s.RequestRevocation(th)
+		// Keep storing capabilities while the concurrent phase runs: these
+		// pages must be re-swept in the stop-the-world phase.
+		live, _ := r.h.Alloc(th, 64)
+		for i := 0; th.P.Epoch() <= e+1 && i < 200_000; i++ {
+			off := (uint64(i) * 7 % (arr.Len() / 16)) * 16
+			th.StoreCap(arr, off, live)
+		}
+		th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+	})
+	recs := r.s.Records()
+	if len(recs) == 0 {
+		t.Fatal("no records")
+	}
+	if recs[0].PagesResweptSTW == 0 {
+		t.Fatal("no pages re-swept in stop-the-world despite concurrent stores")
+	}
+}
+
+func TestReservationQuarantine(t *testing.T) {
+	// §6.2: a fully-unmapped reservation is quarantined; capabilities to
+	// it are revoked by the next epoch, and its address space is only
+	// recycled afterwards.
+	r := newRig(Reloaded, 0)
+	r.runApp(t, func(th *kernel.Thread) {
+		res, err := th.Mmap(4*vm.PageSize, ca.PermsData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keeper, _ := r.h.Alloc(th, 64)
+		th.StoreCap(keeper, 0, res.Root)
+		_, dead, err := th.Munmap(res.Base, res.Length)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dead {
+			t.Fatal("full unmap did not kill reservation")
+		}
+		r.s.QuarantineReservation(th, res)
+		e := r.s.RequestRevocation(th)
+		th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+		got, err := th.LoadCap(keeper, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Tag() {
+			t.Fatal("capability to unmapped reservation survived revocation")
+		}
+	})
+}
+
+func TestCoalescedRequests(t *testing.T) {
+	r := newRig(CHERIvoke, 0)
+	r.runApp(t, func(th *kernel.Thread) {
+		e := r.s.RequestRevocation(th)
+		r.s.RequestRevocation(th)
+		r.s.RequestRevocation(th)
+		th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+	})
+	// Requests made before the first epoch started coalesce into it; at
+	// most one trailing epoch runs for requests racing the first pass.
+	if n := len(r.s.Records()); n > 2 {
+		t.Fatalf("%d epochs for coalesced requests, want ≤ 2", n)
+	}
+}
+
+func TestRecordsTiming(t *testing.T) {
+	r := newRig(Reloaded, 0)
+	r.runApp(t, func(th *kernel.Thread) {
+		c, _ := r.h.Alloc(th, 4096)
+		th.StoreCap(c, 0, c)
+		auth, _ := r.h.PaintAuth(c.Base())
+		th.PaintShadow(auth, c.Base(), 16)
+		e := r.s.RequestRevocation(th)
+		th.P.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+	})
+	rec := r.s.Records()[0]
+	if rec.EndCycle <= rec.StartCycle {
+		t.Fatal("record has no duration")
+	}
+	if rec.STWCycles == 0 || rec.ConcurrentCycles == 0 {
+		t.Fatalf("phase cycles missing: stw=%d conc=%d", rec.STWCycles, rec.ConcurrentCycles)
+	}
+	if rec.STWCycles+rec.ConcurrentCycles > rec.EndCycle-rec.StartCycle {
+		t.Fatal("phases exceed total duration")
+	}
+	if rec.PagesVisited == 0 {
+		t.Fatal("no pages visited")
+	}
+}

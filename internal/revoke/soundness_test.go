@@ -1,0 +1,150 @@
+package revoke_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/ca"
+	"repro/internal/kernel"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+	"repro/internal/vm"
+)
+
+// TestRandomizedEpochSoundness drives a random allocate/store/free workload
+// through the full mrs + revoker stack under every strategy, then audits
+// the entire machine: after the final quarantine flush, no tagged
+// capability anywhere in simulated memory, any register file, or any
+// kernel hoard may point into address space that was ever left painted,
+// and the shadow bitmap must be empty.
+func TestRandomizedEpochSoundness(t *testing.T) {
+	for _, strat := range []revoke.Strategy{revoke.CHERIvoke, revoke.Cornucopia, revoke.CornucopiaTwoPass, revoke.Reloaded} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%v/seed%d", strat, seed), func(t *testing.T) {
+				runSoundness(t, strat, seed, 0)
+			})
+		}
+	}
+	t.Run("revoke.Reloaded/workers", func(t *testing.T) { runSoundness(t, revoke.Reloaded, 7, 3) })
+}
+
+func runSoundness(t *testing.T, strat revoke.Strategy, seed int64, workers int) {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	p := m.NewProcess(seed)
+	h := alloc.NewHeap(p)
+	svc := revoke.NewService(p, revoke.Config{Strategy: strat, RevokerCores: []int{2}, Workers: workers})
+	mrs := quarantine.New(h, svc, quarantine.Policy{
+		HeapFraction: 0.25, MinBytes: 8 << 10, BlockFactor: 2,
+	})
+	svc.Start()
+	hoard := p.NewHoard("random")
+
+	p.Spawn("app", []int{3}, func(th *kernel.Thread) {
+		rng := rand.New(rand.NewSource(seed))
+		var live []ca.Capability // tracked app state; also mirrored in regs
+		slotOf := func(i int) int { return i % 48 }
+		for op := 0; op < 3000; op++ {
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3: // allocate
+				size := uint64(16 + rng.Intn(1200))
+				c, err := mrs.Malloc(th, size)
+				if err != nil {
+					t.Errorf("malloc: %v", err)
+					return
+				}
+				live = append(live, c)
+				th.SetReg(slotOf(len(live)-1), c)
+			case 4, 5, 6: // free a random live object
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				if err := mrs.Free(th, live[i]); err != nil {
+					t.Errorf("free: %v", err)
+					return
+				}
+				live = append(live[:i], live[i+1:]...)
+			case 7: // store a capability into another live object
+				if len(live) < 2 {
+					continue
+				}
+				src := live[rng.Intn(len(live))]
+				dst := live[rng.Intn(len(live))]
+				if dst.Len() >= 2*ca.GranuleSize {
+					if err := th.StoreCap(dst, ca.GranuleSize, src); err != nil {
+						t.Errorf("storecap: %v", err)
+						return
+					}
+				}
+			case 8: // stash a capability in the kernel hoard
+				if len(live) == 0 {
+					continue
+				}
+				hoard.Put(rng.Intn(16), live[rng.Intn(len(live))])
+			case 9: // load a capability back (exercises the barrier)
+				if len(live) == 0 {
+					continue
+				}
+				src := live[rng.Intn(len(live))]
+				if src.Len() >= 2*ca.GranuleSize {
+					if _, err := th.LoadCap(src, ca.GranuleSize); err != nil {
+						t.Errorf("loadcap: %v", err)
+						return
+					}
+				}
+			}
+		}
+		// Free everything and force all quarantine to drain.
+		for _, c := range live {
+			if err := mrs.Free(th, c); err != nil {
+				t.Errorf("teardown free: %v", err)
+			}
+		}
+		mrs.Flush(th)
+
+		// One more epoch so capabilities painted in the final batch are
+		// certainly processed.
+		e := svc.RequestRevocation(th)
+		p.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+
+		svc.Shutdown(th)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Audit: the shadow bitmap is empty and no tagged capability anywhere
+	// points at a painted granule (trivially true if the bitmap is empty —
+	// so also audit that every surviving tagged capability's target is
+	// still a live allocation in the heap).
+	if got := p.Shadow.PaintedGranules(); got != 0 {
+		t.Fatalf("%d granules still painted after flush", got)
+	}
+	audit := func(c ca.Capability, where string) {
+		if !c.Tag() {
+			return
+		}
+		if _, _, ok := h.Lookup(c.Base()); !ok {
+			t.Errorf("%s: tagged capability %v survives but its target is not a live allocation", where, c)
+		}
+	}
+	p.AS.ForEachMappedPage(func(vpn uint64, pte *vm.PTE) bool {
+		m.Phys.SweepTags(pte.Frame, func(g int, c ca.Capability) bool {
+			// Skip the allocator's own chunk-root style caps: workload
+			// capabilities all live inside chunk data, which Lookup covers.
+			audit(c, fmt.Sprintf("page %#x granule %d", vpn<<vm.PageShift, g))
+			return false
+		})
+		return true
+	})
+	for _, th := range p.Threads() {
+		for i := 0; i < th.RegCount(); i++ {
+			audit(th.Reg(i), fmt.Sprintf("register %d", i))
+		}
+	}
+	for i := 0; i < hoard.Len(); i++ {
+		audit(hoard.Get(i), fmt.Sprintf("hoard slot %d", i))
+	}
+}

@@ -1,0 +1,194 @@
+// Package shadow implements the revocation bitmap (§2.2.2): one bit per
+// capability-sized granule of address space. A set bit marks the granule's
+// address as quarantined; any valid capability whose base falls on a marked
+// granule is subject to revocation.
+//
+// The bitmap is a kernel-provided object painted by user-space allocators
+// and read by the kernel's revoker. Access is capability-gated as in
+// Cornucopia's appendix A: painting requires a capability with PermPaint
+// whose bounds cover the painted range, so allocators can only quarantine
+// their own heaps.
+//
+// Storage is chunked and sparse. VAOf exposes the virtual address of the
+// bitmap word covering a heap address so callers can charge memory-system
+// costs for paints and probes at the right locations.
+package shadow
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ca"
+)
+
+// chunkGranules is the number of granule bits per storage chunk; each chunk
+// covers chunkGranules*16 bytes = 512 KiB of address space.
+const chunkGranules = 32768
+const chunkWords = chunkGranules / 64
+
+// Base is the virtual address at which the revocation bitmap is mapped in
+// simulated processes. Only used for cost attribution.
+const Base = 0x4000_0000_0000
+
+// Bitmap is a process's revocation bitmap.
+type Bitmap struct {
+	chunks  map[uint64]*[chunkWords]uint64
+	painted uint64 // currently-set bits
+}
+
+// New creates an empty bitmap.
+func New() *Bitmap {
+	return &Bitmap{chunks: make(map[uint64]*[chunkWords]uint64)}
+}
+
+// coords converts a heap address to chunk/word/bit coordinates.
+func coords(addr uint64) (chunk uint64, word int, bit uint) {
+	g := addr / ca.GranuleSize
+	return g / chunkGranules, int(g%chunkGranules) / 64, uint(g % 64)
+}
+
+// VAOf returns the simulated virtual address of the bitmap byte holding
+// addr's bit, for memory-cost attribution.
+func VAOf(addr uint64) uint64 {
+	return Base + addr/ca.GranuleSize/8
+}
+
+// checkAuth validates that auth may paint [addr, addr+length).
+func checkAuth(auth ca.Capability, addr, length uint64) error {
+	if !auth.Tag() {
+		return ca.ErrTagCleared
+	}
+	if !auth.HasPerms(ca.PermPaint) {
+		return fmt.Errorf("shadow: %w: need PermPaint", ca.ErrPermEscalation)
+	}
+	if addr < auth.Base() || addr+length > auth.Top() {
+		return fmt.Errorf("shadow: paint [0x%x,+%d) outside authority [0x%x,0x%x)",
+			addr, length, auth.Base(), auth.Top())
+	}
+	return nil
+}
+
+func checkAligned(addr, length uint64) error {
+	if addr%ca.GranuleSize != 0 || length%ca.GranuleSize != 0 {
+		return fmt.Errorf("shadow: range [0x%x,+%d) not granule-aligned", addr, length)
+	}
+	return nil
+}
+
+// Paint sets the bits for [addr, addr+length), authorized by auth. This is
+// what an allocator does to place an allocation in quarantine.
+func (b *Bitmap) Paint(auth ca.Capability, addr, length uint64) error {
+	if err := checkAuth(auth, addr, length); err != nil {
+		return err
+	}
+	if err := checkAligned(addr, length); err != nil {
+		return err
+	}
+	b.set(addr, length, true)
+	return nil
+}
+
+// Unpaint clears the bits for [addr, addr+length), done when quarantined
+// address space is released for reuse after revocation.
+func (b *Bitmap) Unpaint(auth ca.Capability, addr, length uint64) error {
+	if err := checkAuth(auth, addr, length); err != nil {
+		return err
+	}
+	if err := checkAligned(addr, length); err != nil {
+		return err
+	}
+	b.set(addr, length, false)
+	return nil
+}
+
+func (b *Bitmap) set(addr, length uint64, v bool) {
+	for g := addr / ca.GranuleSize; g < (addr+length)/ca.GranuleSize; g++ {
+		chunk, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
+		c := b.chunks[chunk]
+		if c == nil {
+			if !v {
+				continue
+			}
+			c = new([chunkWords]uint64)
+			b.chunks[chunk] = c
+		}
+		old := c[word]
+		if v {
+			c[word] |= 1 << bit
+			if c[word] != old {
+				b.painted++
+			}
+		} else {
+			c[word] &^= 1 << bit
+			if c[word] != old {
+				b.painted--
+			}
+		}
+	}
+}
+
+// Clone returns a deep copy of the bitmap (fork copies the revocation
+// state along with the heap it describes).
+func (b *Bitmap) Clone() *Bitmap {
+	c := New()
+	c.painted = b.painted
+	for k, v := range b.chunks {
+		w := *v
+		c.chunks[k] = &w
+	}
+	return c
+}
+
+// Test reports whether addr's granule is painted. Revocation probes this
+// for the base of every capability it inspects.
+func (b *Bitmap) Test(addr uint64) bool {
+	chunk, word, bit := coords(addr)
+	c := b.chunks[chunk]
+	if c == nil {
+		return false
+	}
+	return c[word]&(1<<bit) != 0
+}
+
+// PaintedGranules returns the number of currently painted granules.
+func (b *Bitmap) PaintedGranules() uint64 { return b.painted }
+
+// PaintedBytes returns the quarantined address-space volume implied by the
+// painted bits.
+func (b *Bitmap) PaintedBytes() uint64 { return b.painted * ca.GranuleSize }
+
+// AnyPaintedInRange reports whether any granule in [addr, addr+length) is
+// painted; used by sweep heuristics and tests.
+func (b *Bitmap) AnyPaintedInRange(addr, length uint64) bool {
+	for g := addr / ca.GranuleSize; g < (addr+length+ca.GranuleSize-1)/ca.GranuleSize; g++ {
+		chunk, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
+		if c := b.chunks[chunk]; c != nil && c[word]&(1<<bit) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountPaintedInRange returns the painted granule count within the range.
+func (b *Bitmap) CountPaintedInRange(addr, length uint64) int {
+	n := 0
+	for g := addr / ca.GranuleSize; g < (addr+length)/ca.GranuleSize; {
+		chunk, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
+		c := b.chunks[chunk]
+		if c == nil {
+			// Skip to next chunk boundary.
+			g = (g/chunkGranules + 1) * chunkGranules
+			continue
+		}
+		if bit == 0 && g+64 <= (addr+length)/ca.GranuleSize {
+			n += bits.OnesCount64(c[word])
+			g += 64
+			continue
+		}
+		if c[word]&(1<<bit) != 0 {
+			n++
+		}
+		g++
+	}
+	return n
+}

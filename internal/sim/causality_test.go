@@ -1,0 +1,76 @@
+package sim
+
+import "testing"
+
+// TestBroadcastNeverRewindsTime reproduces the migration time-travel bug:
+// a thread that ran far ahead on one core blocks; a thread on a lagging
+// core wakes it. The woken thread must resume at or after its own last
+// clock, not at the (earlier) waker's clock — otherwise durations measured
+// across a block underflow.
+func TestBroadcastNeverRewindsTime(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 2
+	e := New(cfg)
+	ev := e.NewEvent()
+	woken := false
+	var before, after uint64
+	e.Spawn("ahead", nil, func(th *Thread) {
+		// Run far ahead, then block.
+		th.Tick(10_000_000)
+		before = th.Now()
+		ev.Wait(th)
+		after = th.Now()
+		woken = true
+		th.Tick(1)
+	})
+	e.Spawn("behind", []int{1}, func(th *Thread) {
+		// Stay far behind the first thread, broadcasting until the wake
+		// lands (a broadcast with no waiters is a no-op).
+		for i := 0; !woken && i < 200_000; i++ {
+			th.Tick(100)
+			ev.Broadcast(th)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken {
+		t.Fatal("waiter never woke")
+	}
+	if after < before {
+		t.Fatalf("time ran backwards across a wake: before=%d after=%d", before, after)
+	}
+}
+
+// TestSleepNeverRewindsAcrossMigration checks that a thread migrating to a
+// lagging core after preemption still observes monotone time.
+func TestMonotoneAcrossMigration(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 3
+	cfg.OSQuantum = 10_000
+	e := New(cfg)
+	// A competitor keeps core 0 busy so the migratory thread gets rotated.
+	e.Spawn("hog", []int{0}, func(th *Thread) {
+		for i := 0; i < 3000; i++ {
+			th.Tick(1000)
+		}
+	})
+	var violated bool
+	e.Spawn("migrant", []int{0, 1, 2}, func(th *Thread) {
+		last := uint64(0)
+		for i := 0; i < 3000; i++ {
+			th.Tick(1000)
+			now := th.Now()
+			if now < last {
+				violated = true
+			}
+			last = now
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if violated {
+		t.Fatal("observed time decreased across migration")
+	}
+}

@@ -1,0 +1,488 @@
+// Package sim is a deterministic multicore co-simulation kernel.
+//
+// Simulated threads are ordinary Go functions running on goroutines, but
+// exactly one executes at a time: the scheduler always resumes the entity
+// with the smallest virtual clock, so runs are bit-reproducible regardless
+// of host parallelism. Each core has its own cycle clock; wall-clock time is
+// the maximum over cores, CPU time is the sum of busy cycles.
+//
+// Threads advance time explicitly by calling Tick with a cycle cost. A
+// thread may run at most SkewQuantum cycles past the rest of the system
+// before the scheduler rotates to the globally-lagging entity, bounding
+// cross-core clock skew (the conservative-window technique of parallel
+// discrete-event simulation). Independently, OSQuantum models the operating
+// system's preemption slice: threads sharing a core round-robin at that
+// granularity, which is what lets a background revocation thread steal
+// whole scheduling quanta from application threads (§7.7 of the paper).
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Config sets engine parameters.
+type Config struct {
+	// Cores is the number of CPU cores.
+	Cores int
+	// SkewQuantum bounds how far (in cycles) one core's clock may run ahead
+	// of the globally minimal runnable entity.
+	SkewQuantum uint64
+	// OSQuantum is the preemption time slice for threads sharing a core.
+	OSQuantum uint64
+	// HzGHz is the clock rate used only for reporting (cycles → seconds).
+	HzGHz float64
+}
+
+// DefaultConfig models a four-core, 2.5 GHz Morello-like machine with a
+// 20 µs skew window and a 1 ms preemption slice.
+func DefaultConfig() Config {
+	return Config{Cores: 4, SkewQuantum: 50_000, OSQuantum: 2_500_000, HzGHz: 2.5}
+}
+
+// State is a thread's scheduling state.
+type State int
+
+// Thread states.
+const (
+	// Ready threads are on a core's run queue.
+	Ready State = iota
+	// Running is the single currently-executing thread.
+	Running
+	// Blocked threads wait on an Event.
+	Blocked
+	// Sleeping threads wait for a virtual deadline.
+	Sleeping
+	// Finished threads have returned.
+	Finished
+)
+
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Sleeping:
+		return "sleeping"
+	case Finished:
+		return "finished"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+type core struct {
+	id    int
+	clock uint64
+	busy  uint64
+	runq  []*Thread
+}
+
+// Thread is a simulated thread of execution.
+type Thread struct {
+	id       int
+	name     string
+	eng      *Engine
+	affinity []int
+	core     *core
+	state    State
+
+	resume chan struct{}
+	fn     func(*Thread)
+
+	readyAt    uint64 // wake time carried from waker
+	wakeAt     uint64 // sleep deadline
+	lastClock  uint64 // thread's own clock at its last yield (monotone)
+	sliceEnd   uint64 // end of current engine skew slice (core clock)
+	osSliceEnd uint64 // end of current OS preemption slice (core clock)
+	cpu        uint64 // busy cycles consumed
+
+	pollPending bool
+	poll        func(*Thread)
+
+	blockedOn *Event
+	started   bool
+}
+
+// Engine is the simulation kernel. Create with New, add threads with Spawn,
+// then call Run from the host.
+type Engine struct {
+	cfg     Config
+	cores   []core
+	threads []*Thread
+	schedCh chan *Thread
+	current *Thread
+	running bool
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	if cfg.Cores <= 0 {
+		panic("sim: need at least one core")
+	}
+	if cfg.SkewQuantum == 0 || cfg.OSQuantum == 0 {
+		panic("sim: quanta must be positive")
+	}
+	e := &Engine{cfg: cfg, schedCh: make(chan *Thread)}
+	e.cores = make([]core, cfg.Cores)
+	for i := range e.cores {
+		e.cores[i].id = i
+	}
+	return e
+}
+
+// Config returns the engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Spawn creates a thread restricted to the given cores (nil means any core)
+// that will execute fn. Threads may be spawned before Run or by a running
+// thread.
+func (e *Engine) Spawn(name string, affinity []int, fn func(*Thread)) *Thread {
+	if len(affinity) == 0 {
+		affinity = make([]int, len(e.cores))
+		for i := range affinity {
+			affinity[i] = i
+		}
+	}
+	for _, c := range affinity {
+		if c < 0 || c >= len(e.cores) {
+			panic(fmt.Sprintf("sim: affinity core %d out of range", c))
+		}
+	}
+	th := &Thread{
+		id:       len(e.threads),
+		name:     name,
+		eng:      e,
+		affinity: append([]int(nil), affinity...),
+		state:    Ready,
+		resume:   make(chan struct{}),
+		fn:       fn,
+	}
+	if e.current != nil {
+		th.readyAt = e.current.core.clock
+	}
+	e.threads = append(e.threads, th)
+	e.enqueue(th, false)
+	return th
+}
+
+// enqueue places a Ready thread on the min-clock core in its affinity set.
+func (e *Engine) enqueue(th *Thread, front bool) {
+	best := &e.cores[th.affinity[0]]
+	for _, ci := range th.affinity[1:] {
+		if e.cores[ci].clock < best.clock {
+			best = &e.cores[ci]
+		}
+	}
+	th.core = best
+	if front {
+		best.runq = append([]*Thread{th}, best.runq...)
+	} else {
+		best.runq = append(best.runq, th)
+	}
+}
+
+// nextEntity returns the runnable or sleeping thread with the smallest
+// effective virtual time, or nil if none exists.
+func (e *Engine) nextEntity() *Thread {
+	var best *Thread
+	var bestT uint64
+	consider := func(th *Thread, t uint64) {
+		if best == nil || t < bestT || (t == bestT && th.id < best.id) {
+			best, bestT = th, t
+		}
+	}
+	for i := range e.cores {
+		c := &e.cores[i]
+		if len(c.runq) > 0 {
+			t := c.clock
+			if r := c.runq[0].readyAt; r > t {
+				t = r
+			}
+			consider(c.runq[0], t)
+		}
+	}
+	for _, th := range e.threads {
+		if th.state == Sleeping {
+			consider(th, th.wakeAt)
+		}
+	}
+	return best
+}
+
+// Run executes the simulation until every thread finishes. It returns an
+// error describing a deadlock if blocked threads remain with nothing
+// runnable.
+func (e *Engine) Run() error {
+	if e.running {
+		panic("sim: Run reentered")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		th := e.nextEntity()
+		if th == nil {
+			if e.allFinished() {
+				return nil
+			}
+			return e.deadlockError()
+		}
+		if th.state == Sleeping {
+			th.state = Ready
+			th.readyAt = th.wakeAt
+			e.enqueue(th, false)
+			continue
+		}
+		e.dispatch(th)
+	}
+}
+
+func (e *Engine) allFinished() bool {
+	for _, th := range e.threads {
+		if th.state != Finished {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) deadlockError() error {
+	var stuck []string
+	for _, th := range e.threads {
+		if th.state != Finished {
+			stuck = append(stuck, fmt.Sprintf("%s(%s)", th.name, th.state))
+		}
+	}
+	sort.Strings(stuck)
+	return fmt.Errorf("sim: deadlock: no runnable threads; waiting: %s", strings.Join(stuck, ", "))
+}
+
+// dispatch runs th until it yields (slice expiry, block, sleep or finish).
+func (e *Engine) dispatch(th *Thread) {
+	c := th.core
+	// Pop from the head of its core's queue.
+	if len(c.runq) == 0 || c.runq[0] != th {
+		panic("sim: dispatch of thread not at queue head")
+	}
+	c.runq = c.runq[1:]
+	if th.readyAt > c.clock {
+		c.clock = th.readyAt // the core was idle until the thread woke
+	}
+	th.state = Running
+	th.sliceEnd = c.clock + e.cfg.SkewQuantum
+	if th.osSliceEnd <= c.clock {
+		th.osSliceEnd = c.clock + e.cfg.OSQuantum
+	}
+	e.current = th
+	if !th.started {
+		th.started = true
+		go func() {
+			<-th.resume
+			normal := false
+			defer func() {
+				if !normal {
+					// The thread function is exiting abnormally — a panic
+					// unwinding through us, or runtime.Goexit (testing's
+					// FailNow). Mark the thread finished and hand control
+					// back so the engine does not hang; a panic still
+					// propagates after the send.
+					th.state = Finished
+					th.eng.schedCh <- th
+				}
+			}()
+			th.fn(th)
+			normal = true
+			th.state = Finished
+			th.eng.schedCh <- th
+		}()
+	}
+	th.resume <- struct{}{}
+	<-e.schedCh
+	e.current = nil
+}
+
+// yield transfers control back to the scheduler and waits to be resumed.
+func (th *Thread) yield() {
+	if c := th.core.clock; c > th.lastClock {
+		th.lastClock = c
+	}
+	th.eng.schedCh <- th
+	<-th.resume
+}
+
+// Tick charges cycles of work to the calling thread's core. It is the only
+// way virtual time advances. If the thread exhausts its engine slice it may
+// be rotated out; if it exhausts its OS slice and other threads are waiting
+// for the core, it is preempted to the back of the run queue.
+func (th *Thread) Tick(cycles uint64) {
+	c := th.core
+	c.clock += cycles
+	c.busy += cycles
+	th.cpu += cycles
+	if th.pollPending && th.poll != nil {
+		th.pollPending = false
+		th.poll(th)
+	}
+	if c.clock >= th.sliceEnd {
+		th.reschedule()
+	}
+}
+
+// reschedule ends the current engine slice: the thread goes back to Ready
+// (front of queue if its OS slice continues, back otherwise) and control
+// returns to the scheduler to run whoever is globally behind.
+func (th *Thread) reschedule() {
+	c := th.core
+	th.state = Ready
+	th.readyAt = c.clock
+	if c.clock >= th.osSliceEnd && len(c.runq) > 0 {
+		// OS preemption: rotate, pay a context-switch cost, allow migration.
+		th.osSliceEnd = 0
+		th.eng.enqueue(th, false)
+	} else {
+		// Engine slice only: keep the core and the OS slice.
+		c.runq = append([]*Thread{th}, c.runq...)
+		th.core = c
+	}
+	th.yield()
+	th.state = Running
+	c = th.core
+	th.sliceEnd = c.clock + th.eng.cfg.SkewQuantum
+	if th.osSliceEnd <= c.clock {
+		th.osSliceEnd = c.clock + th.eng.cfg.OSQuantum
+	}
+}
+
+// Yield voluntarily ends the thread's OS slice.
+func (th *Thread) Yield() {
+	th.osSliceEnd = 0
+	th.sliceEnd = 0
+	th.Tick(0)
+}
+
+// Sleep blocks the thread for the given number of cycles of virtual time.
+func (th *Thread) Sleep(cycles uint64) {
+	th.state = Sleeping
+	th.wakeAt = th.core.clock + cycles
+	th.yield()
+	th.state = Running
+	th.sliceEnd = th.core.clock + th.eng.cfg.SkewQuantum
+	th.osSliceEnd = th.core.clock + th.eng.cfg.OSQuantum
+}
+
+// Now returns the thread's current virtual time (its core's clock).
+func (th *Thread) Now() uint64 { return th.core.clock }
+
+// CPU returns the busy cycles this thread has consumed.
+func (th *Thread) CPU() uint64 { return th.cpu }
+
+// Name returns the thread's name.
+func (th *Thread) Name() string { return th.name }
+
+// ID returns the thread's engine-wide identifier.
+func (th *Thread) ID() int { return th.id }
+
+// CoreID returns the core the thread is currently placed on.
+func (th *Thread) CoreID() int { return th.core.id }
+
+// State returns the thread's scheduling state.
+func (th *Thread) State() State { return th.state }
+
+// SetPoll installs the safepoint poll function; it runs in thread context
+// at the next Tick after Interrupt is called, and may block.
+func (th *Thread) SetPoll(fn func(*Thread)) { th.poll = fn }
+
+// Interrupt requests that the thread run its poll function at its next
+// safepoint. Call from any simulated thread (e.g. to begin a stop-the-world
+// rendezvous).
+func (th *Thread) Interrupt() { th.pollPending = true }
+
+// Engine returns the owning engine.
+func (th *Thread) Engine() *Engine { return th.eng }
+
+// WallClock returns the maximum core clock — elapsed wall time.
+func (e *Engine) WallClock() uint64 {
+	var m uint64
+	for i := range e.cores {
+		if e.cores[i].clock > m {
+			m = e.cores[i].clock
+		}
+	}
+	return m
+}
+
+// CoreClock returns core i's clock.
+func (e *Engine) CoreClock(i int) uint64 { return e.cores[i].clock }
+
+// CoreBusy returns core i's cumulative busy cycles (CPU time).
+func (e *Engine) CoreBusy(i int) uint64 { return e.cores[i].busy }
+
+// TotalCPU returns busy cycles summed over all cores.
+func (e *Engine) TotalCPU() uint64 {
+	var t uint64
+	for i := range e.cores {
+		t += e.cores[i].busy
+	}
+	return t
+}
+
+// Seconds converts cycles to seconds at the configured clock rate.
+func (e *Engine) Seconds(cycles uint64) float64 {
+	return float64(cycles) / (e.cfg.HzGHz * 1e9)
+}
+
+// Threads returns all threads ever spawned.
+func (e *Engine) Threads() []*Thread { return e.threads }
+
+// Event is a broadcast condition in virtual time. The zero value is not
+// usable; create with NewEvent.
+type Event struct {
+	eng     *Engine
+	waiters []*Thread
+}
+
+// NewEvent creates an Event on the engine.
+func (e *Engine) NewEvent() *Event { return &Event{eng: e} }
+
+// Wait blocks th until another thread calls Broadcast. Because exactly one
+// simulated thread runs at a time there are no lost-wakeup races: check
+// your predicate in a loop around Wait.
+func (ev *Event) Wait(th *Thread) {
+	th.state = Blocked
+	th.blockedOn = ev
+	ev.waiters = append(ev.waiters, th)
+	th.yield()
+	th.state = Running
+	th.sliceEnd = th.core.clock + th.eng.cfg.SkewQuantum
+	th.osSliceEnd = th.core.clock + th.eng.cfg.OSQuantum
+}
+
+// Broadcast wakes all waiters at the waker's current virtual time. A
+// waiter whose own clock already passed that time resumes at its own clock
+// instead: causality never runs backwards, even when a lagging core's
+// thread performs the wake.
+func (ev *Event) Broadcast(waker *Thread) {
+	now := waker.core.clock
+	ws := ev.waiters
+	ev.waiters = nil
+	for _, th := range ws {
+		th.blockedOn = nil
+		th.state = Ready
+		th.readyAt = now
+		if th.lastClock > now {
+			th.readyAt = th.lastClock
+		}
+		ev.eng.enqueue(th, false)
+	}
+}
+
+// WaitUntil blocks th until cond() is true, re-testing after each Broadcast
+// of ev.
+func (ev *Event) WaitUntil(th *Thread, cond func() bool) {
+	for !cond() {
+		ev.Wait(th)
+	}
+}

@@ -1,0 +1,327 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func cfg() Config {
+	c := DefaultConfig()
+	c.Cores = 2
+	return c
+}
+
+func TestSingleThreadAdvancesClock(t *testing.T) {
+	e := New(cfg())
+	e.Spawn("w", []int{0}, func(th *Thread) {
+		for i := 0; i < 1000; i++ {
+			th.Tick(100)
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.CoreClock(0); got != 100_000 {
+		t.Fatalf("core 0 clock = %d, want 100000", got)
+	}
+	if got := e.CoreClock(1); got != 0 {
+		t.Fatalf("core 1 clock = %d, want 0", got)
+	}
+	if e.WallClock() != 100_000 || e.TotalCPU() != 100_000 {
+		t.Fatalf("wall %d cpu %d", e.WallClock(), e.TotalCPU())
+	}
+}
+
+func TestTwoCoresRunInParallelVirtualTime(t *testing.T) {
+	e := New(cfg())
+	work := func(th *Thread) {
+		for i := 0; i < 100; i++ {
+			th.Tick(10_000)
+		}
+	}
+	e.Spawn("a", []int{0}, work)
+	e.Spawn("b", []int{1}, work)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Each core did 1M cycles of work; wall clock is 1M (parallel), CPU 2M.
+	if e.WallClock() != 1_000_000 {
+		t.Fatalf("wall = %d, want 1000000", e.WallClock())
+	}
+	if e.TotalCPU() != 2_000_000 {
+		t.Fatalf("cpu = %d, want 2000000", e.TotalCPU())
+	}
+}
+
+func TestSkewBounded(t *testing.T) {
+	c := cfg()
+	c.SkewQuantum = 10_000
+	e := New(c)
+	var maxSkew uint64
+	probe := func(other int) func(*Thread) {
+		return func(th *Thread) {
+			for i := 0; i < 1000; i++ {
+				th.Tick(500)
+				mine := th.Now()
+				theirs := e.CoreClock(other)
+				if mine > theirs && mine-theirs > maxSkew {
+					maxSkew = mine - theirs
+				}
+			}
+		}
+	}
+	e.Spawn("a", []int{0}, probe(1))
+	e.Spawn("b", []int{1}, probe(0))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Skew can exceed the quantum by at most one tick's worth of cycles.
+	if maxSkew > c.SkewQuantum+500 {
+		t.Fatalf("max skew %d exceeds quantum %d", maxSkew, c.SkewQuantum)
+	}
+}
+
+func TestCoreSharingRoundRobin(t *testing.T) {
+	c := cfg()
+	c.OSQuantum = 50_000
+	e := New(c)
+	var aCPU, bCPU uint64
+	mk := func(cpu *uint64) func(*Thread) {
+		return func(th *Thread) {
+			for i := 0; i < 2000; i++ {
+				th.Tick(500)
+			}
+			*cpu = th.CPU()
+		}
+	}
+	e.Spawn("a", []int{0}, mk(&aCPU))
+	e.Spawn("b", []int{0}, mk(&bCPU))
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if aCPU != 1_000_000 || bCPU != 1_000_000 {
+		t.Fatalf("cpu a=%d b=%d", aCPU, bCPU)
+	}
+	// Shared core: wall clock is the sum, 2M.
+	if e.WallClock() != 2_000_000 {
+		t.Fatalf("wall = %d, want 2000000", e.WallClock())
+	}
+}
+
+func TestSleepWakesAtDeadline(t *testing.T) {
+	e := New(cfg())
+	var woke uint64
+	e.Spawn("s", []int{0}, func(th *Thread) {
+		th.Tick(100)
+		th.Sleep(10_000)
+		woke = th.Now()
+		th.Tick(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 10_100 {
+		t.Fatalf("woke at %d, want 10100", woke)
+	}
+}
+
+func TestSleepDoesNotBurnCPU(t *testing.T) {
+	e := New(cfg())
+	e.Spawn("s", []int{0}, func(th *Thread) {
+		th.Sleep(1_000_000)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.TotalCPU() != 0 {
+		t.Fatalf("cpu = %d, want 0", e.TotalCPU())
+	}
+	if e.WallClock() != 1_000_000 {
+		t.Fatalf("wall = %d", e.WallClock())
+	}
+}
+
+func TestEventWaitBroadcast(t *testing.T) {
+	e := New(cfg())
+	ev := e.NewEvent()
+	ready := false
+	var waiterWoke, bcastAt uint64
+	e.Spawn("waiter", []int{0}, func(th *Thread) {
+		ev.WaitUntil(th, func() bool { return ready })
+		waiterWoke = th.Now()
+		th.Tick(1)
+	})
+	e.Spawn("waker", []int{1}, func(th *Thread) {
+		th.Tick(777_000)
+		ready = true
+		bcastAt = th.Now()
+		ev.Broadcast(th)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The waiter's core was idle; it must resume at the waker's time.
+	if waiterWoke != bcastAt {
+		t.Fatalf("waiter woke at %d, broadcast at %d", waiterWoke, bcastAt)
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	e := New(cfg())
+	ev := e.NewEvent()
+	e.Spawn("stuck", []int{0}, func(th *Thread) {
+		ev.Wait(th)
+	})
+	err := e.Run()
+	if err == nil {
+		t.Fatal("deadlock not detected")
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("deadlock error %q does not name the thread", err)
+	}
+}
+
+func TestInterruptPollRunsAtSafepoint(t *testing.T) {
+	e := New(cfg())
+	polled := uint64(0)
+	var target *Thread
+	target = e.Spawn("t", []int{0}, func(th *Thread) {
+		th.SetPoll(func(p *Thread) { polled = p.Now() })
+		for i := 0; i < 100; i++ {
+			th.Tick(1000)
+		}
+	})
+	e.Spawn("irq", []int{1}, func(th *Thread) {
+		th.Tick(5_500)
+		target.Interrupt()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if polled == 0 {
+		t.Fatal("poll never ran")
+	}
+	// Poll must run within one skew quantum + one tick of the interrupt.
+	if polled > 5_500+cfg().SkewQuantum+1_000 {
+		t.Fatalf("poll ran at %d, too late after interrupt at 5500", polled)
+	}
+}
+
+func TestSpawnFromRunningThread(t *testing.T) {
+	e := New(cfg())
+	var childStart uint64
+	e.Spawn("parent", []int{0}, func(th *Thread) {
+		th.Tick(42_000)
+		e.Spawn("child", []int{1}, func(ch *Thread) {
+			childStart = ch.Now()
+			ch.Tick(1)
+		})
+		th.Tick(1)
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if childStart < 42_000 {
+		t.Fatalf("child started at %d, before parent spawned it at 42000", childStart)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64) {
+		e := New(cfg())
+		ev := e.NewEvent()
+		n := 0
+		for i := 0; i < 4; i++ {
+			i := i
+			e.Spawn("w", []int{i % 2}, func(th *Thread) {
+				for j := 0; j < 100; j++ {
+					th.Tick(uint64(100 + i*13 + j))
+					if j == 50 {
+						ev.Broadcast(th)
+					}
+				}
+				n++
+				if n == 4 {
+					ev.Broadcast(th)
+				}
+			})
+		}
+		e.Spawn("observer", nil, func(th *Thread) {
+			ev.WaitUntil(th, func() bool { return n == 4 })
+			th.Tick(5)
+		})
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.WallClock(), e.TotalCPU()
+	}
+	w1, c1 := run()
+	for i := 0; i < 3; i++ {
+		w2, c2 := run()
+		if w1 != w2 || c1 != c2 {
+			t.Fatalf("nondeterministic: run0=(%d,%d) run%d=(%d,%d)", w1, c1, i+1, w2, c2)
+		}
+	}
+}
+
+func TestYieldRotates(t *testing.T) {
+	e := New(cfg())
+	var order []string
+	e.Spawn("a", []int{0}, func(th *Thread) {
+		th.Tick(10)
+		order = append(order, "a1")
+		th.Yield()
+		order = append(order, "a2")
+		th.Tick(10)
+	})
+	e.Spawn("b", []int{0}, func(th *Thread) {
+		th.Tick(10)
+		order = append(order, "b1")
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := "a1,b1,a2"
+	if got := strings.Join(order, ","); got != want {
+		t.Fatalf("order %q, want %q", got, want)
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	e := New(Config{Cores: 1, SkewQuantum: 1000, OSQuantum: 1000, HzGHz: 2.5})
+	if s := e.Seconds(2_500_000_000); s != 1.0 {
+		t.Fatalf("2.5e9 cycles = %v s, want 1", s)
+	}
+}
+
+func BenchmarkTickHot(b *testing.B) {
+	e := New(Config{Cores: 1, SkewQuantum: 1 << 40, OSQuantum: 1 << 40, HzGHz: 2.5})
+	e.Spawn("w", []int{0}, func(th *Thread) {
+		for i := 0; i < b.N; i++ {
+			th.Tick(1)
+		}
+	})
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkHandoff(b *testing.B) {
+	c := DefaultConfig()
+	c.Cores = 2
+	c.SkewQuantum = 1
+	e := New(c)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("w", []int{i}, func(th *Thread) {
+			for j := 0; j < b.N/2; j++ {
+				th.Tick(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

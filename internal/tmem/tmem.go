@@ -1,0 +1,297 @@
+// Package tmem models tagged physical memory.
+//
+// Memory is organized as 4 KiB frames. Each capability-sized (16 B) granule
+// of a frame carries a tag bit distinguishing a valid capability from plain
+// data, exactly as CHERI's tag controller does. The simulation stores only
+// what revocation semantics depend on: the tag bitmap, the capability value
+// held by each tagged granule, and (for the §7.3 memory-coloring
+// composition) a per-granule version color. Plain data bytes are not
+// stored; data accesses are accounted for by the cost model, and their
+// values never influence revocation.
+package tmem
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ca"
+)
+
+const (
+	// PageSize is the frame and virtual page size in bytes.
+	PageSize = 4096
+	// GranulesPerPage is the number of capability granules per frame.
+	GranulesPerPage = PageSize / ca.GranuleSize
+	// tagWords is the number of 64-bit words in a frame's tag bitmap.
+	tagWords = GranulesPerPage / 64
+)
+
+// FrameID names a physical frame.
+type FrameID uint32
+
+// NoFrame is the sentinel for "no frame".
+const NoFrame FrameID = ^FrameID(0)
+
+// frame is the per-frame storage. Capability and color arrays are allocated
+// lazily: most frames never hold a capability. refs counts the address
+// spaces sharing the frame (copy-on-write fork); it is 1 for private
+// frames.
+type frame struct {
+	tags   [tagWords]uint64
+	caps   *[GranulesPerPage]ca.Capability
+	colors *[GranulesPerPage]uint8
+	refs   int32
+	inUse  bool
+}
+
+// Phys is a bank of tagged physical memory frames.
+type Phys struct {
+	frames    []frame
+	free      []FrameID
+	maxFrames int
+	allocated int
+	peakAlloc int
+}
+
+// NewPhys creates a memory bank capable of holding up to maxFrames frames.
+// Frames are materialized lazily.
+func NewPhys(maxFrames int) *Phys {
+	return &Phys{maxFrames: maxFrames}
+}
+
+// AllocFrame allocates a zeroed (all tags clear) frame.
+func (p *Phys) AllocFrame() (FrameID, error) {
+	var id FrameID
+	if n := len(p.free); n > 0 {
+		id = p.free[n-1]
+		p.free = p.free[:n-1]
+	} else {
+		if len(p.frames) >= p.maxFrames {
+			return NoFrame, fmt.Errorf("tmem: out of physical memory (%d frames)", p.maxFrames)
+		}
+		id = FrameID(len(p.frames))
+		p.frames = append(p.frames, frame{})
+	}
+	f := &p.frames[id]
+	f.tags = [tagWords]uint64{}
+	f.caps = nil
+	f.colors = nil
+	f.refs = 1
+	f.inUse = true
+	p.allocated++
+	if p.allocated > p.peakAlloc {
+		p.peakAlloc = p.allocated
+	}
+	return id, nil
+}
+
+// FreeFrame drops one reference to the frame, returning it to the free
+// pool when the last sharer releases it. Tags are cleared so a later reuse
+// cannot leak capabilities between owners.
+func (p *Phys) FreeFrame(id FrameID) {
+	f := p.frame(id)
+	if !f.inUse {
+		panic(fmt.Sprintf("tmem: double free of frame %d", id))
+	}
+	if f.refs > 1 {
+		f.refs--
+		return
+	}
+	f.inUse = false
+	f.tags = [tagWords]uint64{}
+	f.caps = nil
+	f.colors = nil
+	f.refs = 0
+	p.allocated--
+	p.free = append(p.free, id)
+}
+
+// Ref adds a sharer to the frame (copy-on-write fork).
+func (p *Phys) Ref(id FrameID) {
+	p.frame(id).refs++
+}
+
+// Refs returns the frame's sharer count.
+func (p *Phys) Refs(id FrameID) int { return int(p.frame(id).refs) }
+
+// Shared reports whether more than one address space references the frame.
+func (p *Phys) Shared(id FrameID) bool { return p.frame(id).refs > 1 }
+
+// Allocated returns the number of frames currently in use.
+func (p *Phys) Allocated() int { return p.allocated }
+
+// PeakAllocated returns the high-water mark of in-use frames.
+func (p *Phys) PeakAllocated() int { return p.peakAlloc }
+
+func (p *Phys) frame(id FrameID) *frame {
+	if int(id) >= len(p.frames) {
+		panic(fmt.Sprintf("tmem: frame %d out of range", id))
+	}
+	f := &p.frames[id]
+	if !f.inUse {
+		panic(fmt.Sprintf("tmem: access to free frame %d", id))
+	}
+	return f
+}
+
+// checkGranule panics on an out-of-range granule index; callers translate
+// virtual offsets before reaching physical memory, so this is an internal
+// invariant, not a user-facing fault.
+func checkGranule(g int) {
+	if g < 0 || g >= GranulesPerPage {
+		panic(fmt.Sprintf("tmem: granule %d out of range", g))
+	}
+}
+
+// StoreCap stores a capability-width value to granule g of frame id. If c
+// is tagged the granule's tag is set; storing untagged data clears it, as
+// any overwrite does in hardware.
+func (p *Phys) StoreCap(id FrameID, g int, c ca.Capability) {
+	checkGranule(g)
+	f := p.frame(id)
+	if c.Tag() {
+		if f.caps == nil {
+			f.caps = new([GranulesPerPage]ca.Capability)
+		}
+		f.caps[g] = c
+		f.tags[g/64] |= 1 << (g % 64)
+	} else {
+		f.tags[g/64] &^= 1 << (g % 64)
+	}
+}
+
+// StoreData records a plain-data store covering granules [g, g+n): their
+// tags are cleared. The data value itself is not retained.
+func (p *Phys) StoreData(id FrameID, g, n int) {
+	checkGranule(g)
+	if n <= 0 {
+		return
+	}
+	checkGranule(g + n - 1)
+	f := p.frame(id)
+	for i := g; i < g+n; i++ {
+		f.tags[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// LoadCap loads a capability-width value from granule g. Untagged granules
+// read as untagged (null-derived) data.
+func (p *Phys) LoadCap(id FrameID, g int) ca.Capability {
+	checkGranule(g)
+	f := p.frame(id)
+	if f.tags[g/64]&(1<<(g%64)) == 0 || f.caps == nil {
+		return ca.Null(0)
+	}
+	return f.caps[g]
+}
+
+// TagSet reports whether granule g holds a valid capability.
+func (p *Phys) TagSet(id FrameID, g int) bool {
+	checkGranule(g)
+	f := p.frame(id)
+	return f.tags[g/64]&(1<<(g%64)) != 0
+}
+
+// ClearTag invalidates the capability at granule g, leaving its bits as
+// untagged data. This is revocation's fundamental write.
+func (p *Phys) ClearTag(id FrameID, g int) {
+	checkGranule(g)
+	f := p.frame(id)
+	f.tags[g/64] &^= 1 << (g % 64)
+}
+
+// HasTags reports whether any granule of the frame holds a capability.
+func (p *Phys) HasTags(id FrameID) bool {
+	f := p.frame(id)
+	for _, w := range f.tags {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// TagCount returns the number of tagged granules in the frame.
+func (p *Phys) TagCount(id FrameID) int {
+	f := p.frame(id)
+	n := 0
+	for _, w := range f.tags {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// SweepTags visits every tagged granule of the frame in ascending order and
+// invokes fn with its index and capability. If fn returns true the tag is
+// cleared (the capability is revoked). It returns the number of granules
+// visited and the number revoked. This is the inner loop of every
+// revocation sweep.
+func (p *Phys) SweepTags(id FrameID, fn func(g int, c ca.Capability) bool) (visited, revoked int) {
+	f := p.frame(id)
+	if f.caps == nil {
+		return 0, 0
+	}
+	for w := 0; w < tagWords; w++ {
+		word := f.tags[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			g := w*64 + b
+			visited++
+			if fn(g, f.caps[g]) {
+				f.tags[w] &^= 1 << b
+				revoked++
+			}
+		}
+	}
+	return visited, revoked
+}
+
+// CopyFrame copies src's tags, capabilities and colors into dst, as a
+// fork-style address-space clone does.
+func (p *Phys) CopyFrame(dst, src FrameID) {
+	d, sf := p.frame(dst), p.frame(src)
+	d.tags = sf.tags
+	if sf.caps != nil {
+		caps := *sf.caps
+		d.caps = &caps
+	} else {
+		d.caps = nil
+	}
+	if sf.colors != nil {
+		colors := *sf.colors
+		d.colors = &colors
+	} else {
+		d.colors = nil
+	}
+}
+
+// SetColor paints the version color of granules [g, g+n) (§7.3). Colors
+// survive data stores: they are a property of the memory, not the value.
+func (p *Phys) SetColor(id FrameID, g, n int, color uint8) {
+	checkGranule(g)
+	if n <= 0 {
+		return
+	}
+	checkGranule(g + n - 1)
+	f := p.frame(id)
+	if f.colors == nil {
+		if color == 0 {
+			return
+		}
+		f.colors = new([GranulesPerPage]uint8)
+	}
+	for i := g; i < g+n; i++ {
+		f.colors[i] = color
+	}
+}
+
+// ColorOf returns the version color of granule g.
+func (p *Phys) ColorOf(id FrameID, g int) uint8 {
+	checkGranule(g)
+	f := p.frame(id)
+	if f.colors == nil {
+		return 0
+	}
+	return f.colors[g]
+}

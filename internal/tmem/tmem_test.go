@@ -1,0 +1,215 @@
+package tmem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ca"
+)
+
+func mustAlloc(t *testing.T, p *Phys) FrameID {
+	t.Helper()
+	id, err := p.AllocFrame()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestAllocFreeReuse(t *testing.T) {
+	p := NewPhys(2)
+	a := mustAlloc(t, p)
+	b := mustAlloc(t, p)
+	if _, err := p.AllocFrame(); err == nil {
+		t.Fatal("allocation beyond maxFrames succeeded")
+	}
+	if p.Allocated() != 2 || p.PeakAllocated() != 2 {
+		t.Fatalf("allocated = %d peak = %d", p.Allocated(), p.PeakAllocated())
+	}
+	p.FreeFrame(a)
+	c := mustAlloc(t, p)
+	if c != a {
+		t.Fatalf("freed frame not reused: got %d want %d", c, a)
+	}
+	if p.PeakAllocated() != 2 {
+		t.Fatalf("peak = %d, want 2", p.PeakAllocated())
+	}
+	_ = b
+}
+
+func TestFreedFrameTagsCleared(t *testing.T) {
+	p := NewPhys(4)
+	a := mustAlloc(t, p)
+	p.StoreCap(a, 7, ca.NewRoot(0x1000, 64, ca.PermsData))
+	p.FreeFrame(a)
+	b := mustAlloc(t, p)
+	if b != a {
+		t.Fatalf("expected frame reuse, got %d want %d", b, a)
+	}
+	if p.TagSet(b, 7) {
+		t.Fatal("capability leaked through frame reuse")
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	p := NewPhys(1)
+	a := mustAlloc(t, p)
+	p.FreeFrame(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	p.FreeFrame(a)
+}
+
+func TestStoreLoadCapRoundTrip(t *testing.T) {
+	p := NewPhys(4)
+	f := mustAlloc(t, p)
+	c := ca.NewRoot(0xdead0, 128, ca.PermsData)
+	p.StoreCap(f, 3, c)
+	if !p.TagSet(f, 3) {
+		t.Fatal("tag not set after capability store")
+	}
+	got := p.LoadCap(f, 3)
+	if !got.Tag() || got.Base() != c.Base() || got.Top() != c.Top() {
+		t.Fatalf("loaded %v, want %v", got, c)
+	}
+	if p.LoadCap(f, 4).Tag() {
+		t.Fatal("adjacent granule reads tagged")
+	}
+}
+
+func TestDataStoreClearsTags(t *testing.T) {
+	p := NewPhys(4)
+	f := mustAlloc(t, p)
+	for g := 0; g < 4; g++ {
+		p.StoreCap(f, g, ca.NewRoot(uint64(g)*16, 16, ca.PermsData))
+	}
+	p.StoreData(f, 1, 2)
+	want := []bool{true, false, false, true}
+	for g, w := range want {
+		if p.TagSet(f, g) != w {
+			t.Fatalf("granule %d tag = %v, want %v", g, p.TagSet(f, g), w)
+		}
+	}
+}
+
+func TestStoreUntaggedClearsTag(t *testing.T) {
+	p := NewPhys(4)
+	f := mustAlloc(t, p)
+	p.StoreCap(f, 0, ca.NewRoot(0, 16, ca.PermsData))
+	p.StoreCap(f, 0, ca.Null(99))
+	if p.TagSet(f, 0) {
+		t.Fatal("untagged store left tag set")
+	}
+	if p.LoadCap(f, 0).Tag() {
+		t.Fatal("load after untagged store returned tagged value")
+	}
+}
+
+func TestSweepTags(t *testing.T) {
+	p := NewPhys(4)
+	f := mustAlloc(t, p)
+	for _, g := range []int{0, 5, 63, 64, 200, 255} {
+		p.StoreCap(f, g, ca.NewRoot(uint64(g)*ca.GranuleSize, 16, ca.PermsData))
+	}
+	// Revoke capabilities whose base is below granule 100.
+	visited, revoked := p.SweepTags(f, func(g int, c ca.Capability) bool {
+		return c.Base() < 100*ca.GranuleSize
+	})
+	if visited != 6 || revoked != 4 {
+		t.Fatalf("visited %d revoked %d, want 6 and 4", visited, revoked)
+	}
+	if p.TagSet(f, 5) {
+		t.Fatal("revoked granule still tagged")
+	}
+	if !p.TagSet(f, 200) || !p.TagSet(f, 255) {
+		t.Fatal("surviving granules lost tags")
+	}
+	if p.TagCount(f) != 2 {
+		t.Fatalf("TagCount = %d, want 2", p.TagCount(f))
+	}
+}
+
+func TestSweepEmptyFrame(t *testing.T) {
+	p := NewPhys(1)
+	f := mustAlloc(t, p)
+	v, r := p.SweepTags(f, func(int, ca.Capability) bool { return true })
+	if v != 0 || r != 0 {
+		t.Fatalf("sweep of clean frame visited %d revoked %d", v, r)
+	}
+	if p.HasTags(f) {
+		t.Fatal("clean frame HasTags")
+	}
+}
+
+func TestColors(t *testing.T) {
+	p := NewPhys(1)
+	f := mustAlloc(t, p)
+	if p.ColorOf(f, 10) != 0 {
+		t.Fatal("fresh frame has nonzero color")
+	}
+	p.SetColor(f, 8, 4, 3)
+	if p.ColorOf(f, 7) != 0 || p.ColorOf(f, 8) != 3 || p.ColorOf(f, 11) != 3 || p.ColorOf(f, 12) != 0 {
+		t.Fatal("color range wrong")
+	}
+	// Colors survive data stores.
+	p.StoreData(f, 8, 4)
+	if p.ColorOf(f, 9) != 3 {
+		t.Fatal("data store erased color")
+	}
+}
+
+// Property: after any sequence of stores, SweepTags visits exactly the
+// granules whose most recent write was a tagged capability.
+func TestQuickSweepMatchesHistory(t *testing.T) {
+	f := func(ops []uint16) bool {
+		p := NewPhys(1)
+		fr, _ := p.AllocFrame()
+		expect := map[int]bool{}
+		for _, op := range ops {
+			g := int(op) % GranulesPerPage
+			switch (op >> 8) % 3 {
+			case 0:
+				p.StoreCap(fr, g, ca.NewRoot(uint64(g)*ca.GranuleSize, 16, ca.PermsData))
+				expect[g] = true
+			case 1:
+				p.StoreCap(fr, g, ca.Null(uint64(op)))
+				delete(expect, g)
+			case 2:
+				p.StoreData(fr, g, 1)
+				delete(expect, g)
+			}
+		}
+		seen := map[int]bool{}
+		p.SweepTags(fr, func(g int, c ca.Capability) bool {
+			seen[g] = true
+			return false
+		})
+		if len(seen) != len(expect) {
+			return false
+		}
+		for g := range expect {
+			if !seen[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSweepDensePage(b *testing.B) {
+	p := NewPhys(1)
+	f, _ := p.AllocFrame()
+	for g := 0; g < GranulesPerPage; g++ {
+		p.StoreCap(f, g, ca.NewRoot(uint64(g)*16, 16, ca.PermsData))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SweepTags(f, func(int, ca.Capability) bool { return false })
+	}
+}

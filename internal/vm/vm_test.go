@@ -1,0 +1,240 @@
+package vm
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/ca"
+	"repro/internal/tmem"
+)
+
+func newAS(t *testing.T) *AddressSpace {
+	t.Helper()
+	return NewAddressSpace(tmem.NewPhys(1<<16), 4)
+}
+
+func TestReserveReturnsBoundedRoot(t *testing.T) {
+	as := newAS(t)
+	r, err := as.Reserve(10_000, ca.PermsData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Length < 10_000 || r.Length%PageSize != 0 {
+		t.Fatalf("reservation length %d", r.Length)
+	}
+	if !r.Root.Tag() || r.Root.Base() != r.Base || r.Root.Len() != r.Length {
+		t.Fatalf("root %v does not span reservation [%#x,+%d)", r.Root, r.Base, r.Length)
+	}
+}
+
+func TestReservationsDoNotOverlap(t *testing.T) {
+	as := newAS(t)
+	var prev *Reservation
+	for i := 0; i < 20; i++ {
+		r, err := as.Reserve(uint64(1000*(i+1)), ca.PermsData)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && r.Base < prev.Base+prev.Length+PageSize {
+			t.Fatalf("reservation %d at %#x overlaps/abuts previous end %#x (no guard)",
+				i, r.Base, prev.Base+prev.Length)
+		}
+		prev = r
+	}
+}
+
+func TestDemandPaging(t *testing.T) {
+	as := newAS(t)
+	r, _ := as.Reserve(8*PageSize, ca.PermsData)
+	pte, faulted, err := as.EnsureMapped(r.Base + 5*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !faulted {
+		t.Fatal("first touch did not soft-fault")
+	}
+	if pte.Bits&PTEValid == 0 || pte.Frame == tmem.NoFrame {
+		t.Fatal("PTE not materialized")
+	}
+	if as.MappedPageCount() != 1 {
+		t.Fatalf("RSS = %d pages, want 1", as.MappedPageCount())
+	}
+	_, faulted2, _ := as.EnsureMapped(r.Base + 5*PageSize)
+	if faulted2 {
+		t.Fatal("second touch soft-faulted")
+	}
+	if got := as.Stats().SoftFaults; got != 1 {
+		t.Fatalf("soft faults = %d, want 1", got)
+	}
+}
+
+func TestAccessOutsideReservationFaults(t *testing.T) {
+	as := newAS(t)
+	_, _, err := as.EnsureMapped(0x42)
+	var f *Fault
+	if !errors.As(err, &f) || f.Kind != FaultUnmapped {
+		t.Fatalf("err = %v, want unmapped fault", err)
+	}
+}
+
+func TestUnmapLeavesGuards(t *testing.T) {
+	as := newAS(t)
+	r, _ := as.Reserve(4*PageSize, ca.PermsData)
+	for i := uint64(0); i < 4; i++ {
+		if _, _, err := as.EnsureMapped(r.Base + i*PageSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, dead, err := as.UnmapRange(r.Base+PageSize, PageSize); err != nil || dead {
+		t.Fatalf("partial unmap: dead=%v err=%v", dead, err)
+	}
+	// The hole must not be re-mappable.
+	if _, _, err := as.EnsureMapped(r.Base + PageSize); err == nil {
+		t.Fatal("guard page re-materialized")
+	}
+	if as.MappedPageCount() != 3 {
+		t.Fatalf("RSS = %d, want 3", as.MappedPageCount())
+	}
+	// Other pages still fine.
+	if _, _, err := as.EnsureMapped(r.Base + 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFullUnmapMarksReservationDead(t *testing.T) {
+	as := newAS(t)
+	r, _ := as.Reserve(2*PageSize, ca.PermsData)
+	as.EnsureMapped(r.Base)
+	_, dead, err := as.UnmapRange(r.Base, r.Length)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dead || !r.Dead {
+		t.Fatal("full unmap did not mark reservation dead")
+	}
+	// New reservations must not reuse the dead span before release.
+	r2, _ := as.Reserve(PageSize, ca.PermsData)
+	if r2.Base < r.Base+r.Length {
+		t.Fatalf("new reservation at %#x reuses dead span at %#x", r2.Base, r.Base)
+	}
+	as.ReleaseReservation(r)
+	if _, ok := as.Lookup(r.Base); ok {
+		t.Fatal("released reservation still mapped")
+	}
+}
+
+func TestForEachMappedPageOrderedDeterministic(t *testing.T) {
+	as := newAS(t)
+	r, _ := as.Reserve(64*PageSize, ca.PermsData)
+	// Touch pages out of order.
+	for _, i := range []uint64{30, 2, 55, 7, 41} {
+		as.EnsureMapped(r.Base + i*PageSize)
+	}
+	var got []uint64
+	as.ForEachMappedPage(func(vpn uint64, pte *PTE) bool {
+		got = append(got, vpn)
+		return true
+	})
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("pages not in ascending order: %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("visited %d pages, want 5", len(got))
+	}
+}
+
+func TestGenerationProtocol(t *testing.T) {
+	as := newAS(t)
+	r, _ := as.Reserve(PageSize, ca.PermsData)
+	pte, _, _ := as.EnsureMapped(r.Base)
+	if as.GenMismatch(0, pte) {
+		t.Fatal("fresh page mismatches at steady state")
+	}
+	// Epoch start: bump every core's in-core generation. PTEs untouched.
+	for c := 0; c < 4; c++ {
+		as.BumpCoreGen(c)
+	}
+	if !as.GenMismatch(0, pte) {
+		t.Fatal("no mismatch after generation bump")
+	}
+	// Revoker visits the page: update the PTE to the new generation.
+	pte.Gen = as.CoreGen(0)
+	if as.GenMismatch(2, pte) {
+		t.Fatal("mismatch after revoker updated PTE")
+	}
+}
+
+func TestTLBCachesStaleGeneration(t *testing.T) {
+	as := newAS(t)
+	r, _ := as.Reserve(PageSize, ca.PermsData)
+	pte, _, _ := as.EnsureMapped(r.Base)
+	as.TLBFill(1, r.Base, pte)
+	// Revoker sweeps: bump gens, update PTE, but core 1's TLB still holds
+	// the old snapshot.
+	for c := 0; c < 4; c++ {
+		as.BumpCoreGen(c)
+	}
+	pte.Gen = as.CoreGen(0)
+	cached, ok := as.TLBLookup(1, r.Base)
+	if !ok {
+		t.Fatal("TLB entry lost")
+	}
+	if cached.Gen == as.CoreGen(1) {
+		t.Fatal("TLB magically saw the new generation")
+	}
+	// After a shootdown the stale entry is gone.
+	as.ShootdownAll()
+	if _, ok := as.TLBLookup(1, r.Base); ok {
+		t.Fatal("TLB entry survived shootdown")
+	}
+	if as.Stats().Shootdowns == 0 {
+		t.Fatal("shootdown not counted")
+	}
+}
+
+func TestCapDirtyBits(t *testing.T) {
+	as := newAS(t)
+	r, _ := as.Reserve(PageSize, ca.PermsData)
+	pte, _, _ := as.EnsureMapped(r.Base)
+	if pte.Bits&PTECapDirty != 0 {
+		t.Fatal("fresh page capability-dirty")
+	}
+	pte.Bits |= PTECapDirty | PTEEverCapDirty
+	pte.Bits &^= PTECapDirty // revoker cleans
+	if pte.Bits&PTEEverCapDirty == 0 {
+		t.Fatal("ever-dirty flag lost on clean")
+	}
+}
+
+func TestGranuleOf(t *testing.T) {
+	vpn, g := GranuleOf(0x12345)
+	if vpn != 0x12 || g != (0x345)/16 {
+		t.Fatalf("GranuleOf = (%#x,%d)", vpn, g)
+	}
+}
+
+func TestUnmapEscapingReservationRejected(t *testing.T) {
+	as := newAS(t)
+	r, _ := as.Reserve(2*PageSize, ca.PermsData)
+	if _, _, err := as.UnmapRange(r.Base, r.Length+PageSize); err == nil {
+		t.Fatal("unmap escaping reservation accepted")
+	}
+}
+
+func TestUnmapFreesFrames(t *testing.T) {
+	phys := tmem.NewPhys(8)
+	as := NewAddressSpace(phys, 1)
+	r, _ := as.Reserve(4*PageSize, ca.PermsData)
+	for i := uint64(0); i < 4; i++ {
+		as.EnsureMapped(r.Base + i*PageSize)
+	}
+	if phys.Allocated() != 4 {
+		t.Fatalf("frames = %d", phys.Allocated())
+	}
+	as.UnmapRange(r.Base, r.Length)
+	if phys.Allocated() != 0 {
+		t.Fatalf("frames after unmap = %d, want 0", phys.Allocated())
+	}
+}

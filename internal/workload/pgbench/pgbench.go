@@ -1,0 +1,170 @@
+// Package pgbench is a surrogate for the paper's PostgreSQL pgbench
+// experiment (§5.2): a server thread processing a long serial stream of
+// small transactions against a buffer pool, with client round-trip idle
+// time between transactions. Per-transaction latencies are recorded for
+// the CDF of Figure 7; the --rate schedules of Table 1 are supported.
+//
+// Calibration targets from §5.2 and Table 2 (full scale): ~22 MiB worker
+// heap, ~340 KiB freed per transaction (freed:allocated ≈ 2534), a
+// revocation roughly every 17 transactions, and a server thread on-core
+// for roughly half of wall-clock time.
+package pgbench
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+// PGBench is the workload. The zero value is not valid; use New.
+type PGBench struct {
+	// Transactions is the number of transactions to run.
+	Transactions int
+	// Rate, if non-zero, imposes an a-priori arrival schedule in
+	// transactions per virtual second (pgbench --rate, §5.2.1).
+	Rate float64
+	// name allows distinguishing rate-scheduled variants in reports.
+	name string
+}
+
+// New returns the standard serial (unscheduled) pgbench workload.
+func New(transactions int) *PGBench {
+	return &PGBench{Transactions: transactions, name: "pgbench"}
+}
+
+// NewRated returns a rate-scheduled pgbench (Table 1).
+func NewRated(transactions int, rate float64) *PGBench {
+	return &PGBench{Transactions: transactions, Rate: rate,
+		name: fmt.Sprintf("pgbench@%g", rate)}
+}
+
+// Name implements workload.Workload.
+func (w *PGBench) Name() string { return w.name }
+
+// Full-scale calibration constants.
+const (
+	// dataPoolBytes models the worker-resident table/buffer working set.
+	dataPoolBytes = 16 << 20
+	// scratchPerTx is the full-scale per-transaction allocation churn
+	// (parse trees, plan nodes, tuples).
+	scratchPerTx = 340 << 10
+	// clientRTTCycles is the client round trip between serial
+	// transactions (~26 µs at 2.5 GHz), the source of the server's idle
+	// time.
+	clientRTTCycles = 64_000
+	// walRingBytes is the full-scale WAL buffer ring; each transaction
+	// streams a record into it, giving the baseline its realistic write
+	// traffic.
+	walRingBytes = 2 << 20
+	// walRecordBytes is the WAL volume written per transaction.
+	walRecordBytes = 2048
+)
+
+// Body implements workload.Workload.
+func (w *PGBench) Body(rig *workload.Rig, th *kernel.Thread) {
+	rng := rig.RNG
+	// The buffer pool: mid-sized tuples with moderate pointer linking
+	// (index nodes referencing heap tuples).
+	poolBytes := rig.ScaleBytes(dataPoolBytes)
+	sizes := workload.NewSizeDist([]uint64{512, 2048, 8192}, []int{4, 2, 1})
+	slots := int(poolBytes / sizes.Mean())
+	if slots < 16 {
+		slots = 16
+	}
+	data, err := workload.NewPool(rig, th, slots, sizes, 0.35)
+	if err != nil {
+		panic(fmt.Sprintf("pgbench: %v", err))
+	}
+	// Scratch pool: per-transaction allocations, fully churned each tx.
+	scratchSizes := workload.NewSizeDist([]uint64{256, 512, 1024}, []int{2, 2, 1})
+	scratchPer := rig.ScaleBytes(scratchPerTx)
+	scratchObjs := int(scratchPer / scratchSizes.Mean())
+	if scratchObjs < 4 {
+		scratchObjs = 4
+	}
+	scratch, err := workload.NewPool(rig, th, scratchObjs, scratchSizes, 0.25)
+	if err != nil {
+		panic(fmt.Sprintf("pgbench: %v", err))
+	}
+	// The WAL ring: sequential streaming writes, one record per commit.
+	wal, err := rig.Mem.Malloc(th, rig.ScaleBytes(walRingBytes))
+	if err != nil {
+		panic(fmt.Sprintf("pgbench: wal: %v", err))
+	}
+	walOff := uint64(0)
+
+	// The server registers long-lived session state with the kernel
+	// (kqueue-style), exercising the §4.4 hoard-scanning path: these
+	// capabilities live inside the kernel and must be visited during every
+	// revocation's stop-the-world phase.
+	hoard := rig.P.NewHoard("pgbench-sessions")
+	for i := 0; i < 8; i++ {
+		c, err := rig.Mem.Malloc(th, 512)
+		if err != nil {
+			panic(fmt.Sprintf("pgbench: session alloc: %v", err))
+		}
+		hoard.Put(i, c)
+		th.SetReg(8+i, c) // the server also keeps them reachable
+	}
+
+	var nextArrival uint64
+	if w.Rate > 0 {
+		nextArrival = th.Sim.Now()
+	}
+	interval := uint64(0)
+	if w.Rate > 0 {
+		interval = uint64(rig.M.Eng.Config().HzGHz * 1e9 / w.Rate)
+	}
+
+	for tx := 0; tx < w.Transactions; tx++ {
+		// Client round trip (serial mode) or schedule wait (rate mode).
+		if w.Rate > 0 {
+			if now := th.Sim.Now(); nextArrival > now {
+				th.Idle(nextArrival - now)
+			}
+			// Exponential-ish jitter around the schedule via two draws.
+			nextArrival += interval/2 + uint64(rng.Int63n(int64(interval)))
+		} else {
+			th.Idle(clientRTTCycles)
+		}
+
+		start := th.Sim.Now()
+		// BEGIN; parse and plan.
+		th.Syscall(1_500) // client read
+		th.Work(14_000)
+		// Data phase: index walks and tuple reads (SELECT/UPDATE mix of
+		// the default TPC-B-like script: 3 updates, 1 select, 1 insert).
+		// Reads range over the whole buffer pool, so the baseline carries
+		// realistic miss traffic.
+		for i := 0; i < 8; i++ {
+			if err := data.Access(data.PickSlot(0.25, 0.6), 1536, 2); err != nil {
+				panic(fmt.Sprintf("pgbench: data access: %v", err))
+			}
+		}
+		for i := 0; i < 3; i++ {
+			if err := data.Mutate(data.PickSlot(0.2, 0.9), 256, 0.1); err != nil {
+				panic(fmt.Sprintf("pgbench: data mutate: %v", err))
+			}
+		}
+		// Scratch churn: allocate and free the transaction-local memory.
+		for i := 0; i < scratch.Slots(); i++ {
+			if err := scratch.Replace(i); err != nil {
+				panic(fmt.Sprintf("pgbench: scratch: %v", err))
+			}
+		}
+		// Executor work, WAL record, COMMIT, client reply.
+		th.Work(16_000)
+		rec := uint64(walRecordBytes)
+		if walOff+rec > wal.Len() {
+			walOff = 0
+		}
+		if err := th.Store(wal, walOff, rec); err != nil {
+			panic(fmt.Sprintf("pgbench: wal write: %v", err))
+		}
+		walOff += rec
+		th.Syscall(4_000) // WAL fsync (modelled flat)
+		th.Syscall(1_200) // client write
+		rig.Lat.AddU(th.Sim.Now() - start)
+	}
+}

@@ -1,0 +1,89 @@
+package pgbench
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func runTx(t *testing.T, w *PGBench, scale uint64) (*workload.Rig, *kernel.Process) {
+	t.Helper()
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	p := m.NewProcess(4)
+	h := alloc.NewHeap(p)
+	rig := &workload.Rig{
+		M: m, P: p, Mem: h,
+		Lat:      &metrics.Samples{},
+		RNG:      rand.New(rand.NewSource(4)),
+		AppCores: []int{3},
+		Scale:    scale,
+	}
+	p.Spawn("server", []int{3}, func(th *kernel.Thread) { w.Body(rig, th) })
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rig, p
+}
+
+func TestRecordsOneLatencyPerTransaction(t *testing.T) {
+	w := New(100)
+	rig, _ := runTx(t, w, 64)
+	if rig.Lat.N() != 100 {
+		t.Fatalf("latencies = %d, want 100", rig.Lat.N())
+	}
+	if rig.Lat.Min() <= 0 {
+		t.Fatal("zero latency recorded")
+	}
+}
+
+func TestServerIdlesBetweenTransactions(t *testing.T) {
+	w := New(200)
+	rig, _ := runTx(t, w, 64)
+	// The client round trip keeps the server off-core part of the time
+	// (§5.2: the workload is not steadily CPU bound).
+	wall := rig.M.Eng.WallClock()
+	busy := rig.M.Eng.CoreBusy(3)
+	if busy >= wall {
+		t.Fatalf("server core busy %d ≥ wall %d; no idle time", busy, wall)
+	}
+	if float64(busy)/float64(wall) > 0.95 {
+		t.Fatalf("server %0.f%% busy; expected idle gaps", 100*float64(busy)/float64(wall))
+	}
+}
+
+func TestRateScheduleSlowsThroughput(t *testing.T) {
+	unsched := New(300)
+	rigU, _ := runTx(t, unsched, 64)
+	unTPS := 300 / rigU.M.Eng.Seconds(rigU.M.Eng.WallClock())
+
+	rated := NewRated(300, unTPS/3)
+	rigR, _ := runTx(t, rated, 64)
+	ratedTPS := 300 / rigR.M.Eng.Seconds(rigR.M.Eng.WallClock())
+	if ratedTPS > unTPS/2 {
+		t.Fatalf("rated throughput %.0f not limited below unscheduled %.0f", ratedTPS, unTPS)
+	}
+	if got := rated.Name(); got == unsched.Name() {
+		t.Fatal("rated workload shares a name with unscheduled")
+	}
+}
+
+func TestTransactionsChurnHeap(t *testing.T) {
+	w := New(150)
+	rig, p := runTx(t, w, 64)
+	h := rig.Mem.(*alloc.Heap)
+	st := h.Stats()
+	// Every transaction replaces the whole scratch pool.
+	if st.Frees < 150 {
+		t.Fatalf("frees = %d; transactions did not churn", st.Frees)
+	}
+	if p.Stats().CapStores == 0 {
+		t.Fatal("no capability stores")
+	}
+	if st.TotalFreed == 0 {
+		t.Fatal("no freed volume")
+	}
+}

@@ -1,0 +1,267 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/ca"
+	"repro/internal/kernel"
+)
+
+// SizeDist is a discrete allocation-size distribution.
+type SizeDist struct {
+	Sizes   []uint64
+	Weights []int
+	total   int
+}
+
+// NewSizeDist builds a distribution; weights need not be normalized.
+func NewSizeDist(sizes []uint64, weights []int) SizeDist {
+	if len(sizes) != len(weights) || len(sizes) == 0 {
+		panic("workload: bad size distribution")
+	}
+	d := SizeDist{Sizes: sizes, Weights: weights}
+	for _, w := range weights {
+		d.total += w
+	}
+	return d
+}
+
+// Uniform returns a single-size distribution.
+func Uniform(size uint64) SizeDist {
+	return NewSizeDist([]uint64{size}, []int{1})
+}
+
+// Sample draws a size.
+func (d SizeDist) Sample(rng *rand.Rand) uint64 {
+	n := rng.Intn(d.total)
+	for i, w := range d.Weights {
+		if n < w {
+			return d.Sizes[i]
+		}
+		n -= w
+	}
+	return d.Sizes[len(d.Sizes)-1]
+}
+
+// Mean returns the expected size.
+func (d SizeDist) Mean() uint64 {
+	var sum uint64
+	for i, w := range d.Weights {
+		sum += d.Sizes[i] * uint64(w)
+	}
+	return sum / uint64(d.total)
+}
+
+// Pool is the churn engine: a root array in simulated memory whose slots
+// hold capabilities to live heap objects. All pointers live in simulated
+// memory, so every replace, access and chase flows through the capability
+// load/store paths (and therefore through the revokers' barriers). With a
+// pointer fraction, objects also hold capabilities to other objects,
+// creating the pointer-dense pages that dominate the paper's
+// memory-intensive workloads.
+type Pool struct {
+	rig   *Rig
+	th    *kernel.Thread
+	root  ca.Capability
+	slots int
+	sizes SizeDist
+	// PtrFrac is the probability each link slot of a new object stores a
+	// capability to a random pool object.
+	PtrFrac float64
+	// Links is the number of link slots per object (granules 1..Links),
+	// bounded by the object's size. Real pointer-rich heaps (DOM trees,
+	// event graphs) hold several capabilities per object, which is what
+	// makes their pages expensive to sweep.
+	Links int
+}
+
+// NewPool allocates the root array and fills every slot.
+func NewPool(rig *Rig, th *kernel.Thread, slots int, sizes SizeDist, ptrFrac float64) (*Pool, error) {
+	if slots <= 0 {
+		panic("workload: pool needs slots")
+	}
+	root, err := rig.Mem.Malloc(th, uint64(slots)*ca.GranuleSize)
+	if err != nil {
+		return nil, fmt.Errorf("pool root: %w", err)
+	}
+	p := &Pool{rig: rig, th: th, root: root, slots: slots, sizes: sizes, PtrFrac: ptrFrac, Links: 1}
+	for i := 0; i < slots; i++ {
+		if err := p.fill(i); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Slots returns the pool capacity.
+func (p *Pool) Slots() int { return p.slots }
+
+// PickSlot draws a slot index with hot/cold skew: with probability hotProb
+// the slot comes from the first hotFrac of the pool. hotFrac ≤ 0 or ≥ 1
+// degenerates to uniform. Skewed picks model the generational locality of
+// real heaps: most frees and accesses hit recently-allocated objects, so
+// only a fraction of pages is re-dirtied while a revocation pass runs.
+func (p *Pool) PickSlot(hotFrac, hotProb float64) int {
+	if hotFrac > 0 && hotFrac < 1 && p.rig.RNG.Float64() < hotProb {
+		n := int(float64(p.slots) * hotFrac)
+		if n < 1 {
+			n = 1
+		}
+		return p.rig.RNG.Intn(n)
+	}
+	return p.rig.RNG.Intn(p.slots)
+}
+
+// slotOff returns the root-array offset of slot i.
+func (p *Pool) slotOff(i int) uint64 { return uint64(i) * ca.GranuleSize }
+
+// Get loads the capability in slot i (a capability load, subject to the
+// load barrier).
+func (p *Pool) Get(i int) (ca.Capability, error) {
+	return p.th.LoadCap(p.root, p.slotOff(i))
+}
+
+// fill allocates a fresh object into slot i and links a random neighbour.
+func (p *Pool) fill(i int) error {
+	size := p.sizes.Sample(p.rig.RNG)
+	obj, err := p.rig.Mem.Malloc(p.th, size)
+	if err != nil {
+		return err
+	}
+	// Initialize the object (data store over its first bytes).
+	n := obj.Len()
+	if n > 256 {
+		n = 256
+	}
+	if err := p.th.Store(obj, 0, n); err != nil {
+		return err
+	}
+	if err := p.th.StoreCap(p.root, p.slotOff(i), obj); err != nil {
+		return err
+	}
+	for l := 0; l < p.Links; l++ {
+		off := uint64(1+l) * ca.GranuleSize
+		if obj.Len() < off+ca.GranuleSize || p.rig.RNG.Float64() >= p.PtrFrac {
+			continue
+		}
+		// Link to a random other object: load its capability from the
+		// root array and store it inside this object.
+		j := p.rig.RNG.Intn(p.slots)
+		other, err := p.th.LoadCap(p.root, p.slotOff(j))
+		if err != nil {
+			return err
+		}
+		if other.Tag() {
+			if err := p.th.StoreCap(obj, off, other); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Replace frees the object in slot i (through the configured malloc API —
+// quarantining under mrs) and allocates a replacement. This is the pool's
+// churn step.
+func (p *Pool) Replace(i int) error {
+	old, err := p.Get(i)
+	if err != nil {
+		return err
+	}
+	if old.Tag() {
+		if err := p.rig.Mem.Free(p.th, old); err != nil {
+			return fmt.Errorf("pool free slot %d: %w", i, err)
+		}
+	}
+	return p.fill(i)
+}
+
+// Access touches the object in slot i: loads touch bytes of its data, then
+// follows up to chase internal capability links, touching each object on
+// the way. Stale links (revoked or overwritten) end the chase.
+func (p *Pool) Access(i int, touch uint64, chase int) error {
+	obj, err := p.Get(i)
+	if err != nil {
+		return err
+	}
+	for {
+		if !obj.Tag() {
+			return nil
+		}
+		n := touch
+		if n > obj.Len() {
+			n = obj.Len()
+		}
+		if n > 0 {
+			if err := p.th.Load(obj, 0, n); err != nil {
+				return err
+			}
+		}
+		if chase == 0 || obj.Len() < 2*ca.GranuleSize {
+			return nil
+		}
+		chase--
+		next, err := p.th.LoadCap(obj, ca.GranuleSize)
+		if err != nil {
+			return err
+		}
+		obj = next
+	}
+}
+
+// Mutate stores size bytes into slot i's object (dirtying data), and with
+// probability relink stores a fresh capability link (dirtying the page for
+// capability tracking).
+func (p *Pool) Mutate(i int, size uint64, relink float64) error {
+	obj, err := p.Get(i)
+	if err != nil {
+		return err
+	}
+	if !obj.Tag() {
+		return nil
+	}
+	if size > obj.Len() {
+		size = obj.Len()
+	}
+	if size > 0 {
+		if err := p.th.Store(obj, 0, size); err != nil {
+			return err
+		}
+	}
+	if obj.Len() >= 2*ca.GranuleSize && p.rig.RNG.Float64() < relink {
+		j := p.rig.RNG.Intn(p.slots)
+		other, err := p.Get(j)
+		if err != nil {
+			return err
+		}
+		if other.Tag() {
+			if err := p.th.StoreCap(obj, ca.GranuleSize, other); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Drain frees every live object (end-of-run teardown).
+func (p *Pool) Drain() error {
+	for i := 0; i < p.slots; i++ {
+		obj, err := p.Get(i)
+		if err != nil {
+			return err
+		}
+		if obj.Tag() {
+			if err := p.rig.Mem.Free(p.th, obj); err != nil {
+				return err
+			}
+			if err := p.th.StoreCap(p.root, p.slotOff(i), ca.Null(0)); err != nil {
+				return err
+			}
+		}
+	}
+	return p.rig.Mem.Free(p.th, p.root)
+}
+
+var _ alloc.API = (*alloc.Heap)(nil)

@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+)
+
+// withRig runs fn as the app thread of a bare-heap rig.
+func withRig(t *testing.T, fn func(rig *Rig, th *kernel.Thread)) {
+	t.Helper()
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	p := m.NewProcess(5)
+	h := alloc.NewHeap(p)
+	rig := &Rig{
+		M: m, P: p, Mem: h,
+		Lat:      &metrics.Samples{},
+		RNG:      rand.New(rand.NewSource(5)),
+		AppCores: []int{3},
+		Scale:    64,
+	}
+	p.Spawn("app", []int{3}, func(th *kernel.Thread) { fn(rig, th) })
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeDist(t *testing.T) {
+	d := NewSizeDist([]uint64{16, 32, 64}, []int{1, 2, 1})
+	if d.Mean() != (16+64+64)/4 {
+		t.Fatalf("mean = %d", d.Mean())
+	}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[uint64]int{}
+	for i := 0; i < 4000; i++ {
+		counts[d.Sample(rng)]++
+	}
+	if counts[16] == 0 || counts[32] == 0 || counts[64] == 0 {
+		t.Fatalf("sampling missed a size: %v", counts)
+	}
+	if counts[32] < counts[16] || counts[32] < counts[64] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+	if Uniform(128).Sample(rng) != 128 {
+		t.Fatal("uniform dist broken")
+	}
+}
+
+func TestPoolFillAndAccess(t *testing.T) {
+	withRig(t, func(rig *Rig, th *kernel.Thread) {
+		pool, err := NewPool(rig, th, 64, Uniform(128), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pool.Slots() != 64 {
+			t.Fatalf("slots = %d", pool.Slots())
+		}
+		for i := 0; i < 64; i++ {
+			c, err := pool.Get(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !c.Tag() || c.Len() != 128 {
+				t.Fatalf("slot %d holds %v", i, c)
+			}
+			if err := pool.Access(i, 64, 3); err != nil {
+				t.Fatalf("access %d: %v", i, err)
+			}
+		}
+	})
+}
+
+func TestPoolReplaceChurns(t *testing.T) {
+	withRig(t, func(rig *Rig, th *kernel.Thread) {
+		pool, err := NewPool(rig, th, 16, Uniform(256), 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before, _ := pool.Get(3)
+		heap := rig.Mem.(*alloc.Heap)
+		frees := heap.Stats().Frees
+		for i := 0; i < 50; i++ {
+			if err := pool.Replace(3); err != nil {
+				t.Fatal(err)
+			}
+		}
+		after, _ := pool.Get(3)
+		if !after.Tag() {
+			t.Fatal("slot empty after churn")
+		}
+		if heap.Stats().Frees != frees+50 {
+			t.Fatalf("frees = %d, want %d", heap.Stats().Frees, frees+50)
+		}
+		_ = before
+	})
+}
+
+func TestPoolMutateAndLinks(t *testing.T) {
+	withRig(t, func(rig *Rig, th *kernel.Thread) {
+		pool, err := NewPool(rig, th, 32, Uniform(256), 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool.Links = 4
+		// Refill everything so multi-link objects exist.
+		for i := 0; i < 32; i++ {
+			if err := pool.Replace(i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Each 256 B object has room for 4 links at granules 1-4; with
+		// PtrFrac 1 every link slot should be populated.
+		obj, _ := pool.Get(0)
+		links := 0
+		for l := 1; l <= 4; l++ {
+			c, err := th.LoadCap(obj, uint64(l)*16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Tag() {
+				links++
+			}
+		}
+		if links != 4 {
+			t.Fatalf("object has %d links, want 4", links)
+		}
+		if err := pool.Mutate(0, 64, 1.0); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestPoolChaseEndsAtStaleLink(t *testing.T) {
+	withRig(t, func(rig *Rig, th *kernel.Thread) {
+		pool, err := NewPool(rig, th, 8, Uniform(128), 1.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Break a link by overwriting it with data, then chase through it:
+		// must terminate without error.
+		obj, _ := pool.Get(0)
+		if err := th.Store(obj, 16, 16); err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Access(0, 32, 5); err != nil {
+			t.Fatalf("chase across broken link: %v", err)
+		}
+	})
+}
+
+func TestPoolPickSlotSkew(t *testing.T) {
+	withRig(t, func(rig *Rig, th *kernel.Thread) {
+		pool, err := NewPool(rig, th, 100, Uniform(64), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hot := 0
+		for i := 0; i < 2000; i++ {
+			if pool.PickSlot(0.1, 0.9) < 10 {
+				hot++
+			}
+		}
+		if hot < 1600 {
+			t.Fatalf("hot picks = %d/2000, want ≥ 1600", hot)
+		}
+		// Degenerate parameters are uniform.
+		low := 0
+		for i := 0; i < 2000; i++ {
+			if pool.PickSlot(0, 0.9) < 10 {
+				low++
+			}
+		}
+		if low > 400 {
+			t.Fatalf("uniform picks skewed: %d/2000 in first decile", low)
+		}
+	})
+}
+
+func TestPoolDrain(t *testing.T) {
+	withRig(t, func(rig *Rig, th *kernel.Thread) {
+		heap := rig.Mem.(*alloc.Heap)
+		pool, err := NewPool(rig, th, 16, Uniform(128), 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := pool.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		if live := heap.LiveBytes(); live != 0 {
+			t.Fatalf("live bytes after drain = %d", live)
+		}
+	})
+}
+
+func TestRigSpawnJoin(t *testing.T) {
+	withRig(t, func(rig *Rig, th *kernel.Thread) {
+		done := 0
+		rig.SpawnApp("w1", []int{2}, func(t2 *kernel.Thread) {
+			t2.Work(10_000)
+			done++
+		})
+		rig.SpawnApp("w2", []int{1}, func(t2 *kernel.Thread) {
+			t2.Work(20_000)
+			done++
+		})
+		rig.Join(th)
+		if done != 2 {
+			t.Fatalf("join returned with %d/2 workers done", done)
+		}
+	})
+}
+
+func TestScaleBytes(t *testing.T) {
+	r := &Rig{Scale: 64}
+	if r.ScaleBytes(640) != 10 {
+		t.Fatal("scale wrong")
+	}
+	if r.ScaleBytes(1) != 1 {
+		t.Fatal("scale floor wrong")
+	}
+}

@@ -1,0 +1,154 @@
+// Package qps is a surrogate for the gRPC QPS client/server experiment
+// (§5.3): a two-thread asynchronous server pinned to cores 2 and 3, fed by
+// 20 channels with 4 outstanding messages each, measuring throughput and
+// per-message latency percentiles. The revoker is deliberately NOT pinned
+// in this experiment, so background revocation competes with the server
+// for CPU — the source of the paper's 99.9th-percentile pathology (§7.7).
+//
+// The client is modelled as a closed loop: each completed reply schedules
+// the credit's next arrival one round trip later. Latency is measured from
+// arrival to reply, so queueing delay incurred while the server is paused
+// or preempted is included.
+package qps
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+// QPS is the workload.
+type QPS struct {
+	// MeasureCycles is the measurement window after warmup.
+	MeasureCycles uint64
+	// WarmupCycles precede measurement (discarded).
+	WarmupCycles uint64
+	// ChannelsPerThread and Outstanding shape the closed loop: credits =
+	// channels × outstanding per server thread.
+	ChannelsPerThread, Outstanding int
+
+	// Messages counts measured messages (for throughput).
+	Messages uint64
+}
+
+// New returns the paper's scenario scaled to a short window: 10 channels ×
+// 4 outstanding per each of two threads.
+func New(measure, warmup uint64) *QPS {
+	return &QPS{
+		MeasureCycles:     measure,
+		WarmupCycles:      warmup,
+		ChannelsPerThread: 10,
+		Outstanding:       4,
+	}
+}
+
+// Name implements workload.Workload.
+func (w *QPS) Name() string { return "grpc-qps" }
+
+// Full-scale calibration constants.
+const (
+	// dataPoolBytes models the server's live message/session state
+	// (Table 2: 340 MiB mean heap).
+	dataPoolBytes = 340 << 20
+	// scratchPerMsg is the full-scale per-message allocation churn.
+	scratchPerMsg = 56 << 10
+	// rttCycles is the client round trip (~24 µs).
+	rttCycles = 60_000
+)
+
+// arrivalHeap is a min-heap of message arrival times.
+type arrivalHeap []uint64
+
+func (h arrivalHeap) Len() int            { return len(h) }
+func (h arrivalHeap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h arrivalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *arrivalHeap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *arrivalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Body implements workload.Workload: the primary thread runs one server
+// loop on core 3 and spawns the second on core 2.
+func (w *QPS) Body(rig *workload.Rig, th *kernel.Thread) {
+	rig.SpawnApp("qps-server-1", []int{2}, func(th2 *kernel.Thread) {
+		w.serve(rig, th2, 1)
+	})
+	w.serve(rig, th, 0)
+	rig.Join(th)
+}
+
+// serve is one server thread's loop.
+func (w *QPS) serve(rig *workload.Rig, th *kernel.Thread, idx int) {
+	rng := rig.RNG
+	sizes := workload.NewSizeDist([]uint64{1024, 4096, 16384}, []int{4, 2, 1})
+	poolBytes := rig.ScaleBytes(dataPoolBytes) / 2 // split across threads
+	slots := int(poolBytes / sizes.Mean())
+	if slots < 16 {
+		slots = 16
+	}
+	data, err := workload.NewPool(rig, th, slots, sizes, 0.3)
+	if err != nil {
+		panic(fmt.Sprintf("qps: %v", err))
+	}
+	scratchSizes := workload.NewSizeDist([]uint64{128, 512, 2048}, []int{3, 2, 1})
+	scratchObjs := int(rig.ScaleBytes(scratchPerMsg) / scratchSizes.Mean())
+	if scratchObjs < 2 {
+		scratchObjs = 2
+	}
+	scratch, err := workload.NewPool(rig, th, scratchObjs, scratchSizes, 0.2)
+	if err != nil {
+		panic(fmt.Sprintf("qps: %v", err))
+	}
+
+	// Seed the closed loop: all credits arrive staggered across one RTT.
+	credits := w.ChannelsPerThread * w.Outstanding
+	arr := make(arrivalHeap, 0, credits)
+	start := th.Sim.Now()
+	for i := 0; i < credits; i++ {
+		arr = append(arr, start+uint64(i)*rttCycles/uint64(credits))
+	}
+	heap.Init(&arr)
+
+	measureStart := start + w.WarmupCycles
+	end := measureStart + w.MeasureCycles
+	for {
+		now := th.Sim.Now()
+		if now >= end {
+			return
+		}
+		arrival := arr[0]
+		if arrival > now {
+			th.Idle(arrival - now)
+		}
+		heap.Pop(&arr)
+		// Unmarshal, handle, marshal, reply.
+		th.Syscall(900) // recv
+		th.Work(2_500)
+		if err := data.Access(rng.Intn(data.Slots()), 1024, 1); err != nil {
+			panic(fmt.Sprintf("qps: access: %v", err))
+		}
+		if err := data.Mutate(rng.Intn(data.Slots()), 512, 0.05); err != nil {
+			panic(fmt.Sprintf("qps: mutate: %v", err))
+		}
+		for i := 0; i < scratch.Slots(); i++ {
+			if err := scratch.Replace(i); err != nil {
+				panic(fmt.Sprintf("qps: scratch: %v", err))
+			}
+		}
+		th.Work(1_800)
+		th.Syscall(900) // send
+		done := th.Sim.Now()
+		if done >= measureStart && done < end {
+			rig.Lat.AddU(done - arrival)
+			w.Messages++
+		}
+		// The client sends this credit's next message one RTT later.
+		heap.Push(&arr, done+rttCycles)
+	}
+}

@@ -1,0 +1,78 @@
+package qps
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func runQPS(t *testing.T, w *QPS) *workload.Rig {
+	t.Helper()
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	p := m.NewProcess(6)
+	h := alloc.NewHeap(p)
+	rig := &workload.Rig{
+		M: m, P: p, Mem: h,
+		Lat:      &metrics.Samples{},
+		RNG:      rand.New(rand.NewSource(6)),
+		AppCores: []int{3},
+		Scale:    64,
+	}
+	p.Spawn("server-0", []int{3}, func(th *kernel.Thread) { w.Body(rig, th) })
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return rig
+}
+
+func TestTwoServerThreadsRun(t *testing.T) {
+	w := New(100_000_000, 10_000_000)
+	rig := runQPS(t, w)
+	// Both server cores must have been busy.
+	if rig.M.Eng.CoreBusy(2) == 0 || rig.M.Eng.CoreBusy(3) == 0 {
+		t.Fatalf("core busy: c2=%d c3=%d", rig.M.Eng.CoreBusy(2), rig.M.Eng.CoreBusy(3))
+	}
+}
+
+func TestMessagesAndLatenciesRecorded(t *testing.T) {
+	w := New(100_000_000, 10_000_000)
+	rig := runQPS(t, w)
+	if w.Messages == 0 {
+		t.Fatal("no messages measured")
+	}
+	if uint64(rig.Lat.N()) != w.Messages {
+		t.Fatalf("latencies %d != messages %d", rig.Lat.N(), w.Messages)
+	}
+	// Closed loop: latency at least includes some queueing/service.
+	if rig.Lat.Min() <= 0 {
+		t.Fatal("nonpositive latency")
+	}
+}
+
+func TestWarmupDiscarded(t *testing.T) {
+	short := New(50_000_000, 50_000_000)
+	rig := runQPS(t, short)
+	// Messages completing inside warmup must not be measured; with warmup
+	// == measure the counted messages are roughly half of all replies.
+	if short.Messages == 0 {
+		t.Fatal("no measured messages")
+	}
+	_ = rig
+}
+
+func TestThroughputSaturates(t *testing.T) {
+	// Doubling the measurement window should roughly double message count
+	// (the server is load-bound, not client-bound).
+	w1 := New(60_000_000, 10_000_000)
+	runQPS(t, w1)
+	w2 := New(120_000_000, 10_000_000)
+	runQPS(t, w2)
+	ratio := float64(w2.Messages) / float64(w1.Messages)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("throughput not stable: %d vs %d (ratio %.2f)", w1.Messages, w2.Messages, ratio)
+	}
+}

@@ -1,0 +1,264 @@
+// Package spec provides synthetic surrogates for the eight SPEC CPU2006
+// INT benchmarks that compile as pure-capability CHERI programs (§5.1):
+// astar, bzip2, gobmk, hmmer, libquantum, omnetpp, sjeng and xalancbmk.
+//
+// SPEC's sources and inputs are proprietary, so each surrogate is a
+// parameterized churn program calibrated to the paper's Table 2: mean
+// allocated heap, total freed volume (and hence freed:allocated ratio and
+// revocation rate under the mrs policy), allocation-size mixture, pointer
+// density and pointer-chase depth. Footprints are divided by the rig's
+// Scale (64 in the shipped experiments) and churn volume by a further 4×,
+// which scales revocation counts to roughly a quarter of the paper's;
+// DESIGN.md discusses why overhead ratios survive this scaling.
+package spec
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/workload"
+)
+
+// churnDiv is the extra divisor applied to churn volume beyond the rig
+// scale.
+const churnDiv = 8
+
+// Profile parameterizes one benchmark surrogate with full-scale values.
+type Profile struct {
+	// Bench and Input name the benchmark and its workload input (astar,
+	// bzip2, gobmk and hmmer have multiple inputs, aggregated by geomean
+	// in Figure 1).
+	Bench, Input string
+	// LiveBytes is the full-scale mean allocated heap (Table 2 "Mean
+	// Alloc").
+	LiveBytes uint64
+	// ChurnBytes is the full-scale total freed volume (Table 2 "Sum
+	// Freed").
+	ChurnBytes uint64
+	// Sizes is the allocation-size mixture.
+	Sizes workload.SizeDist
+	// PtrFrac is the per-link probability of holding a capability to
+	// another object; Links is the number of link slots per object.
+	PtrFrac float64
+	Links   int
+	// ChaseDepth is the pointer-chase length per access.
+	ChaseDepth int
+	// AccessPerChurn and MutatePerChurn set how many reads and writes
+	// accompany each allocate/free step.
+	AccessPerChurn, MutatePerChurn int
+	// TouchBytes is the data volume touched per access.
+	TouchBytes uint64
+	// WorkPerOp is pure compute per op, in cycles.
+	WorkPerOp uint64
+	// HotFrac/HotProb skew churn and accesses toward a hot subset of the
+	// pool (generational locality); zero means uniform. WriteHotProb, if
+	// non-zero, applies a (typically much stronger) skew to frees and
+	// stores: young objects die young, and stores concentrate in the
+	// nursery, so only a small fraction of pages is re-dirtied while a
+	// revocation pass runs.
+	HotFrac, HotProb, WriteHotProb float64
+	// SyscallEvery sprinkles a system call every N ops (0 = never).
+	SyscallEvery int
+	// ChurnDivOverride replaces the default churn divisor (8) for
+	// benchmarks whose freed:allocated ratio is so low that dividing churn
+	// would eliminate revocation entirely (gobmk: 7 revocations per run at
+	// full scale must not round to zero).
+	ChurnDivOverride uint64
+}
+
+// Name returns "bench" or "bench input".
+func (p Profile) Name() string {
+	if p.Input == "" {
+		return p.Bench
+	}
+	return p.Bench + " " + p.Input
+}
+
+// Body implements workload.Workload.
+func (p Profile) Body(rig *workload.Rig, th *kernel.Thread) {
+	live := rig.ScaleBytes(p.LiveBytes)
+	div := uint64(churnDiv)
+	if p.ChurnDivOverride != 0 {
+		div = p.ChurnDivOverride
+	}
+	churn := rig.ScaleBytes(p.ChurnBytes) / div
+	mean := p.Sizes.Mean()
+	slots := int(live / mean)
+	if slots < 8 {
+		slots = 8
+	}
+	ops := int(churn / mean)
+
+	pool, err := workload.NewPool(rig, th, slots, p.Sizes, p.PtrFrac)
+	if err != nil {
+		panic(fmt.Sprintf("spec %s: %v", p.Name(), err))
+	}
+	if p.Links > 1 {
+		pool.Links = p.Links
+	}
+	writeProb := p.WriteHotProb
+	if writeProb == 0 {
+		writeProb = p.HotProb
+	}
+	for op := 0; op < ops; op++ {
+		if err := pool.Replace(pool.PickSlot(p.HotFrac, writeProb)); err != nil {
+			panic(fmt.Sprintf("spec %s: replace: %v", p.Name(), err))
+		}
+		for a := 0; a < p.AccessPerChurn; a++ {
+			if err := pool.Access(pool.PickSlot(p.HotFrac, p.HotProb), p.TouchBytes, p.ChaseDepth); err != nil {
+				panic(fmt.Sprintf("spec %s: access: %v", p.Name(), err))
+			}
+		}
+		for m := 0; m < p.MutatePerChurn; m++ {
+			if err := pool.Mutate(pool.PickSlot(p.HotFrac, writeProb), p.TouchBytes/2, p.PtrFrac/2); err != nil {
+				panic(fmt.Sprintf("spec %s: mutate: %v", p.Name(), err))
+			}
+		}
+		if p.WorkPerOp > 0 {
+			th.Work(p.WorkPerOp)
+		}
+		if p.SyscallEvery > 0 && op%p.SyscallEvery == p.SyscallEvery-1 {
+			th.Syscall(2_000)
+		}
+	}
+}
+
+// dist is shorthand for NewSizeDist.
+func dist(sizes []uint64, weights []int) workload.SizeDist {
+	return workload.NewSizeDist(sizes, weights)
+}
+
+// Profiles returns every SPEC surrogate, one Profile per (benchmark,
+// input) pair, in the paper's presentation order.
+func Profiles() []Profile {
+	return []Profile{
+		// astar: pathfinding over pointer-linked map graphs; two inputs.
+		{
+			Bench: "astar", Input: "lakes",
+			LiveBytes: 235 << 20, ChurnBytes: 3_610 << 20,
+			Sizes:   dist([]uint64{32, 64, 1024}, []int{2, 4, 1}),
+			PtrFrac: 0.6, Links: 3, ChaseDepth: 3,
+			AccessPerChurn: 6, MutatePerChurn: 2, TouchBytes: 96, WorkPerOp: 260,
+			SyscallEvery: 4096,
+			HotFrac:      0.15, HotProb: 0.7,
+		},
+		{
+			Bench: "astar", Input: "rivers",
+			LiveBytes: 150 << 20, ChurnBytes: 2_300 << 20,
+			Sizes:   dist([]uint64{32, 64, 1024}, []int{2, 4, 1}),
+			PtrFrac: 0.6, Links: 3, ChaseDepth: 3,
+			AccessPerChurn: 6, MutatePerChurn: 2, TouchBytes: 96, WorkPerOp: 260,
+			SyscallEvery: 4096,
+			HotFrac:      0.15, HotProb: 0.7,
+		},
+		// bzip2: large block buffers allocated up front, negligible churn —
+		// never engages revocation (excluded after Figure 1, as in §5.1).
+		{
+			Bench: "bzip2", Input: "input",
+			LiveBytes: 190 << 20, ChurnBytes: 24 << 20,
+			Sizes:   dist([]uint64{1 << 20, 64 << 10}, []int{1, 2}),
+			PtrFrac: 0.02, ChaseDepth: 0,
+			AccessPerChurn: 40, MutatePerChurn: 20, TouchBytes: 4096, WorkPerOp: 2_000,
+		},
+		// gobmk: board-state tree search; modest churn; two inputs.
+		{
+			Bench: "gobmk", Input: "trevord",
+			LiveBytes: 124 << 20, ChurnBytes: 217 << 20, ChurnDivOverride: 1,
+			Sizes:   dist([]uint64{128, 2048}, []int{2, 1}),
+			PtrFrac: 0.4, Links: 2, ChaseDepth: 1,
+			AccessPerChurn: 10, MutatePerChurn: 4, TouchBytes: 256, WorkPerOp: 900,
+			SyscallEvery: 2048,
+			HotFrac:      0.2, HotProb: 0.8,
+		},
+		{
+			Bench: "gobmk", Input: "13x13",
+			LiveBytes: 100 << 20, ChurnBytes: 160 << 20, ChurnDivOverride: 1,
+			Sizes:   dist([]uint64{128, 2048}, []int{2, 1}),
+			PtrFrac: 0.4, Links: 2, ChaseDepth: 1,
+			AccessPerChurn: 10, MutatePerChurn: 4, TouchBytes: 256, WorkPerOp: 900,
+			SyscallEvery: 2048,
+			HotFrac:      0.2, HotProb: 0.8,
+		},
+		// hmmer: profile HMM search: data-heavy scoring matrices, small
+		// heap, churn dominated by the 8 MiB quarantine floor (Figure 3).
+		{
+			Bench: "hmmer", Input: "nph3",
+			LiveBytes: 49_449 << 10, ChurnBytes: 2_110 << 20,
+			Sizes:   dist([]uint64{256, 4096}, []int{2, 1}),
+			PtrFrac: 0.08, ChaseDepth: 0,
+			AccessPerChurn: 6, MutatePerChurn: 3, TouchBytes: 1024, WorkPerOp: 800,
+			HotFrac: 0.3, HotProb: 0.8, WriteHotProb: 0.95,
+		},
+		{
+			Bench: "hmmer", Input: "retro",
+			LiveBytes: 20_890 << 10, ChurnBytes: 593 << 20,
+			Sizes:   dist([]uint64{256, 4096}, []int{2, 1}),
+			PtrFrac: 0.08, ChaseDepth: 0,
+			AccessPerChurn: 6, MutatePerChurn: 3, TouchBytes: 1024, WorkPerOp: 800,
+			HotFrac: 0.3, HotProb: 0.8, WriteHotProb: 0.95,
+		},
+		// libquantum: a few very large state vectors reallocated as the
+		// register grows; streaming touch; quarantine overshoots the
+		// policy target because huge frees land mid-revocation (Figure 3).
+		{
+			Bench: "libquantum", Input: "",
+			LiveBytes: 96 << 20, ChurnBytes: 6_100 << 20,
+			Sizes:   dist([]uint64{128 << 10, 16 << 10}, []int{1, 2}),
+			PtrFrac: 0.0, ChaseDepth: 0,
+			AccessPerChurn: 3, MutatePerChurn: 2, TouchBytes: 32 << 10, WorkPerOp: 5_000,
+		},
+		// omnetpp: discrete-event simulation: tiny event objects, extreme
+		// churn, pointer-chase everywhere — the paper's worst DRAM case.
+		{
+			Bench: "omnetpp", Input: "",
+			LiveBytes: 365 << 20, ChurnBytes: 75_571 << 20,
+			Sizes:   dist([]uint64{64, 128, 256}, []int{5, 3, 2}),
+			PtrFrac: 0.8, Links: 4, ChaseDepth: 3,
+			AccessPerChurn: 2, MutatePerChurn: 1, TouchBytes: 128, WorkPerOp: 300,
+			HotFrac: 0.12, HotProb: 0.65, WriteHotProb: 0.96,
+		},
+		// sjeng: chess with fixed hash tables; effectively no churn —
+		// never engages revocation.
+		{
+			Bench: "sjeng", Input: "",
+			LiveBytes: 172 << 20, ChurnBytes: 10 << 20,
+			Sizes:   dist([]uint64{16 << 10}, []int{1}),
+			PtrFrac: 0.02, ChaseDepth: 0,
+			AccessPerChurn: 50, MutatePerChurn: 25, TouchBytes: 2048, WorkPerOp: 2_500,
+		},
+		// xalancbmk: XSLT over DOM trees: mid-size pointer-rich nodes,
+		// the paper's largest heap and worst wall-clock case.
+		{
+			Bench: "xalancbmk", Input: "",
+			LiveBytes: 625 << 20, ChurnBytes: 68_506 << 20,
+			Sizes:   dist([]uint64{128, 256, 512, 1024, 4096}, []int{3, 3, 3, 2, 1}),
+			PtrFrac: 0.9, Links: 6, ChaseDepth: 2,
+			AccessPerChurn: 3, MutatePerChurn: 1, TouchBytes: 256, WorkPerOp: 160,
+			SyscallEvery: 8192,
+			HotFrac:      0.12, HotProb: 0.65,
+		},
+	}
+}
+
+// ByName returns the profile(s) whose benchmark name matches.
+func ByName(bench string) []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Bench == bench {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// RevocationEngaging returns the profiles that trigger revocation (all but
+// bzip2 and sjeng), used by Figures 2-4 and 9.
+func RevocationEngaging() []Profile {
+	var out []Profile
+	for _, p := range Profiles() {
+		if p.Bench != "bzip2" && p.Bench != "sjeng" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

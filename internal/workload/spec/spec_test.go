@@ -1,0 +1,104 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestProfilesCoverTheEightBenchmarks(t *testing.T) {
+	want := map[string]bool{
+		"astar": true, "bzip2": true, "gobmk": true, "hmmer": true,
+		"libquantum": true, "omnetpp": true, "sjeng": true, "xalancbmk": true,
+	}
+	seen := map[string]bool{}
+	for _, p := range Profiles() {
+		seen[p.Bench] = true
+		if !want[p.Bench] {
+			t.Errorf("unexpected benchmark %q", p.Bench)
+		}
+		if p.LiveBytes == 0 || p.ChurnBytes == 0 {
+			t.Errorf("%s: zero footprint", p.Name())
+		}
+	}
+	for b := range want {
+		if !seen[b] {
+			t.Errorf("missing benchmark %q", b)
+		}
+	}
+	// Multi-input benchmarks have two profiles each.
+	for _, b := range []string{"astar", "gobmk", "hmmer"} {
+		if len(ByName(b)) != 2 {
+			t.Errorf("%s: %d inputs, want 2", b, len(ByName(b)))
+		}
+	}
+}
+
+func TestRevocationEngagingExcludesBzip2Sjeng(t *testing.T) {
+	for _, p := range RevocationEngaging() {
+		if p.Bench == "bzip2" || p.Bench == "sjeng" {
+			t.Fatalf("%s should be excluded", p.Bench)
+		}
+	}
+	if len(RevocationEngaging()) != len(Profiles())-2 {
+		t.Fatal("wrong exclusion count")
+	}
+}
+
+func TestFreedToAllocRatiosOrdered(t *testing.T) {
+	// Table 2's freed:allocated orderings that drive revocation behavior:
+	// omnetpp > xalancbmk > hmmer > astar > gobmk.
+	fa := func(name string) float64 {
+		p := ByName(name)[0]
+		return float64(p.ChurnBytes) / float64(p.LiveBytes)
+	}
+	order := []string{"omnetpp", "xalancbmk", "hmmer", "astar", "gobmk"}
+	for i := 1; i < len(order); i++ {
+		if fa(order[i-1]) <= fa(order[i]) {
+			t.Errorf("F:A(%s)=%.1f should exceed F:A(%s)=%.1f",
+				order[i-1], fa(order[i-1]), order[i], fa(order[i]))
+		}
+	}
+}
+
+func TestNameFormatting(t *testing.T) {
+	if got := ByName("astar")[0].Name(); got != "astar lakes" {
+		t.Fatalf("name = %q", got)
+	}
+	if got := ByName("omnetpp")[0].Name(); got != "omnetpp" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+// TestProfileRunsToCompletion executes the smallest profile end-to-end on a
+// bare heap at a tiny scale.
+func TestProfileRunsToCompletion(t *testing.T) {
+	p := ByName("gobmk")[1]
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	proc := m.NewProcess(2)
+	h := alloc.NewHeap(proc)
+	rig := &workload.Rig{
+		M: m, P: proc, Mem: h,
+		Lat:      &metrics.Samples{},
+		RNG:      rand.New(rand.NewSource(2)),
+		AppCores: []int{3},
+		Scale:    512,
+	}
+	proc.Spawn("app", []int{3}, func(th *kernel.Thread) {
+		p.Body(rig, th)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := h.Stats()
+	if st.Allocs == 0 || st.Frees == 0 {
+		t.Fatalf("no churn: %+v", st)
+	}
+	if proc.Stats().CapLoads == 0 || proc.Stats().CapStores == 0 {
+		t.Fatal("no capability traffic")
+	}
+}

@@ -1,0 +1,76 @@
+// Package workload is the framework the benchmark surrogates are written
+// against. A Workload runs application code on simulated threads against a
+// malloc/free API (the bare heap, the mrs quarantine shim, or the coloring
+// shim), keeping all long-lived pointers in simulated memory or thread
+// registers so revocation semantics are fully exercised.
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/alloc"
+	"repro/internal/kernel"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// Rig is the execution context the harness hands a workload.
+type Rig struct {
+	M   *kernel.Machine
+	P   *kernel.Process
+	Mem alloc.API
+	// Lat collects per-event latencies (transactions, messages) in cycles.
+	Lat *metrics.Samples
+	// RNG drives all workload randomness; seeded by the harness for
+	// reproducibility.
+	RNG *rand.Rand
+	// AppCores is where application threads are pinned.
+	AppCores []int
+	// Scale divides the paper's full-size footprints (64 in the shipped
+	// experiments; see DESIGN.md).
+	Scale uint64
+
+	running int
+	doneEv  *sim.Event
+}
+
+// Workload is a benchmark surrogate.
+type Workload interface {
+	// Name identifies the workload in reports ("omnetpp", "pgbench", ...).
+	Name() string
+	// Body runs the workload's primary application thread. Additional
+	// threads are spawned through rig.SpawnApp; Body must rig.Join before
+	// returning.
+	Body(rig *Rig, th *kernel.Thread)
+}
+
+// SpawnApp starts an additional application thread on the given cores.
+// Join waits for all threads spawned this way.
+func (r *Rig) SpawnApp(name string, cores []int, fn func(th *kernel.Thread)) {
+	if r.doneEv == nil {
+		r.doneEv = r.M.Eng.NewEvent()
+	}
+	r.running++
+	r.P.Spawn(name, cores, func(th *kernel.Thread) {
+		fn(th)
+		r.running--
+		r.doneEv.Broadcast(th.Sim)
+	})
+}
+
+// Join blocks th until all SpawnApp threads have finished.
+func (r *Rig) Join(th *kernel.Thread) {
+	if r.doneEv == nil {
+		return
+	}
+	th.WaitOn(r.doneEv, func() bool { return r.running == 0 })
+}
+
+// ScaleBytes converts a full-scale byte count to this rig's scale.
+func (r *Rig) ScaleBytes(full uint64) uint64 {
+	v := full / r.Scale
+	if v == 0 {
+		v = 1
+	}
+	return v
+}
