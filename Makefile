@@ -1,0 +1,27 @@
+GO ?= go
+
+# Packages with no host concurrency (pure data structures and encoders):
+# cheap enough to run under the race detector on every verify. The
+# simulator packages (sim, kernel, revoke, …) hand off between goroutines
+# one-at-a-time and are exercised by the plain `test` target.
+RACE_PKGS = ./internal/bus ./internal/ca ./internal/metrics ./internal/shadow \
+            ./internal/tmem ./internal/trace ./internal/vm
+
+.PHONY: all build vet test race verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+# verify is the tier-1 gate: everything must pass before a change lands.
+verify: build vet test race

@@ -5,21 +5,29 @@
 // Usage:
 //
 //	cornucopia [-workload NAME] [-strategy NAME] [-scale N] [-seed N] [-workers N]
+//	           [-trace FILE] [-trace-format chrome|csv] [-trace-events N]
 //
 // Workloads: any SPEC surrogate name (astar, bzip2, gobmk, hmmer,
 // libquantum, omnetpp, sjeng, xalancbmk), pgbench, or qps. Strategies:
 // baseline, paintsync, cherivoke, cornucopia, reloaded.
+//
+// -trace runs the workload with the structured tracer enabled and writes
+// the event stream to FILE: Chrome trace_event JSON (open in Perfetto or
+// chrome://tracing) by default or when FILE ends in .json, CSV when it
+// ends in .csv or -trace-format says so.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/revoke"
+	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/workload/pgbench"
 	"repro/internal/workload/qps"
@@ -40,6 +48,30 @@ func condition(name string, workers int) (harness.Condition, error) {
 		return harness.Condition{Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded, RevokerCores: []int{2}, Workers: workers}, nil
 	}
 	return harness.Condition{}, fmt.Errorf("unknown strategy %q", name)
+}
+
+// writeTrace exports the run's trace: chrome JSON or CSV, chosen by the
+// explicit format or the output file's extension.
+func writeTrace(r *harness.Result, path, format string) error {
+	if format == "" {
+		if strings.HasSuffix(path, ".csv") {
+			format = "csv"
+		} else {
+			format = "chrome"
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "chrome", "json":
+		return r.Trace.WriteChrome(f, r.HzGHz)
+	case "csv":
+		return r.Trace.WriteCSV(f)
+	}
+	return fmt.Errorf("unknown trace format %q", format)
 }
 
 func pick(name string, cfg *harness.Config) (workload.Workload, error) {
@@ -67,6 +99,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "background revoker threads (§7.1)")
 	timeline := flag.Bool("timeline", false, "print a per-epoch timeline")
+	traceOut := flag.String("trace", "", "write a structured event trace to this file")
+	traceFormat := flag.String("trace-format", "", "trace format: chrome or csv (default by file extension)")
+	traceEvents := flag.Int("trace-events", 1<<19, "trace ring capacity (most recent events kept)")
 	flag.Parse()
 
 	cfg := harness.SpecConfig()
@@ -82,10 +117,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if *traceOut != "" {
+		cfg.Trace = trace.New(*traceEvents)
+	}
 
 	r, err := harness.Run(w, cond, cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(r, *traceOut, *traceFormat); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace      %d events → %s (%d dropped by ring wrap)\n",
+			r.Trace.Len(), *traceOut, r.Trace.Dropped())
 	}
 
 	fmt.Printf("workload   %s under %s (scale 1/%d, seed %d)\n", r.Workload, r.Condition, cfg.Scale, cfg.Seed)

@@ -23,6 +23,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/ca"
 	"repro/internal/kernel"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -341,6 +342,8 @@ func (a *Allocator) carve(size, align uint64) (*chunk, uint64, error) {
 	}
 	a.heap.insertChunk(ch)
 	a.heap.stats.Chunks++
+	a.th.P.M.Trace.Instant(a.th.Sim.Now(), a.th.Sim.CoreID(), bus.AgentAlloc,
+		trace.KindChunk, a.th.P.Epoch(), res.Base, res.Length)
 	a.cur = ch
 	off := (ch.bump + align - 1) &^ (align - 1)
 	ch.bump = off + size

@@ -1,0 +1,138 @@
+package ca
+
+import (
+	"errors"
+	"testing"
+)
+
+const addrMax = ^uint64(0)
+
+// TestRepresentableBoundsNearTopOfAddressSpace exercises rounding where
+// base+length sits at or just under 2^64: the rounded top must never wrap
+// below the base. Before the saturating fix, (base+length+mask)&^mask
+// wrapped to a tiny value and RepresentableBounds returned ntop < nbase.
+func TestRepresentableBoundsNearTopOfAddressSpace(t *testing.T) {
+	cases := []struct {
+		name         string
+		base, length uint64
+	}{
+		// e == 0 path: small length, base+length wraps.
+		{"small-length-wrap", addrMax - 100, 4096},
+		// e > 0 path: round-up of base+length carries past 2^64.
+		{"roundup-wrap", addrMax - (1 << 20) + 1, 1 << 20},
+		// base+length == 2^64 exactly (sum wraps to 0).
+		{"sum-exactly-2^64", addrMax - (1 << 30) + 1, 1 << 30},
+		// Huge region from a low base.
+		{"huge-length", 1 << 12, addrMax - (1 << 12)},
+		// Both extremes.
+		{"whole-space", 0, addrMax},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			nb, nt := RepresentableBounds(tc.base, tc.length)
+			if nt < nb {
+				t.Fatalf("RepresentableBounds(%#x, %#x) = [%#x,%#x): top wrapped below base",
+					tc.base, tc.length, nb, nt)
+			}
+			if nb > tc.base {
+				t.Fatalf("rounded base %#x above requested base %#x", nb, tc.base)
+			}
+			// The rounded region must cover the request, up to saturation.
+			want := tc.base + tc.length
+			if want < tc.base {
+				want = addrMax
+			}
+			if nt < want {
+				t.Fatalf("rounded top %#x below requested top %#x", nt, want)
+			}
+		})
+	}
+}
+
+// TestRepresentableLengthNearOverflow: padding a length must never wrap to
+// a smaller value — an allocator padding with a wrapped length would carve
+// fewer bytes than the caller asked for.
+func TestRepresentableLengthNearOverflow(t *testing.T) {
+	for _, l := range []uint64{addrMax, addrMax - 1, addrMax - (1 << 13), 1 << 63, (1 << 63) + 1} {
+		if r := RepresentableLength(l); r < l {
+			t.Fatalf("RepresentableLength(%#x) = %#x shrank the request", l, r)
+		}
+	}
+}
+
+// TestNewRootNearTopOfAddressSpace: a root conjured over the top of the
+// address space must stay well-formed (top ≥ base, request covered).
+func TestNewRootNearTopOfAddressSpace(t *testing.T) {
+	c := NewRoot(addrMax-(1<<20)+1, 1<<20, PermsData)
+	if !c.Tag() {
+		t.Fatal("root must be tagged")
+	}
+	if c.Top() < c.Base() {
+		t.Fatalf("root bounds [%#x,%#x): top below base", c.Base(), c.Top())
+	}
+	if c.Top() != addrMax {
+		t.Fatalf("root top = %#x, want saturation at %#x", c.Top(), addrMax)
+	}
+}
+
+// TestSetBoundsOverflowReturnsUntagged: every failing derivation near the
+// top of the address space must come back untagged, never as a tagged
+// capability with wrapped bounds.
+func TestSetBoundsOverflowReturnsUntagged(t *testing.T) {
+	root := NewRoot(0, addrMax, PermsAll)
+
+	// base+length wraps: explicit overflow error, untagged result.
+	d, err := root.WithAddr(addrMax - 16).SetBounds(4096)
+	if !errors.Is(err, ErrLengthOverflow) {
+		t.Fatalf("err = %v, want ErrLengthOverflow", err)
+	}
+	if d.Tag() {
+		t.Fatal("overflowing derivation returned a tagged capability")
+	}
+
+	// Rounding carries past the parent's top: the derivation fails and the
+	// result is untagged. Before the fix the wrapped top slipped past the
+	// nt > c.top check and produced a tagged capability with top < base.
+	parent, err := root.WithAddr(1 << 20).SetBounds(1 << 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = parent.WithAddr((1 << 20) + 4096).SetBounds((1 << 30) - 4096)
+	if err == nil {
+		// Fine if representable inside the parent…
+		if d.Top() < d.Base() || !d.Tag() {
+			t.Fatalf("derivation produced malformed capability %v", d)
+		}
+	} else if d.Tag() {
+		t.Fatal("failed derivation returned a tagged capability")
+	}
+
+	// Derivation whose rounded top saturates: must not exceed the parent
+	// silently nor wrap.
+	d, err = root.WithAddr(addrMax - (1 << 20) + 1).SetBounds(1 << 20)
+	if err != nil {
+		if d.Tag() {
+			t.Fatal("failed derivation returned a tagged capability")
+		}
+	} else {
+		if d.Top() < d.Base() {
+			t.Fatalf("derived bounds [%#x,%#x): top wrapped below base", d.Base(), d.Top())
+		}
+		if d.Top() > root.Top() {
+			t.Fatalf("derived top %#x exceeds parent top %#x", d.Top(), root.Top())
+		}
+	}
+}
+
+// TestSetBoundsExactRejectsSaturatedBounds: saturated (inexact) bounds can
+// never satisfy an exact derivation.
+func TestSetBoundsExactRejectsSaturatedBounds(t *testing.T) {
+	root := NewRoot(0, addrMax, PermsAll)
+	d, err := root.WithAddr(addrMax - (1 << 20) + 1).SetBoundsExact(1 << 20)
+	if err == nil {
+		t.Fatalf("exact derivation of a saturated region succeeded: %v", d)
+	}
+	if d.Tag() {
+		t.Fatal("failed exact derivation returned a tagged capability")
+	}
+}

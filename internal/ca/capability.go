@@ -359,38 +359,57 @@ func exponent(length uint64) uint {
 
 // RepresentableBounds rounds [base, base+length) outward to bounds that the
 // compressed encoding can hold exactly: base rounds down and top rounds up
-// to 2^E alignment.
+// to 2^E alignment. Hardware holds the top in a 65-bit internal value; this
+// model's exclusive top is a uint64, so rounding that would carry past the
+// top of the address space saturates at ^uint64(0) instead of wrapping
+// below the base. Saturated bounds are inexact by construction, so exact
+// derivations over them fail (SetBoundsExact) rather than produce a
+// capability whose top lies below its base.
 func RepresentableBounds(base, length uint64) (nbase, ntop uint64) {
 	e := exponent(length)
+	sum := base + length
+	if sum < base { // request runs past the address space: saturate
+		sum = ^uint64(0)
+	}
 	if e == 0 {
-		return base, base + length
+		return base, sum
 	}
 	mask := (uint64(1) << e) - 1
 	nbase = base &^ mask
-	ntop = (base + length + mask) &^ mask
+	ntop = roundUpSat(sum, mask)
 	// Rounding may have grown the region past the current exponent's reach;
 	// at most one extra iteration is needed.
 	if e2 := exponent(ntop - nbase); e2 > e {
 		mask = (uint64(1) << e2) - 1
 		nbase = base &^ mask
-		ntop = (base + length + mask) &^ mask
+		ntop = roundUpSat(sum, mask)
 	}
 	return nbase, ntop
+}
+
+// roundUpSat rounds v up to the next multiple of mask+1, saturating at the
+// top of the address space instead of wrapping.
+func roundUpSat(v, mask uint64) uint64 {
+	r := (v + mask) &^ mask
+	if r < v {
+		return ^uint64(0)
+	}
+	return r
 }
 
 // RepresentableLength rounds length up to the next value for which bounds
 // starting at a RepresentableAlign-aligned base are exact. Allocators pad
 // allocation sizes with this so returned capabilities never leak slack.
+// Lengths whose padding would exceed 2^64 saturate at ^uint64(0) — the
+// padded request then fails to allocate instead of silently shrinking.
 func RepresentableLength(length uint64) uint64 {
 	e := exponent(length)
 	if e == 0 {
 		return length
 	}
-	mask := (uint64(1) << e) - 1
-	r := (length + mask) &^ mask
+	r := roundUpSat(length, (uint64(1)<<e)-1)
 	if e2 := exponent(r); e2 > e {
-		mask = (uint64(1) << e2) - 1
-		r = (length + mask) &^ mask
+		r = roundUpSat(length, (uint64(1)<<e2)-1)
 	}
 	return r
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/quarantine"
 	"repro/internal/revoke"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -103,6 +104,10 @@ type Result struct {
 
 	// HzGHz converts cycles to seconds for reporting.
 	HzGHz float64
+
+	// Trace is the run's tracer when Config.Trace was set (nil otherwise);
+	// export with Trace.WriteChrome or Trace.WriteCSV.
+	Trace *trace.Tracer
 }
 
 // Seconds converts cycles to seconds at the machine's clock.
@@ -124,6 +129,10 @@ type Config struct {
 	// QuarantineMin is the scaled mrs minimum-quarantine floor (default
 	// 8 MiB / Scale).
 	QuarantineMin uint64
+	// Trace, when non-nil, records structured events from every layer of
+	// the run (see internal/trace). The same tracer is returned in
+	// Result.Trace. Nil disables tracing at no cost.
+	Trace *trace.Tracer
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -148,6 +157,7 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 		cfg.Machine = kernel.DefaultMachineConfig()
 	}
 	m := kernel.NewMachine(cfg.Machine)
+	m.Trace = cfg.Trace // before NewProcess: wires the MMU shootdown hook
 	p := m.NewProcess(cfg.Seed)
 	h := alloc.NewHeap(p)
 
@@ -221,6 +231,7 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 		Heap:         h.Stats(),
 		Lat:          rig.Lat,
 		HzGHz:        cfg.Machine.Sim.HzGHz,
+		Trace:        cfg.Trace,
 	}
 	if shim != nil {
 		res.Quar = shim.Stats()

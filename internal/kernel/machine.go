@@ -10,6 +10,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/sim"
 	"repro/internal/tmem"
+	"repro/internal/trace"
 )
 
 // Costs is the cycle cost table for kernel-visible events. Memory access
@@ -93,6 +94,13 @@ type Machine struct {
 	Phys  *tmem.Phys
 	Bus   *bus.Bus
 	Costs Costs
+
+	// Trace, when non-nil, records structured events from every layer
+	// (epochs, stop-the-world windows, sweeps, load-barrier faults,
+	// shootdowns, quarantine and allocator activity). A nil Trace is a
+	// valid no-op tracer, so hot paths need no guards. Set it before
+	// creating processes so the MMU shootdown hook is wired.
+	Trace *trace.Tracer
 
 	procs []*Process
 }

@@ -8,6 +8,7 @@ import (
 	"repro/internal/ca"
 	"repro/internal/shadow"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -101,6 +102,14 @@ func (m *Machine) NewProcess(seed int64) *Process {
 	p.epochEv = m.Eng.NewEvent()
 	p.stwEv = m.Eng.NewEvent()
 	p.resumeEv = m.Eng.NewEvent()
+	if m.Trace != nil {
+		// The MMU has no clock; timestamp shootdowns with the machine's
+		// wall clock (the initiating core already charged the IPI costs).
+		p.AS.OnShootdown = func() {
+			m.Trace.Instant(m.Eng.WallClock(), -1, bus.AgentKernel,
+				trace.KindShootdown, p.epoch, 0, 0)
+		}
+	}
 	m.procs = append(m.procs, p)
 	return p
 }
@@ -282,6 +291,8 @@ func (p *Process) StopTheWorld(initiator *Thread) {
 	if p.stwActive {
 		panic("kernel: nested StopTheWorld")
 	}
+	p.M.Trace.Begin(initiator.Sim.Now(), initiator.Sim.CoreID(),
+		bus.AgentKernel, trace.KindSTW, p.epoch, 0, 0)
 	p.stwActive = true
 	p.stwInitiator = initiator
 	p.stats.StopTheWorlds++
@@ -338,6 +349,8 @@ func (p *Process) ResumeTheWorld(initiator *Thread) {
 	p.stwActive = false
 	p.stwInitiator = nil
 	p.resumeEv.Broadcast(initiator.Sim)
+	p.M.Trace.End(initiator.Sim.Now(), initiator.Sim.CoreID(),
+		bus.AgentKernel, trace.KindSTW, p.epoch, 0, 0)
 }
 
 // ScanRoots visits every capability root the kernel holds for this process

@@ -8,6 +8,7 @@ import (
 	"repro/internal/shadow"
 	"repro/internal/sim"
 	"repro/internal/tmem"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -346,6 +347,8 @@ func (t *Thread) LoadCap(c ca.Capability, off uint64) (ca.Capability, error) {
 		// traps; the handler installs a current-generation PTE (and sweeps
 		// if the page has become dirty during an epoch).
 		t.P.stats.GenFaults++
+		t.P.M.Trace.Instant(t.Sim.Now(), core, bus.AgentKernel,
+			trace.KindFault, t.P.epoch, va, 0)
 		start := t.Sim.CPU()
 		t.Sim.Tick(t.P.M.Costs.TrapEntry)
 		t.P.barrier.HandleLoadGenFault(t, va, pte)
@@ -366,6 +369,8 @@ func (t *Thread) LoadCap(c ca.Capability, off uint64) (ca.Capability, error) {
 			// Genuine load-generation fault: the armed revoker sweeps the
 			// page in our context and self-heals the load (§3.2).
 			t.P.stats.GenFaults++
+			t.P.M.Trace.Instant(t.Sim.Now(), core, bus.AgentKernel,
+				trace.KindFault, t.P.epoch, va, 1)
 			start := t.Sim.CPU()
 			t.Sim.Tick(t.P.M.Costs.TrapEntry)
 			t.P.barrier.HandleLoadGenFault(t, va, pte)
@@ -493,6 +498,8 @@ func (t *Thread) PaintShadow(auth ca.Capability, addr, length uint64) error {
 	t.pre(t.P.M.Costs.Op)
 	t.Sim.Tick(t.P.M.Bus.AccessRange(t.Sim.CoreID(), shadow.VAOf(addr),
 		maxU64(1, length/ca.GranuleSize/8), t.Agent, true))
+	t.P.M.Trace.Instant(t.Sim.Now(), t.Sim.CoreID(), t.Agent,
+		trace.KindPaint, t.P.epoch, addr, length)
 	return t.P.Shadow.Paint(auth, addr, length)
 }
 
@@ -501,6 +508,8 @@ func (t *Thread) UnpaintShadow(auth ca.Capability, addr, length uint64) error {
 	t.pre(t.P.M.Costs.Op)
 	t.Sim.Tick(t.P.M.Bus.AccessRange(t.Sim.CoreID(), shadow.VAOf(addr),
 		maxU64(1, length/ca.GranuleSize/8), t.Agent, true))
+	t.P.M.Trace.Instant(t.Sim.Now(), t.Sim.CoreID(), t.Agent,
+		trace.KindUnpaint, t.P.epoch, addr, length)
 	return t.P.Shadow.Unpaint(auth, addr, length)
 }
 

@@ -17,9 +17,11 @@ import (
 	"fmt"
 
 	"repro/internal/alloc"
+	"repro/internal/bus"
 	"repro/internal/ca"
 	"repro/internal/kernel"
 	"repro/internal/revoke"
+	"repro/internal/trace"
 )
 
 // ErrQuarantinedDoubleFree is returned when an object already in
@@ -120,7 +122,13 @@ func (q *Shim) Malloc(th *kernel.Thread, size uint64) (ca.Capability, error) {
 			// clears, drain it, and trigger for our buffer.
 			q.stats.Blocks++
 			t0 := th.Sim.Now()
-			th.P.WaitEpochAtLeast(th, q.inflight.target)
+			tr := th.P.M.Trace
+			target := q.inflight.target
+			tr.Begin(t0, th.Sim.CoreID(), bus.AgentAlloc,
+				trace.KindQuarBlock, th.P.Epoch(), target, 0)
+			th.P.WaitEpochAtLeast(th, target)
+			tr.End(th.Sim.Now(), th.Sim.CoreID(), bus.AgentAlloc,
+				trace.KindQuarBlock, th.P.Epoch(), target, 0)
 			q.stats.BlockCycles += th.Sim.Now() - t0
 			q.drainIfClear(th)
 			if q.inflight == nil {
@@ -143,6 +151,8 @@ func (q *Shim) trigger(th *kernel.Thread) {
 	e := q.S.RequestRevocation(th)
 	buf := q.cur
 	buf.target = kernel.EpochClearTarget(e)
+	th.P.M.Trace.Instant(th.Sim.Now(), th.Sim.CoreID(), bus.AgentAlloc,
+		trace.KindQuarTrigger, e, buf.bytes, buf.target)
 	q.inflight = &buf
 	q.cur = buffer{}
 	q.stats.Triggers++
@@ -158,6 +168,8 @@ func (q *Shim) drainIfClear(th *kernel.Thread) {
 	}
 	buf := q.inflight
 	q.inflight = nil
+	th.P.M.Trace.Instant(th.Sim.Now(), th.Sim.CoreID(), bus.AgentAlloc,
+		trace.KindQuarFlush, th.P.Epoch(), buf.bytes, uint64(len(buf.entries)))
 	for _, e := range buf.entries {
 		auth, ok := q.H.PaintAuth(e.base)
 		if !ok {

@@ -231,6 +231,81 @@ func TestStatsSamples(t *testing.T) {
 	}
 }
 
+// TestEpochParityBoundary pins the §2.2.3 parity rule at its boundaries by
+// driving the epoch counter by hand (the service is never started, so no
+// pass runs behind our back): memory painted at an even epoch e may drain
+// exactly when the counter reaches e+2 — not at e (trigger time) and not at
+// e+1 (the pass is still in flight) — and memory painted while the counter
+// is odd (a pass already running that may have swept the span before the
+// paint) must wait a full extra pass, draining exactly at e+3.
+func TestEpochParityBoundary(t *testing.T) {
+	r := newRig(revoke.PaintSync, smallPolicy())
+	r.p.Spawn("app", []int{3}, func(th *kernel.Thread) {
+		// --- painted at even e=0: clear target 2 -----------------------
+		c, err := r.q.Malloc(th, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.q.Free(th, c); err != nil {
+			t.Fatal(err)
+		}
+		if e := r.p.Epoch(); e != 0 {
+			t.Fatalf("initial epoch = %d", e)
+		}
+		r.q.trigger(th)
+		if r.q.inflight == nil || r.q.inflight.target != 2 {
+			t.Fatalf("even-e trigger target = %+v, want 2", r.q.inflight)
+		}
+		r.q.drainIfClear(th)
+		if r.q.inflight == nil {
+			t.Fatal("drained at the trigger epoch itself (0 < target 2)")
+		}
+		r.p.AdvanceEpoch(th) // 1: pass in flight
+		r.q.drainIfClear(th)
+		if r.q.inflight == nil {
+			t.Fatal("drained mid-pass at epoch 1 (off-by-one: 1 < target 2)")
+		}
+		r.p.AdvanceEpoch(th) // 2: pass complete
+		r.q.drainIfClear(th)
+		if r.q.inflight != nil {
+			t.Fatal("not drained at the even-e clear target 2")
+		}
+
+		// --- painted at odd e=3 (mid-epoch): clear target 6 ------------
+		r.p.AdvanceEpoch(th) // 3: a new pass is in flight
+		c2, err := r.q.Malloc(th, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := r.q.Free(th, c2); err != nil {
+			t.Fatal(err)
+		}
+		r.q.trigger(th)
+		if r.q.inflight == nil || r.q.inflight.target != 6 {
+			t.Fatalf("odd-e trigger target = %+v, want 6 (= 3+3)", r.q.inflight)
+		}
+		for e := uint64(4); e <= 5; e++ {
+			r.p.AdvanceEpoch(th)
+			r.q.drainIfClear(th)
+			if r.q.inflight == nil {
+				t.Fatalf("drained at epoch %d; the in-flight pass at paint time must not count", e)
+			}
+		}
+		r.p.AdvanceEpoch(th) // 6: the first full pass after the paint ended
+		r.q.drainIfClear(th)
+		if r.q.inflight != nil {
+			t.Fatal("not drained at the odd-e clear target 6")
+		}
+		// Both objects' storage is reusable only now.
+		if th.P.Shadow.Test(c.Base()) || th.P.Shadow.Test(c2.Base()) {
+			t.Fatal("shadow still painted after both drains")
+		}
+	})
+	if err := r.m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestFreeInvalidCapabilities(t *testing.T) {
 	r := newRig(revoke.Reloaded, smallPolicy())
 	r.runApp(t, func(th *kernel.Thread) {

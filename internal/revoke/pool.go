@@ -61,7 +61,9 @@ func (p *Pool) Start() {
 	}
 }
 
-// Shutdown stops the workers after in-flight epochs complete.
+// Shutdown stops the workers. The queue is drained first: every request
+// accepted before Shutdown still runs its epoch; workers exit only once
+// the queue is empty. Requests submitted after Shutdown panic (see submit).
 func (p *Pool) Shutdown(th *kernel.Thread) {
 	p.shutdown = true
 	p.reqEv.Broadcast(th.Sim)
@@ -76,8 +78,14 @@ func (p *Pool) Attach(proc *kernel.Process, cfg Config) *Service {
 	return s
 }
 
-// submit enqueues a service's pending revocation request.
+// submit enqueues a service's pending revocation request. Submitting to a
+// shut-down pool is a caller bug — the workers are gone, so the request
+// (and the epoch the caller's quarantined memory waits on) would be
+// dropped silently; panic instead of hanging the caller later.
 func (p *Pool) submit(th *kernel.Thread, s *Service) {
+	if p.shutdown {
+		panic("revoke: revocation request submitted to a shut-down pool")
+	}
 	if p.queued[s] {
 		return
 	}
@@ -91,6 +99,11 @@ func (p *Pool) submit(th *kernel.Thread, s *Service) {
 // state (stop-the-world, epoch counter, page tables) is the target
 // process's. Because kernel.Thread carries its process affiliation, the
 // worker borrows a thread bound to the target process for the duration.
+//
+// Shutdown ordering: queued work is popped before the shutdown flag is
+// honored, so a Shutdown racing a non-empty queue drains it — each queued
+// service's reqPending epoch still runs — and workers exit only when the
+// queue is empty.
 func (p *Pool) work(th *kernel.Thread) {
 	for {
 		th.WaitOn(p.reqEv, func() bool { return p.shutdown || len(p.queue) > 0 })

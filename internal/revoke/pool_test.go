@@ -109,6 +109,98 @@ func TestPoolAttachedServiceRefusesStart(t *testing.T) {
 	s.Start()
 }
 
+// TestPoolShutdownUnderLoad shuts the pool down while its queue is still
+// non-empty: a single worker, three services with pending requests, and a
+// Shutdown issued immediately after the last submit. The drain contract
+// (see Pool.work) says every request accepted before Shutdown still runs
+// its epoch — none of the reqPending flags may be dropped, and the run must
+// not deadlock.
+func TestPoolShutdownUnderLoad(t *testing.T) {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	host := m.NewProcess(1)
+	pool := revoke.NewPool(m, host, 1, []int{2})
+	pool.Start()
+	p := m.NewProcess(2)
+	h := alloc.NewHeap(p)
+	svcs := []*revoke.Service{
+		pool.Attach(p, revoke.Config{Strategy: revoke.CHERIvoke}),
+		pool.Attach(p, revoke.Config{Strategy: revoke.CHERIvoke}),
+		pool.Attach(p, revoke.Config{Strategy: revoke.CHERIvoke}),
+	}
+	p.Spawn("app", []int{3}, func(th *kernel.Thread) {
+		if _, err := h.Alloc(th, 64); err != nil {
+			t.Error(err)
+			return
+		}
+		for _, s := range svcs {
+			s.RequestRevocation(th)
+		}
+		pool.Shutdown(th) // queue still holds all three requests
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range svcs {
+		if n := len(s.Records()); n != 1 {
+			t.Errorf("service %d ran %d epochs after shutdown-under-load, want 1", i, n)
+		}
+	}
+}
+
+// TestPoolSubmitAfterShutdownPanics pins the other half of the drain
+// contract: a request submitted after Shutdown has no worker to serve it
+// and must panic rather than be dropped silently.
+func TestPoolSubmitAfterShutdownPanics(t *testing.T) {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	host := m.NewProcess(1)
+	pool := revoke.NewPool(m, host, 1, []int{2})
+	pool.Start()
+	p := m.NewProcess(2)
+	s := pool.Attach(p, revoke.Config{Strategy: revoke.CHERIvoke})
+	p.Spawn("app", []int{3}, func(th *kernel.Thread) {
+		pool.Shutdown(th)
+		defer func() {
+			if recover() == nil {
+				t.Error("RequestRevocation on a shut-down pool did not panic")
+			}
+		}()
+		s.RequestRevocation(th)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolAttachedMultiWorkerService attaches a service configured with
+// Workers > 1 to a pool. Pool-attached services never spawn worker
+// threads, so the borrowed pool thread must claim and sweep every slice
+// itself; under the old fixed-assignment scheme this deadlocked waiting
+// for workers that did not exist.
+func TestPoolAttachedMultiWorkerService(t *testing.T) {
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	host := m.NewProcess(1)
+	pool := revoke.NewPool(m, host, 1, []int{2})
+	pool.Start()
+	p := m.NewProcess(2)
+	h := alloc.NewHeap(p)
+	s := pool.Attach(p, revoke.Config{Strategy: revoke.Reloaded, Workers: 4})
+	p.Spawn("app", []int{3}, func(th *kernel.Thread) {
+		if _, err := h.Alloc(th, 64); err != nil {
+			t.Error(err)
+			return
+		}
+		e := s.RequestRevocation(th)
+		p.WaitEpochAtLeast(th, kernel.EpochClearTarget(e))
+		pool.Shutdown(th)
+	})
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Records()) == 0 {
+		t.Fatal("pool-attached multi-worker service ran no epoch")
+	}
+}
+
 func TestPoolCoalescesDuplicateRequests(t *testing.T) {
 	m := kernel.NewMachine(kernel.DefaultMachineConfig())
 	host := m.NewProcess(1)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ca"
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/vm"
 )
 
@@ -136,10 +137,15 @@ type Service struct {
 	// epoch counter value they may be released at.
 	deadResv []deadReservation
 
-	// worker coordination (§7.1)
+	// worker coordination (§7.1). Slices are claimed dynamically: whoever
+	// is free — a worker thread or the service thread itself — takes the
+	// next unclaimed slice, so the epoch converges even if some (or all)
+	// workers are absent: never spawned for a pool-attached service, or
+	// already exited at shutdown.
 	workSlices [][]pageRef
 	workSeq    int
-	workLeft   int
+	workNext   int // next unclaimed slice index
+	workLeft   int // slices not yet fully swept
 	workGen    uint8
 }
 
@@ -256,6 +262,8 @@ func (s *Service) RevokeEpoch(th *kernel.Thread) EpochRecord {
 	p.AdvanceEpoch(th) // counter becomes odd: pass in flight
 	rec.Epoch = p.Epoch()
 	s.cur = &rec
+	p.M.Trace.Begin(th.Sim.Now(), th.Sim.CoreID(), bus.AgentRevoker,
+		trace.KindEpoch, rec.Epoch, 0, 0)
 
 	switch s.cfg.Strategy {
 	case PaintSync:
@@ -276,6 +284,8 @@ func (s *Service) RevokeEpoch(th *kernel.Thread) EpochRecord {
 	rec.FaultCycles = stats.GenFaultCycles - s.faultCyclesBase
 	p.AdvanceEpoch(th) // counter even: pass complete
 	rec.EndCycle = th.Sim.Now()
+	p.M.Trace.End(rec.EndCycle, th.Sim.CoreID(), bus.AgentRevoker,
+		trace.KindEpoch, rec.Epoch, rec.CapsRevoked, rec.PagesVisited)
 	s.cur = nil
 	s.records = append(s.records, rec)
 	s.releaseDeadReservations(th)
@@ -517,18 +527,19 @@ func (s *Service) HandleLoadGenFault(th *kernel.Thread, va uint64, pte *vm.PTE) 
 // sweeps inline. newGen selects Reloaded's visit (non-zero semantics: pass
 // the generation) versus Cornucopia's plain sweep (gen handling off, pass
 // 0 and use plain SweepPage); we disambiguate with the strategy.
+//
+// With Workers > 1 the page list is partitioned into Workers slices which
+// are claimed dynamically: the broadcast wakes the worker threads, and the
+// service thread drains alongside them. When Workers exceeds the page
+// count the tail slices are empty — each is still claimed and counted, so
+// workLeft converges. If no worker thread ever claims (the service is
+// pool-attached, or workers already exited at shutdown) the service
+// thread drains every slice itself; the epoch never deadlocks.
 func (s *Service) sweepShared(th *kernel.Thread, pages []pageRef, rec *EpochRecord, newGen uint8) {
 	if s.cfg.Workers <= 1 {
-		if s.cfg.Strategy == Reloaded {
-			for _, pr := range pages {
-				s.visitReloaded(th, pr, rec, newGen)
-			}
-		} else {
-			s.sweepPages(th, pages, rec)
-		}
+		s.sweepSlice(th, pages, rec, newGen, 0)
 		return
 	}
-	// Partition among workers; the service thread takes slice 0.
 	n := s.cfg.Workers
 	s.workSlices = make([][]pageRef, n)
 	for i := range s.workSlices {
@@ -536,42 +547,66 @@ func (s *Service) sweepShared(th *kernel.Thread, pages []pageRef, rec *EpochReco
 		hi := len(pages) * (i + 1) / n
 		s.workSlices[i] = pages[lo:hi]
 	}
-	s.workLeft = n - 1
+	s.workNext = 0
+	s.workLeft = n
 	s.workGen = newGen
 	s.workSeq++
 	s.workEv.Broadcast(th.Sim)
-	if s.cfg.Strategy == Reloaded {
-		for _, pr := range s.workSlices[0] {
-			s.visitReloaded(th, pr, rec, newGen)
-		}
-	} else {
-		s.sweepPages(th, s.workSlices[0], rec)
-	}
+	s.drainSlices(th, rec, newGen)
 	th.WaitOn(s.workDone, func() bool { return s.workLeft == 0 })
 	s.workSlices = nil
 }
 
-// worker is the §7.1 background sweep worker loop.
+// sweepSlice sweeps one slice with the strategy's visit, bracketed by a
+// per-worker trace span (arg = slice/worker index, arg2 = pages).
+func (s *Service) sweepSlice(th *kernel.Thread, slice []pageRef, rec *EpochRecord, newGen uint8, idx int) {
+	tr := s.P.M.Trace
+	tr.Begin(th.Sim.Now(), th.Sim.CoreID(), bus.AgentRevoker,
+		trace.KindSweep, rec.Epoch, uint64(idx), uint64(len(slice)))
+	if s.cfg.Strategy == Reloaded {
+		for _, pr := range slice {
+			s.visitReloaded(th, pr, rec, newGen)
+		}
+	} else {
+		s.sweepPages(th, slice, rec)
+	}
+	tr.End(th.Sim.Now(), th.Sim.CoreID(), bus.AgentRevoker,
+		trace.KindSweep, rec.Epoch, uint64(idx), uint64(len(slice)))
+}
+
+// drainSlices claims and sweeps unclaimed slices until none remain. The
+// claim (read + increment, no intervening virtual-time yield) is atomic
+// under the simulator's one-thread-at-a-time execution, so each slice is
+// swept exactly once and workLeft is decremented exactly once per slice.
+func (s *Service) drainSlices(th *kernel.Thread, rec *EpochRecord, newGen uint8) {
+	for s.workNext < len(s.workSlices) {
+		i := s.workNext
+		s.workNext++
+		s.sweepSlice(th, s.workSlices[i], rec, newGen, i)
+		s.workLeft--
+		if s.workLeft == 0 {
+			s.workDone.Broadcast(th.Sim)
+		}
+	}
+}
+
+// worker is the §7.1 background sweep worker loop. In-flight work is
+// drained before shutdown is honored: a Shutdown racing an epoch must not
+// strand unclaimed slices, or the service thread would wait on workDone
+// forever.
 func (s *Service) worker(th *kernel.Thread, idx int) {
 	seen := 0
 	for {
 		th.WaitOn(s.workEv, func() bool {
 			return s.shutdown || s.workSeq > seen
 		})
+		if s.workSeq > seen {
+			seen = s.workSeq
+			s.drainSlices(th, s.cur, s.workGen)
+			continue
+		}
 		if s.shutdown {
 			return
 		}
-		seen = s.workSeq
-		slice := s.workSlices[idx]
-		rec := s.cur
-		if s.cfg.Strategy == Reloaded {
-			for _, pr := range slice {
-				s.visitReloaded(th, pr, rec, s.workGen)
-			}
-		} else {
-			s.sweepPages(th, slice, rec)
-		}
-		s.workLeft--
-		s.workDone.Broadcast(th.Sim)
 	}
 }

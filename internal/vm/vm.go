@@ -157,6 +157,11 @@ type AddressSpace struct {
 	coreGen []uint8
 	tlbs    []map[uint64]tlbEntry
 
+	// OnShootdown, when non-nil, is invoked once per ShootdownAll — vm has
+	// no clock of its own, so the kernel layer hooks this to timestamp and
+	// trace shootdowns.
+	OnShootdown func()
+
 	stats Stats
 }
 
@@ -431,6 +436,9 @@ func (as *AddressSpace) ShootdownAll() {
 		as.tlbs[i] = make(map[uint64]tlbEntry)
 	}
 	as.stats.Shootdowns++
+	if as.OnShootdown != nil {
+		as.OnShootdown()
+	}
 }
 
 // CloneCOW clones the address space for fork with copy-on-write sharing:

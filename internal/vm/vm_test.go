@@ -194,6 +194,58 @@ func TestTLBCachesStaleGeneration(t *testing.T) {
 	}
 }
 
+// TestShootdownAllCountsOperationsNotCores pins the Shootdowns stat's unit:
+// one ShootdownAll is one operation (one IPI broadcast), regardless of how
+// many cores held entries — and every per-core TLB is invalidated, including
+// cores that never cached anything.
+func TestShootdownAllCountsOperationsNotCores(t *testing.T) {
+	as := newAS(t) // 4 cores
+	r, _ := as.Reserve(4*PageSize, ca.PermsData)
+	pte, _, err := as.EnsureMapped(r.Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill TLBs on cores 0 and 2 only; cores 1 and 3 stay empty.
+	as.TLBFill(0, r.Base, pte)
+	as.TLBFill(2, r.Base, pte)
+
+	as.ShootdownAll()
+	if got := as.Stats().Shootdowns; got != 1 {
+		t.Fatalf("Shootdowns = %d after one ShootdownAll, want 1 (operations, not cores)", got)
+	}
+	for core := 0; core < 4; core++ {
+		if _, ok := as.TLBLookup(core, r.Base); ok {
+			t.Errorf("core %d TLB still holds an entry after ShootdownAll", core)
+		}
+	}
+
+	// A second shootdown — with every TLB already empty — still counts as
+	// one more operation.
+	as.ShootdownAll()
+	if got := as.Stats().Shootdowns; got != 2 {
+		t.Fatalf("Shootdowns = %d after two ShootdownAll calls, want 2", got)
+	}
+
+	// Refilled entries are gone again after a further shootdown, and the
+	// OnShootdown hook fires once per operation.
+	fired := 0
+	as.OnShootdown = func() { fired++ }
+	as.TLBFill(1, r.Base, pte)
+	as.TLBFill(3, r.Base, pte)
+	as.ShootdownAll()
+	if fired != 1 {
+		t.Fatalf("OnShootdown fired %d times for one operation, want 1", fired)
+	}
+	if got := as.Stats().Shootdowns; got != 3 {
+		t.Fatalf("Shootdowns = %d after three ShootdownAll calls, want 3", got)
+	}
+	for _, core := range []int{1, 3} {
+		if _, ok := as.TLBLookup(core, r.Base); ok {
+			t.Errorf("core %d TLB survived the third shootdown", core)
+		}
+	}
+}
+
 func TestCapDirtyBits(t *testing.T) {
 	as := newAS(t)
 	r, _ := as.Reserve(PageSize, ca.PermsData)
