@@ -7,7 +7,7 @@ GO ?= go
 RACE_PKGS = ./internal/bus ./internal/ca ./internal/metrics ./internal/shadow \
             ./internal/tmem ./internal/trace ./internal/vm
 
-.PHONY: all build vet test race verify
+.PHONY: all build vet test race verify sweep-bench
 
 all: verify
 
@@ -20,8 +20,23 @@ vet:
 test:
 	$(GO) test ./...
 
+# expt's pool is the one genuinely host-concurrent component; -short keeps
+# the race pass to its pool/manifest/report mechanics (injected run
+# functions), skipping the simulation-backed figure smoke tests.
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -short ./internal/expt
 
 # verify is the tier-1 gate: everything must pass before a change lands.
 verify: build vet test race
+
+# BENCH_sweep.json: one reduced-rep pass over every figure and table,
+# emitted as the machine-readable cornucopia-sweep/v1 document for
+# perf-trajectory tracking (~15 s of virtual workload per invocation).
+sweep-bench: BENCH_sweep.json
+BENCH_sweep.json: FORCE
+	$(GO) run ./cmd/sweep -reps 1 -scale 256 -txs 1000 \
+		-measure-ms 100 -warmup-ms 10 -out $@
+
+.PHONY: FORCE
+FORCE:

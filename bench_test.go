@@ -11,6 +11,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/expt"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/quarantine"
@@ -30,13 +31,41 @@ func specCfg() harness.Config {
 	return cfg
 }
 
-// cell parses a "+12.3%" or "1.234" table cell back into a float.
-func cell(s string) float64 {
-	s = strings.TrimSuffix(strings.TrimPrefix(s, "+"), "%")
-	s = strings.TrimSuffix(s, "x")
-	s = strings.TrimSuffix(s, "ms")
-	s = strings.TrimSuffix(s, "MiB")
-	v, _ := strconv.ParseFloat(s, 64)
+// benchOpts is the reduced-fidelity grid the figure benchmarks run: one rep,
+// SPEC at 1/128 scale, and shorter pgbench/QPS windows than the cmd tools.
+func benchOpts() expt.Options {
+	o := expt.DefaultOptions()
+	o.Reps = 1
+	o.SpecCfg.Scale = benchScale
+	o.Txs = 2500
+	o.Measure = 750_000_000
+	o.Warmup = 75_000_000
+	return o
+}
+
+// genFig regenerates one figure through the expt orchestrator.
+func genFig(b *testing.B, id string, o expt.Options) *harness.Table {
+	b.Helper()
+	t, err := expt.Generate(id, o, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// cell parses a "+12.3%" or "1.234" table cell back into a float. An
+// unparsable cell fails the benchmark: a formatting change must surface as
+// a failure, not as a silently-zero reported metric.
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	trimmed := strings.TrimSuffix(strings.TrimPrefix(s, "+"), "%")
+	trimmed = strings.TrimSuffix(trimmed, "x")
+	trimmed = strings.TrimSuffix(trimmed, "ms")
+	trimmed = strings.TrimSuffix(trimmed, "MiB")
+	v, err := strconv.ParseFloat(trimmed, 64)
+	if err != nil {
+		b.Fatalf("unparsable table cell %q: %v", s, err)
+	}
 	return v
 }
 
@@ -52,145 +81,117 @@ func findRow(t *harness.Table, name string) []string {
 
 func BenchmarkFig1WallClock(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig1WallClock(specCfg(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "fig1", benchOpts())
 		b.Logf("\n%s", t)
 		if r := findRow(t, "xalancbmk"); r != nil {
-			b.ReportMetric(cell(r[1]), "xalancbmk_reloaded_wall_ov_%")
+			b.ReportMetric(cell(b, r[1]), "xalancbmk_reloaded_wall_ov_%")
 		}
 		if r := findRow(t, "omnetpp"); r != nil {
-			b.ReportMetric(cell(r[1]), "omnetpp_reloaded_wall_ov_%")
+			b.ReportMetric(cell(b, r[1]), "omnetpp_reloaded_wall_ov_%")
 		}
 	}
 }
 
 func BenchmarkFig2CPUTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig2CPUTime(specCfg(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "fig2", benchOpts())
 		b.Logf("\n%s", t)
 		if r := findRow(t, "omnetpp"); r != nil {
-			b.ReportMetric(cell(r[1]), "omnetpp_reloaded_cpu_ov_%")
-			b.ReportMetric(cell(r[2]), "omnetpp_cornucopia_cpu_ov_%")
+			b.ReportMetric(cell(b, r[1]), "omnetpp_reloaded_cpu_ov_%")
+			b.ReportMetric(cell(b, r[2]), "omnetpp_cornucopia_cpu_ov_%")
 		}
 	}
 }
 
 func BenchmarkFig3RSS(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig3RSS(specCfg(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "fig3", benchOpts())
 		b.Logf("\n%s", t)
 		if r := findRow(t, "xalancbmk"); r != nil {
-			b.ReportMetric(cell(r[2]), "xalancbmk_reloaded_rss_ratio")
+			b.ReportMetric(cell(b, r[2]), "xalancbmk_reloaded_rss_ratio")
 		}
 	}
 }
 
 func BenchmarkFig4BusTraffic(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig4BusTraffic(specCfg(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "fig4", benchOpts())
 		b.Logf("\n%s", t)
 		if r := findRow(t, "omnetpp"); r != nil {
-			b.ReportMetric(cell(r[2]), "omnetpp_reloaded_dram_ov_%")
-			b.ReportMetric(cell(r[5]), "omnetpp_rel_vs_cor_%")
+			b.ReportMetric(cell(b, r[2]), "omnetpp_reloaded_dram_ov_%")
+			b.ReportMetric(cell(b, r[5]), "omnetpp_rel_vs_cor_%")
 		}
 	}
 }
 
 func BenchmarkFig5PgbenchTime(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig5PgbenchTime(2500, harness.PgbenchConfig(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "fig5", benchOpts())
 		b.Logf("\n%s", t)
 		if r := findRow(t, "Reloaded"); r != nil {
-			b.ReportMetric(cell(r[1]), "reloaded_wall_ov_%")
+			b.ReportMetric(cell(b, r[1]), "reloaded_wall_ov_%")
 		}
 	}
 }
 
 func BenchmarkFig6PgbenchBus(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig6PgbenchBus(2500, harness.PgbenchConfig(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "fig6", benchOpts())
 		b.Logf("\n%s", t)
 		rel, cor := findRow(t, "Reloaded"), findRow(t, "Cornucopia")
-		if rel != nil && cor != nil && cell(cor[1]) != 0 {
-			b.ReportMetric(100*cell(rel[1])/cell(cor[1]), "rel_traffic_ov_vs_cor_%")
+		if rel != nil && cor != nil && cell(b, cor[1]) != 0 {
+			b.ReportMetric(100*cell(b, rel[1])/cell(b, cor[1]), "rel_traffic_ov_vs_cor_%")
 		}
 	}
 }
 
 func BenchmarkFig7PgbenchCDF(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig7PgbenchCDF(2500, harness.PgbenchConfig(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "fig7", benchOpts())
 		b.Logf("\n%s", t)
 		rel, chv := findRow(t, "Reloaded"), findRow(t, "CHERIvoke")
 		if rel != nil && chv != nil {
-			b.ReportMetric(cell(rel[5]), "reloaded_p99_ms")
-			b.ReportMetric(cell(chv[5]), "cherivoke_p99_ms")
+			b.ReportMetric(cell(b, rel[5]), "reloaded_p99_ms")
+			b.ReportMetric(cell(b, chv[5]), "cherivoke_p99_ms")
 		}
 	}
 }
 
 func BenchmarkTable1RateSchedules(b *testing.B) {
+	o := benchOpts()
+	o.Txs = 2000
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Table1RateSchedules(2000, harness.PgbenchConfig(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "table1", o)
 		b.Logf("\n%s", t)
 		if r := findRow(t, "unscheduled"); r != nil {
-			b.ReportMetric(cell(r[5]), "unscheduled_p99.9_ms")
+			b.ReportMetric(cell(b, r[5]), "unscheduled_p99.9_ms")
 		}
 	}
 }
 
 func BenchmarkFig8QPSLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig8QPSLatency(750_000_000, 75_000_000, harness.QPSConfig(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "fig8", benchOpts())
 		b.Logf("\n%s", t)
 		rel, cor := findRow(t, "Reloaded"), findRow(t, "Cornucopia")
 		if rel != nil && cor != nil {
-			b.ReportMetric(cell(rel[4]), "reloaded_p99_x")
-			b.ReportMetric(cell(cor[4]), "cornucopia_p99_x")
-			b.ReportMetric(cell(rel[6]), "reloaded_qps_delta_%")
+			b.ReportMetric(cell(b, rel[4]), "reloaded_p99_x")
+			b.ReportMetric(cell(b, cor[4]), "cornucopia_p99_x")
+			b.ReportMetric(cell(b, rel[6]), "reloaded_qps_delta_%")
 		}
 	}
 }
 
 func BenchmarkFig9Phases(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Fig9Phases(specCfg(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "fig9", benchOpts())
 		b.Logf("\n%s", t)
 		// Headline: Reloaded's stop-the-world vs Cornucopia's on the
 		// largest-heap benchmark.
 		var relSTW, corSTW float64
 		for _, r := range t.Rows {
 			if r[0] == "xalancbmk" && r[2] == "stop-the-world" {
-				med := cell(strings.Split(r[3], "/")[2])
+				med := cell(b, strings.Split(r[3], "/")[2])
 				switch r[1] {
 				case "Reloaded":
 					relSTW = med
@@ -206,13 +207,10 @@ func BenchmarkFig9Phases(b *testing.B) {
 
 func BenchmarkTable2RevRates(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		t, err := harness.Table2RevRates(specCfg(), 1)
-		if err != nil {
-			b.Fatal(err)
-		}
+		t := genFig(b, "table2", benchOpts())
 		b.Logf("\n%s", t)
 		if r := findRow(t, "pgbench"); r != nil {
-			b.ReportMetric(cell(r[3]), "pgbench_freed_to_alloc_ratio")
+			b.ReportMetric(cell(b, r[3]), "pgbench_freed_to_alloc_ratio")
 		}
 	}
 }

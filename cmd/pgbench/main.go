@@ -1,11 +1,14 @@
 // Command pgbench regenerates the paper's PostgreSQL pgbench results:
 // Figure 5 (normalized time overheads), Figure 6 (bus access overheads),
 // Figure 7 (per-transaction latency distribution with phase medians) and
-// Table 1 (latency percentiles under fixed-rate schedules).
+// Table 1 (latency percentiles under fixed-rate schedules). The grids run
+// through the internal/expt orchestrator — the four artifacts share one
+// memoized pgbench matrix, and -workers shards it across host cores
+// (aggregated output is identical at any worker count).
 //
 // Usage:
 //
-//	pgbench [-fig N] [-table 1] [-txs N] [-reps N]
+//	pgbench [-fig N] [-table 1] [-txs N] [-reps N] [-workers N]
 package main
 
 import (
@@ -14,7 +17,7 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/harness"
+	"repro/internal/expt"
 	"repro/internal/metrics"
 )
 
@@ -26,24 +29,31 @@ func main() {
 	txs := flag.Int("txs", 6000, "transactions per run")
 	reps := flag.Int("reps", 3, "runs per condition")
 	plot := flag.Bool("plot", false, "render Figure 7 as an ASCII CDF instead of a table")
+	workers := flag.Int("workers", 1, "parallel jobs")
 	flag.Parse()
 
-	cfg := harness.PgbenchConfig()
-	run := func(n int, f func() (*harness.Table, error)) {
-		if (*fig != 0 || *table != 0) && n != *fig*10 && n != *table {
-			return
-		}
-		t, err := f()
+	o := expt.DefaultOptions()
+	o.Reps = *reps
+	o.Txs = *txs
+
+	all := *fig == 0 && *table == 0
+	pool := expt.NewPool(expt.PoolConfig{Workers: *workers})
+	show := func(id string) {
+		t, err := expt.Generate(id, o, pool)
 		if err != nil {
 			log.Fatal(err)
 		}
 		t.Fprint(os.Stdout)
 	}
-	run(50, func() (*harness.Table, error) { return harness.Fig5PgbenchTime(*txs, cfg, *reps) })
-	run(60, func() (*harness.Table, error) { return harness.Fig6PgbenchBus(*txs, cfg, *reps) })
+	if all || *fig == 5 {
+		show("fig5")
+	}
+	if all || *fig == 6 {
+		show("fig6")
+	}
 	if *plot {
 		if *fig == 0 || *fig == 7 {
-			samples, err := harness.Fig7Samples(*txs, cfg, *reps)
+			samples, err := expt.Fig7Samples(o, pool)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -56,8 +66,10 @@ func main() {
 			}
 			fmt.Print(p.Render())
 		}
-	} else {
-		run(70, func() (*harness.Table, error) { return harness.Fig7PgbenchCDF(*txs, cfg, *reps) })
+	} else if all || *fig == 7 {
+		show("fig7")
 	}
-	run(1, func() (*harness.Table, error) { return harness.Table1RateSchedules(*txs, cfg, *reps) })
+	if all || *table == 1 {
+		show("table1")
+	}
 }

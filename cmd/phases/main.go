@@ -1,10 +1,12 @@
 // Command phases regenerates Figure 9: the distribution of revocation
 // phase times (stop-the-world, concurrent, and Reloaded's cumulative
 // per-epoch fault handling) across the representative benchmark subset.
+// The grid runs through the internal/expt orchestrator; -workers shards it
+// across host cores (aggregated output is identical at any worker count).
 //
 // Usage:
 //
-//	phases [-reps N]
+//	phases [-reps N] [-workers N]
 package main
 
 import (
@@ -14,7 +16,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/harness"
+	"repro/internal/expt"
 	"repro/internal/metrics"
 )
 
@@ -23,9 +25,14 @@ func main() {
 	log.SetPrefix("phases: ")
 	reps := flag.Int("reps", 2, "runs per (benchmark, condition) pair")
 	plot := flag.Bool("plot", false, "also render per-benchmark ASCII box strips")
+	workers := flag.Int("workers", 1, "parallel jobs")
 	flag.Parse()
 
-	t, err := harness.Fig9Phases(harness.SpecConfig(), *reps)
+	o := expt.DefaultOptions()
+	o.Reps = *reps
+
+	pool := expt.NewPool(expt.PoolConfig{Workers: *workers})
+	t, err := expt.Generate("fig9", o, pool)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,12 @@
 // Command qps regenerates the paper's gRPC QPS results: Figure 8 (latency
 // percentiles normalized to baseline and throughput impact). The revoker is
-// unpinned and competes with the two server threads for cores 2 and 3.
+// unpinned and competes with the two server threads for cores 2 and 3. The
+// grid runs through the internal/expt orchestrator; -workers shards it
+// across host cores (aggregated output is identical at any worker count).
 //
 // Usage:
 //
-//	qps [-measure-ms N] [-warmup-ms N] [-reps N]
+//	qps [-measure-ms N] [-warmup-ms N] [-reps N] [-workers N]
 package main
 
 import (
@@ -12,7 +14,7 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/harness"
+	"repro/internal/expt"
 )
 
 func main() {
@@ -21,11 +23,17 @@ func main() {
 	measureMs := flag.Uint64("measure-ms", 500, "measurement window, virtual milliseconds")
 	warmupMs := flag.Uint64("warmup-ms", 50, "warmup, virtual milliseconds")
 	reps := flag.Int("reps", 3, "runs per condition")
+	workers := flag.Int("workers", 1, "parallel jobs")
 	flag.Parse()
 
-	cfg := harness.QPSConfig()
-	cyclesPerMs := uint64(cfg.Machine.Sim.HzGHz * 1e6)
-	t, err := harness.Fig8QPSLatency(*measureMs*cyclesPerMs, *warmupMs*cyclesPerMs, cfg, *reps)
+	o := expt.DefaultOptions()
+	o.Reps = *reps
+	cyclesPerMs := uint64(o.QPSCfg.Machine.Sim.HzGHz * 1e6)
+	o.Measure = *measureMs * cyclesPerMs
+	o.Warmup = *warmupMs * cyclesPerMs
+
+	pool := expt.NewPool(expt.PoolConfig{Workers: *workers})
+	t, err := expt.Generate("fig8", o, pool)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 // Command spec2006 regenerates the paper's SPEC CPU2006 INT results:
 // Figure 1 (wall-clock overheads), Figure 2 (CPU-time overheads), Figure 3
 // (peak RSS ratios), Figure 4 (DRAM traffic overheads) and the SPEC rows of
-// Table 2 (revocation rates).
+// Table 2 (revocation rates). The grids run through the internal/expt
+// orchestrator; -workers shards them across host cores (aggregated output
+// is identical at any worker count).
 //
 // Usage:
 //
-//	spec2006 [-fig N] [-table 2] [-reps N] [-scale N]
+//	spec2006 [-fig N] [-table 2] [-reps N] [-scale N] [-workers N]
 //
 // Without -fig/-table it runs everything.
 package main
@@ -16,7 +18,7 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/harness"
+	"repro/internal/expt"
 )
 
 func main() {
@@ -26,28 +28,33 @@ func main() {
 	table := flag.Int("table", 0, "regenerate only this table (2)")
 	reps := flag.Int("reps", 3, "runs per (benchmark, condition) pair")
 	scale := flag.Uint64("scale", 64, "footprint divisor versus full-size workloads")
+	workers := flag.Int("workers", 1, "parallel jobs")
 	flag.Parse()
 
-	cfg := harness.SpecConfig()
-	cfg.Scale = *scale
+	o := expt.DefaultOptions()
+	o.Reps = *reps
+	o.SpecCfg.Scale = *scale
 
-	run := func(n int, f func() (*harness.Table, error)) {
-		if (*fig != 0 || *table != 0) && n != *fig*10 && n != *table {
-			return
+	all := *fig == 0 && *table == 0
+	var ids []string
+	for n := 1; n <= 4; n++ {
+		if all || *fig == n {
+			ids = append(ids, fmt.Sprintf("fig%d", n))
 		}
-		t, err := f()
+	}
+	if all || *table == 2 {
+		ids = append(ids, "table2")
+	}
+
+	if all {
+		fmt.Println("Running the full SPEC CPU2006 INT evaluation; this takes a few minutes per figure.")
+	}
+	pool := expt.NewPool(expt.PoolConfig{Workers: *workers})
+	for _, id := range ids {
+		t, err := expt.Generate(id, o, pool)
 		if err != nil {
 			log.Fatal(err)
 		}
 		t.Fprint(os.Stdout)
 	}
-
-	if *fig == 0 && *table == 0 {
-		fmt.Println("Running the full SPEC CPU2006 INT evaluation; this takes a few minutes per figure.")
-	}
-	run(10, func() (*harness.Table, error) { return harness.Fig1WallClock(cfg, *reps) })
-	run(20, func() (*harness.Table, error) { return harness.Fig2CPUTime(cfg, *reps) })
-	run(30, func() (*harness.Table, error) { return harness.Fig3RSS(cfg, *reps) })
-	run(40, func() (*harness.Table, error) { return harness.Fig4BusTraffic(cfg, *reps) })
-	run(2, func() (*harness.Table, error) { return harness.Table2RevRates(cfg, *reps) })
 }

@@ -1,0 +1,182 @@
+// Command sweep regenerates any subset of the paper's evaluation (§5) —
+// or the whole thing — through the internal/expt orchestrator: the
+// selected figures' grids are expanded into independent (workload,
+// condition, seed) jobs, sharded across -workers host goroutines, and
+// folded into the same tables the per-suite commands print. Aggregated
+// output is byte-identical at any worker count, because every job is
+// deterministic per seed and boots its own cold machine.
+//
+// Usage:
+//
+//	sweep [-figures all|fig1,table2,...] [-workers N] [-timeout D] [-retries N]
+//	      [-resume FILE] [-out results.json] [-progress]
+//	      [-reps N] [-scale N] [-txs N] [-measure-ms N] [-warmup-ms N] [-seed N]
+//
+// -resume FILE attaches an on-disk manifest keyed by job content hash:
+// completed jobs are recorded as they finish, and a re-invoked sweep (same
+// flags, or any overlapping grid) serves them from the manifest instead of
+// recomputing. Interrupt a sweep at any point and rerun it to pick up
+// where it left off.
+//
+// -out FILE additionally writes a machine-readable JSON document (schema
+// cornucopia-sweep/v1): every figure's rows, every job's headline
+// measurements, and per-(workload, condition) aggregate distributions —
+// suitable for BENCH_*.json perf-trajectory tracking.
+//
+// -scale N sets the SPEC footprint divisor; pgbench runs at N/8 and gRPC
+// QPS at N, preserving the suites' relative scales.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/harness"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	figures := flag.String("figures", "all", "comma-separated figure ids (fig1..fig9, table1, table2) or 'all'")
+	list := flag.Bool("list", false, "list figure ids and exit")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel jobs (grid shards across host cores)")
+	timeout := flag.Duration("timeout", 10*time.Minute, "per-job attempt timeout (0 = unbounded)")
+	retries := flag.Int("retries", 1, "extra attempts for a failed job")
+	resume := flag.String("resume", "", "manifest file: record completed jobs and resume from them")
+	out := flag.String("out", "", "write machine-readable JSON results to this file")
+	progress := flag.Bool("progress", false, "print per-job progress lines")
+	reps := flag.Int("reps", 3, "runs per grid cell")
+	scale := flag.Uint64("scale", 64, "SPEC footprint divisor (pgbench scales at 1/8 of this)")
+	txs := flag.Int("txs", 6000, "pgbench transactions per run")
+	measureMs := flag.Uint64("measure-ms", 500, "gRPC QPS measurement window, virtual milliseconds")
+	warmupMs := flag.Uint64("warmup-ms", 50, "gRPC QPS warmup, virtual milliseconds")
+	seed := flag.Int64("seed", 1, "base random seed")
+	flag.Parse()
+
+	if *list {
+		for _, f := range expt.Figures() {
+			fmt.Printf("%-8s %s\n", f.ID, f.Title)
+		}
+		return
+	}
+
+	o := expt.DefaultOptions()
+	o.Reps = *reps
+	o.Txs = *txs
+	o.SpecCfg.Scale = *scale
+	o.SpecCfg.Seed = *seed
+	o.PgCfg.Seed = *seed
+	o.QPSCfg.Seed = *seed
+	if *scale != 64 {
+		pg := *scale / 8
+		if pg == 0 {
+			pg = 1
+		}
+		o.PgCfg.Scale = pg
+		o.QPSCfg.Scale = *scale
+	}
+	perMs := uint64(o.QPSCfg.Machine.Sim.HzGHz * 1e6)
+	o.Measure = *measureMs * perMs
+	o.Warmup = *warmupMs * perMs
+
+	var selected []expt.Figure
+	if *figures == "all" {
+		selected = expt.Figures()
+	} else {
+		for _, id := range strings.Split(*figures, ",") {
+			id = strings.TrimSpace(id)
+			f, ok := expt.ByID(id)
+			if !ok {
+				log.Fatalf("unknown figure %q (use -list)", id)
+			}
+			selected = append(selected, f)
+		}
+	}
+
+	var manifest *expt.Manifest
+	if *resume != "" {
+		var err error
+		manifest, err = expt.OpenManifest(*resume)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer manifest.Close()
+		if n := manifest.Len(); n > 0 {
+			fmt.Printf("resuming: %d completed job(s) on record in %s\n", n, *resume)
+		}
+	}
+
+	pcfg := expt.PoolConfig{
+		Workers:  *workers,
+		Timeout:  *timeout,
+		Retries:  *retries,
+		Manifest: manifest,
+	}
+	if *progress {
+		pcfg.Progress = func(ev expt.Event) {
+			fmt.Fprintf(os.Stderr, "[%d/%d] %-6s %s under %s seed=%d (%d attempt(s), %.1fs)\n",
+				ev.Done, ev.Total, ev.Status, ev.Workload, ev.Condition, ev.Seed,
+				ev.Attempts, ev.Host.Seconds())
+		}
+	}
+	pool := expt.NewPool(pcfg)
+
+	// Build every selected figure concurrently: each figure prefetches its
+	// whole grid up front, so the pool sees the union of all grids at once
+	// (overlapping cells dedupe by content hash) and keeps all workers
+	// busy. Tables print in selection order regardless of finish order.
+	start := time.Now()
+	type built struct {
+		tb  *harness.Table
+		err error
+	}
+	done := make([]chan built, len(selected))
+	for i, f := range selected {
+		done[i] = make(chan built, 1)
+		go func(f expt.Figure, ch chan built) {
+			tb, err := f.Build(o, pool)
+			ch <- built{tb, err}
+		}(f, done[i])
+	}
+	var figResults []expt.FigureResult
+	failed := false
+	for i, f := range selected {
+		b := <-done[i]
+		if b.err != nil {
+			log.Printf("%s: %v", f.ID, b.err)
+			failed = true
+			continue
+		}
+		b.tb.Fprint(os.Stdout)
+		figResults = append(figResults, expt.NewFigureResult(f.ID, b.tb))
+	}
+	st := pool.Stats()
+	fmt.Printf("sweep: %d job(s) ran, %d from manifest, %d retried, %d failed; %d worker(s), %.1fs host wall clock\n",
+		st.Executed, st.Cached, st.Retries, st.Failed, *workers, time.Since(start).Seconds())
+
+	if *out != "" {
+		doc := expt.BuildDocument(pool, figResults, *workers, *reps, *scale)
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := doc.Write(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sweep: wrote %s (%d jobs, %d aggregates, schema %s)\n",
+			*out, len(doc.Jobs), len(doc.Aggregates), expt.Schema)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

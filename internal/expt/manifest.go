@@ -1,0 +1,100 @@
+package expt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Manifest is a content-hash-keyed, append-only record of completed jobs
+// on disk: one JSON line per job, `{"key": "...", "result": {...}}`. A
+// pool with a manifest attached serves previously-completed jobs from it
+// and appends every newly-completed one, so an interrupted or re-invoked
+// sweep resumes where it left off. A line truncated by an interruption
+// mid-write is skipped on load (and rewritten when its job re-runs).
+type Manifest struct {
+	path string
+
+	mu   sync.Mutex
+	done map[string]*JobResult
+	f    *os.File
+}
+
+type manifestLine struct {
+	Key    string     `json:"key"`
+	Result *JobResult `json:"result"`
+}
+
+// maxManifestLine bounds one manifest line; latency-sample-heavy jobs
+// (gRPC QPS) can run to several MB of JSON.
+const maxManifestLine = 256 << 20
+
+// OpenManifest loads the manifest at path (creating it if absent) and
+// opens it for appending.
+func OpenManifest(path string) (*Manifest, error) {
+	m := &Manifest{path: path, done: map[string]*JobResult{}}
+	if f, err := os.Open(path); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), maxManifestLine)
+		for sc.Scan() {
+			var line manifestLine
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.Key == "" || line.Result == nil {
+				continue // torn tail from an interrupted write
+			}
+			m.done[line.Key] = line.Result
+		}
+		closeErr := f.Close()
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("expt: reading manifest %s: %w", path, err)
+		}
+		if closeErr != nil {
+			return nil, closeErr
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	m.f = f
+	return m, nil
+}
+
+// Lookup returns the recorded result for key, if any.
+func (m *Manifest) Lookup(key string) (*JobResult, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.done[key]
+	return r, ok
+}
+
+// Record appends a completed job. Each line is written atomically with
+// respect to other Record calls; durability against a crash mid-line is
+// handled by the torn-tail skip on load.
+func (m *Manifest) Record(key string, r *JobResult) error {
+	b, err := json.Marshal(manifestLine{Key: key, Result: r})
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, err := m.f.Write(b); err != nil {
+		return fmt.Errorf("expt: appending to manifest %s: %w", m.path, err)
+	}
+	m.done[key] = r
+	return nil
+}
+
+// Len returns the number of completed jobs on record.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.done)
+}
+
+// Close closes the underlying file.
+func (m *Manifest) Close() error { return m.f.Close() }

@@ -1,0 +1,142 @@
+package expt
+
+import (
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := fakeJob("omnetpp", 7)
+	want := fakeResult(j)
+	want.LatCycles = []float64{1.5, 2.25, 1e9 + 0.125}
+	if err := m.Record(j.Key(), want); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m2.Len())
+	}
+	got, ok := m2.Lookup(j.Key())
+	if !ok {
+		t.Fatal("recorded job missing after reload")
+	}
+	if got.Workload != want.Workload || got.Seed != want.Seed || got.WallCycles != want.WallCycles {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+	for i, v := range want.LatCycles {
+		if got.LatCycles[i] != v {
+			t.Fatalf("LatCycles[%d] = %v, want %v (float64 must round-trip exactly)", i, got.LatCycles[i], v)
+		}
+	}
+}
+
+func TestManifestSkipsTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := fakeJob("astar", 1)
+	if err := m.Record(j.Key(), fakeResult(j)); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	// Simulate an interrupt mid-append: a truncated second line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"deadbeef","result":{"workload":"tru`)
+	f.Close()
+
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	if m2.Len() != 1 {
+		t.Fatalf("Len = %d after torn tail, want 1", m2.Len())
+	}
+	if _, ok := m2.Lookup(j.Key()); !ok {
+		t.Fatal("intact line lost")
+	}
+	if _, ok := m2.Lookup("deadbeef"); ok {
+		t.Fatal("torn line surfaced as a result")
+	}
+}
+
+// TestPoolResumesFromManifest is the interrupt/resume scenario: a first
+// sweep completes some jobs, a second sweep (fresh pool, reloaded manifest)
+// serves those from disk and only runs the new work.
+func TestPoolResumesFromManifest(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	jobs := []Job{fakeJob("astar", 1), fakeJob("omnetpp", 2), fakeJob("xalancbmk", 3)}
+
+	var runs atomic.Int64
+	countingRun := func(j Job) (*JobResult, error) {
+		runs.Add(1)
+		return fakeResult(j), nil
+	}
+
+	// First sweep: completes the first two jobs, then is "interrupted".
+	m1, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := NewPool(PoolConfig{Workers: 2, Manifest: m1})
+	p1.run = countingRun
+	for _, j := range jobs[:2] {
+		if _, err := p1.Get(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m1.Close()
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("first sweep ran %d jobs, want 2", got)
+	}
+
+	// Second sweep over the full grid: the two recorded jobs come from the
+	// manifest, only the third runs.
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	p2 := NewPool(PoolConfig{Workers: 2, Manifest: m2})
+	p2.run = countingRun
+	p2.Prefetch(jobs)
+	for _, j := range jobs {
+		r, err := p2.Get(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Seed != j.Cfg.Seed {
+			t.Fatalf("seed = %d, want %d", r.Seed, j.Cfg.Seed)
+		}
+	}
+	if got := runs.Load(); got != 3 {
+		t.Fatalf("total runs = %d, want 3 (resume must not recompute)", got)
+	}
+	st := p2.Stats()
+	if st.Cached != 2 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if m2.Len() != 3 {
+		t.Fatalf("manifest Len = %d, want 3 (new job recorded)", m2.Len())
+	}
+}

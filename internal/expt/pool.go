@@ -1,0 +1,306 @@
+package expt
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/workload/qps"
+)
+
+// Getter is how figure builders obtain results: Prefetch schedules a batch
+// for parallel execution, Get blocks until one job's result is ready
+// (scheduling it first if nobody has). A Pool is the canonical Getter.
+type Getter interface {
+	Prefetch(jobs []Job)
+	Get(j Job) (*JobResult, error)
+}
+
+// Event reports one job's completion to a progress callback.
+type Event struct {
+	Key       string
+	Workload  string
+	Condition string
+	Seed      int64
+	// Status is "ran", "cached" (served from the manifest), or "failed".
+	Status string
+	// Attempts is how many times the job was started (>1 means retried).
+	Attempts int
+	// Host is the host wall-clock time the final attempt took.
+	Host time.Duration
+	// Done and Total count completed and submitted jobs at event time.
+	Done, Total int
+}
+
+// PoolStats summarizes a pool's lifetime activity.
+type PoolStats struct {
+	// Submitted counts distinct jobs; Deduped counts submissions that
+	// merged into an already-submitted job.
+	Submitted int `json:"submitted"`
+	Deduped   int `json:"deduped"`
+	// Executed ran to completion on this pool; Cached came from the
+	// manifest; Failed exhausted their attempts.
+	Executed int `json:"executed"`
+	Cached   int `json:"cached"`
+	Failed   int `json:"failed"`
+	// Retries counts failed attempts that were retried.
+	Retries int `json:"retries"`
+}
+
+// PoolConfig tunes a Pool.
+type PoolConfig struct {
+	// Workers bounds concurrently-running jobs (≤1 = sequential).
+	Workers int
+	// Timeout bounds one attempt's host wall-clock time (0 = unbounded).
+	// A timed-out attempt's simulation goroutines are abandoned, not
+	// killed: harness.Run has no cancellation, so the pool just stops
+	// waiting and (if attempts remain) starts a fresh attempt.
+	Timeout time.Duration
+	// Retries is how many additional attempts a failed job gets.
+	Retries int
+	// Manifest, when non-nil, serves completed jobs and records new ones.
+	Manifest *Manifest
+	// Progress, when non-nil, observes every job completion. Called
+	// concurrently from worker goroutines; the pool serializes calls.
+	Progress func(Event)
+}
+
+// Pool executes jobs on a bounded set of host goroutines, memoizing by job
+// key: submitting the same job twice (even concurrently, from different
+// figure builders) runs it once. Safe for concurrent use.
+type Pool struct {
+	cfg PoolConfig
+	sem chan struct{}
+	run func(Job) (*JobResult, error) // swappable in tests
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	stats   PoolStats
+	done    int
+}
+
+type entry struct {
+	job      Job
+	key      string
+	ready    chan struct{}
+	res      *JobResult
+	err      error
+	attempts int
+	cached   bool
+	host     time.Duration
+}
+
+// NewPool returns a pool ready to accept jobs.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	return &Pool{
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.Workers),
+		run:     runJob,
+		entries: map[string]*entry{},
+	}
+}
+
+// runJob executes one job for real: instantiate the workload, cold-boot a
+// machine, run, flatten.
+func runJob(j Job) (*JobResult, error) {
+	w, err := j.Workload.Instantiate()
+	if err != nil {
+		return nil, err
+	}
+	cfg := j.Cfg
+	cfg.Trace = nil
+	r, err := harness.Run(w, j.Cond, cfg)
+	if err != nil {
+		return nil, err
+	}
+	jr := FromHarness(r, cfg.Seed)
+	if q, ok := w.(*qps.QPS); ok {
+		jr.Messages = q.Messages
+		jr.MeasureCycles = q.MeasureCycles
+	}
+	return jr, nil
+}
+
+// Prefetch schedules jobs for execution without waiting for them.
+func (p *Pool) Prefetch(jobs []Job) {
+	for _, j := range jobs {
+		p.submit(j)
+	}
+}
+
+// Get returns j's result, scheduling it if needed and blocking until done.
+func (p *Pool) Get(j Job) (*JobResult, error) {
+	e := p.submit(j)
+	<-e.ready
+	return e.res, e.err
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Completed describes one finished job for reporting.
+type Completed struct {
+	Key      string
+	Result   *JobResult
+	Cached   bool
+	Attempts int
+	Host     time.Duration
+}
+
+// Results returns every successfully-completed job so far, sorted by key
+// for deterministic reports.
+func (p *Pool) Results() []Completed {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []Completed
+	for _, e := range p.entries {
+		select {
+		case <-e.ready:
+		default:
+			continue // still running
+		}
+		if e.err != nil {
+			continue
+		}
+		out = append(out, Completed{Key: e.key, Result: e.res, Cached: e.cached, Attempts: e.attempts, Host: e.host})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// submit registers j and starts it (bounded by the worker semaphore)
+// unless an identical job is already known.
+func (p *Pool) submit(j Job) *entry {
+	key := j.Key()
+	p.mu.Lock()
+	if e, ok := p.entries[key]; ok {
+		p.stats.Deduped++
+		p.mu.Unlock()
+		return e
+	}
+	e := &entry{job: j, key: key, ready: make(chan struct{})}
+	p.entries[key] = e
+	p.stats.Submitted++
+
+	// Manifest hits complete immediately, without occupying a worker.
+	if p.cfg.Manifest != nil {
+		if r, ok := p.cfg.Manifest.Lookup(key); ok {
+			e.res, e.cached = r, true
+			p.stats.Cached++
+			p.finishLocked(e, "cached")
+			p.mu.Unlock()
+			return e
+		}
+	}
+	p.mu.Unlock()
+
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		p.execute(e)
+	}()
+	return e
+}
+
+// finishLocked closes the entry and emits its progress event. Caller holds
+// p.mu.
+func (p *Pool) finishLocked(e *entry, status string) {
+	p.done++
+	ev := Event{
+		Key: e.key, Workload: e.job.Workload.String(), Condition: e.job.Cond.Name,
+		Seed: e.job.Cfg.Seed, Status: status, Attempts: e.attempts, Host: e.host,
+		Done: p.done, Total: p.stats.Submitted,
+	}
+	close(e.ready)
+	if p.cfg.Progress != nil {
+		p.cfg.Progress(ev)
+	}
+}
+
+// execute runs e with retry, panic capture and per-attempt timeout.
+func (p *Pool) execute(e *entry) {
+	var lastErr error
+	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		start := time.Now()
+		res, err := p.attempt(e.job)
+		host := time.Since(start)
+		if err == nil {
+			// Record before publishing, outside the pool lock (the
+			// manifest serializes itself, and marshal of a large result
+			// is slow): once Get observes completion, the job is durably
+			// on the manifest.
+			if p.cfg.Manifest != nil {
+				if rerr := p.cfg.Manifest.Record(e.key, res); rerr != nil {
+					// The run succeeded; a manifest write failure only
+					// costs resumability. Surface it via progress.
+					if p.cfg.Progress != nil {
+						p.cfg.Progress(Event{Key: e.key, Status: "manifest-error: " + rerr.Error()})
+					}
+				}
+			}
+			p.mu.Lock()
+			e.attempts = attempt + 1
+			e.host = host
+			e.res = res
+			p.stats.Executed++
+			p.finishLocked(e, "ran")
+			p.mu.Unlock()
+			return
+		}
+		lastErr = err
+		p.mu.Lock()
+		e.attempts = attempt + 1
+		e.host = host
+		if attempt < p.cfg.Retries {
+			p.stats.Retries++
+		}
+		p.mu.Unlock()
+	}
+	p.mu.Lock()
+	e.err = fmt.Errorf("expt: job %.12s (%s under %s, seed %d) failed after %d attempt(s): %w",
+		e.key, e.job.Workload, e.job.Cond.Name, e.job.Cfg.Seed, e.attempts, lastErr)
+	p.stats.Failed++
+	p.finishLocked(e, "failed")
+	p.mu.Unlock()
+}
+
+// attempt runs the job once, converting panics to errors and enforcing the
+// per-attempt timeout.
+func (p *Pool) attempt(j Job) (*JobResult, error) {
+	type outcome struct {
+		res *JobResult
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- outcome{err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
+			}
+		}()
+		res, err := p.run(j)
+		ch <- outcome{res: res, err: err}
+	}()
+	if p.cfg.Timeout <= 0 {
+		o := <-ch
+		return o.res, o.err
+	}
+	timer := time.NewTimer(p.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-timer.C:
+		return nil, fmt.Errorf("attempt timed out after %s (simulation goroutines abandoned)", p.cfg.Timeout)
+	}
+}

@@ -1,0 +1,199 @@
+package expt
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/trace"
+)
+
+// fakeJob builds a distinct, cheap-to-hash job for pool-mechanics tests;
+// the workload is never instantiated when the run function is injected.
+func fakeJob(name string, seed int64) Job {
+	cfg := harness.DefaultConfig()
+	cfg.Seed = seed
+	return Job{
+		Workload: SpecWorkload(name),
+		Cond:     harness.Condition{Name: "Reloaded"},
+		Cfg:      cfg,
+	}
+}
+
+// fakeResult returns a minimal result distinguishable by workload+seed.
+func fakeResult(j Job) *JobResult {
+	return &JobResult{
+		Workload:   j.Workload.Name,
+		Condition:  j.Cond.Name,
+		Seed:       j.Cfg.Seed,
+		WallCycles: uint64(j.Cfg.Seed) * 100,
+		HzGHz:      1.2,
+	}
+}
+
+func TestPoolDedupesByKey(t *testing.T) {
+	var runs atomic.Int64
+	p := NewPool(PoolConfig{Workers: 4})
+	p.run = func(j Job) (*JobResult, error) {
+		runs.Add(1)
+		return fakeResult(j), nil
+	}
+	j := fakeJob("omnetpp", 1)
+	p.Prefetch([]Job{j, j, j})
+	r, err := p.Get(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WallCycles != 100 {
+		t.Fatalf("WallCycles = %d", r.WallCycles)
+	}
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("job ran %d times, want 1", got)
+	}
+	st := p.Stats()
+	if st.Submitted != 1 || st.Deduped != 3 || st.Executed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolRetriesThenSucceeds(t *testing.T) {
+	var runs atomic.Int64
+	p := NewPool(PoolConfig{Workers: 1, Retries: 2})
+	p.run = func(j Job) (*JobResult, error) {
+		if runs.Add(1) == 1 {
+			return nil, errors.New("transient")
+		}
+		return fakeResult(j), nil
+	}
+	if _, err := p.Get(fakeJob("astar", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+	st := p.Stats()
+	if st.Retries != 1 || st.Executed != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolExhaustsRetries(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1, Retries: 1})
+	p.run = func(Job) (*JobResult, error) { return nil, errors.New("permanent") }
+	_, err := p.Get(fakeJob("astar", 1))
+	if err == nil || !strings.Contains(err.Error(), "failed after 2 attempt(s)") {
+		t.Fatalf("err = %v", err)
+	}
+	if !strings.Contains(err.Error(), "permanent") {
+		t.Fatalf("err lost cause: %v", err)
+	}
+	if st := p.Stats(); st.Failed != 1 || st.Executed != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPoolCapturesPanics(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 1})
+	p.run = func(Job) (*JobResult, error) { panic("boom") }
+	_, err := p.Get(fakeJob("gobmk", 1))
+	if err == nil || !strings.Contains(err.Error(), "panic: boom") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPoolTimesOut(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	p := NewPool(PoolConfig{Workers: 1, Timeout: 10 * time.Millisecond})
+	p.run = func(j Job) (*JobResult, error) {
+		<-release // simulates a stuck simulation; abandoned by the pool
+		return fakeResult(j), nil
+	}
+	_, err := p.Get(fakeJob("hmmer", 1))
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPoolProgressEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	p := NewPool(PoolConfig{
+		Workers: 2,
+		Progress: func(ev Event) {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		},
+	})
+	p.run = func(j Job) (*JobResult, error) { return fakeResult(j), nil }
+	jobs := []Job{fakeJob("astar", 1), fakeJob("omnetpp", 2)}
+	p.Prefetch(jobs)
+	for _, j := range jobs {
+		if _, err := p.Get(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 2 {
+		t.Fatalf("events = %d, want 2", len(events))
+	}
+	for _, ev := range events {
+		if ev.Status != "ran" || ev.Attempts != 1 || ev.Total != 2 {
+			t.Fatalf("event = %+v", ev)
+		}
+	}
+	if events[1].Done != 2 {
+		t.Fatalf("final Done = %d", events[1].Done)
+	}
+}
+
+func TestPoolResultsSortedAndComplete(t *testing.T) {
+	p := NewPool(PoolConfig{Workers: 4})
+	p.run = func(j Job) (*JobResult, error) { return fakeResult(j), nil }
+	jobs := []Job{fakeJob("xalancbmk", 3), fakeJob("astar", 1), fakeJob("sjeng", 2)}
+	p.Prefetch(jobs)
+	for _, j := range jobs {
+		if _, err := p.Get(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := p.Results()
+	if len(rs) != 3 {
+		t.Fatalf("results = %d, want 3", len(rs))
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1].Key >= rs[i].Key {
+			t.Fatalf("results not sorted: %q then %q", rs[i-1].Key, rs[i].Key)
+		}
+	}
+}
+
+func TestJobKeyStable(t *testing.T) {
+	a, b := fakeJob("omnetpp", 1), fakeJob("omnetpp", 1)
+	if a.Key() != b.Key() {
+		t.Fatal("identical jobs hash differently")
+	}
+	if len(a.Key()) != 64 {
+		t.Fatalf("key = %q, want 64 hex chars", a.Key())
+	}
+	c := fakeJob("omnetpp", 2)
+	if a.Key() == c.Key() {
+		t.Fatal("different seeds share a key")
+	}
+	d := fakeJob("astar", 1)
+	if a.Key() == d.Key() {
+		t.Fatal("different workloads share a key")
+	}
+	// The tracer never affects identity: pool jobs run untraced.
+	e := fakeJob("omnetpp", 1)
+	e.Cfg.Trace = trace.New(16)
+	if a.Key() != e.Key() {
+		t.Fatal("attaching a tracer changed the key")
+	}
+}

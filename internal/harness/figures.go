@@ -1,21 +1,10 @@
-// Experiment drivers: one function per figure and table of the paper's
-// evaluation (§5). Each returns a Table whose rows mirror what the paper
-// plots; cmd/spec2006, cmd/pgbench, cmd/qps and cmd/phases print them, and
-// bench_test.go wraps them as benchmarks.
+// Per-suite experiment configurations. The figure and table drivers
+// themselves live in internal/expt, which expands each one into a grid of
+// (workload, condition, seed) jobs over Run; these configurations are the
+// shared vocabulary between the harness and that orchestrator.
 package harness
 
-import (
-	"fmt"
-	"sort"
-
-	"repro/internal/bus"
-
-	"repro/internal/metrics"
-	"repro/internal/revoke"
-	"repro/internal/workload/pgbench"
-	"repro/internal/workload/qps"
-	"repro/internal/workload/spec"
-)
+import "repro/internal/revoke"
 
 // SpecConfig returns the configuration used for SPEC experiments.
 func SpecConfig() Config { return DefaultConfig() }
@@ -47,614 +36,4 @@ func QPSConditions() []Condition {
 		out = append(out, c)
 	}
 	return out
-}
-
-// specRun bundles repeated runs of one profile under one condition.
-type specRun struct {
-	profile spec.Profile
-	cond    Condition
-	runs    []*Result
-}
-
-// specMatrix runs profiles × conditions (plus baseline) with reps.
-func specMatrix(profiles []spec.Profile, conds []Condition, cfg Config, reps int) (map[string]map[string][]*Result, error) {
-	out := map[string]map[string][]*Result{}
-	all := append([]Condition{Baseline()}, conds...)
-	for _, p := range profiles {
-		out[p.Name()] = map[string][]*Result{}
-		for _, c := range all {
-			rs, err := Repeat(p, c, cfg, reps)
-			if err != nil {
-				return nil, err
-			}
-			out[p.Name()][c.Name] = rs
-		}
-	}
-	return out, nil
-}
-
-// benchNames returns the distinct benchmark names of profiles, in order.
-func benchNames(profiles []spec.Profile) []string {
-	var names []string
-	seen := map[string]bool{}
-	for _, p := range profiles {
-		if !seen[p.Bench] {
-			seen[p.Bench] = true
-			names = append(names, p.Bench)
-		}
-	}
-	return names
-}
-
-// geomeanOverheadPct computes, for one benchmark and condition, the geomean
-// over its inputs of metric ratios versus baseline, as a percentage.
-func geomeanOverheadPct(profiles []spec.Profile, m map[string]map[string][]*Result,
-	bench, cond string, metric func([]*Result) float64) float64 {
-	var ratios []float64
-	for _, p := range profiles {
-		if p.Bench != bench {
-			continue
-		}
-		base := metric(m[p.Name()]["Baseline"])
-		test := metric(m[p.Name()][cond])
-		ratios = append(ratios, metrics.Ratio(test, base))
-	}
-	return (metrics.Geomean(ratios) - 1) * 100
-}
-
-// Fig1WallClock reproduces Figure 1: wall-clock overheads of Reloaded,
-// Cornucopia and CHERIvoke over the CHERI spatially-safe baseline, per SPEC
-// benchmark (geomean over inputs).
-func Fig1WallClock(cfg Config, reps int) (*Table, error) {
-	profiles := spec.Profiles()
-	conds := SweepConditions()
-	m, err := specMatrix(profiles, conds, cfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Figure 1: SPEC CPU2006 INT wall-clock overheads vs CHERI baseline",
-		Header: []string{"benchmark", "Reloaded", "Cornucopia", "CHERIvoke"},
-	}
-	for _, bench := range benchNames(profiles) {
-		row := []string{bench}
-		for _, c := range conds {
-			row = append(row, pct(geomeanOverheadPct(profiles, m, bench, c.Name, MeanWall)))
-		}
-		t.AddRow(row...)
-	}
-	t.AddNote("bzip2 and sjeng do not engage revocation and are excluded from subsequent figures")
-	return t, nil
-}
-
-// Fig2CPUTime reproduces Figure 2: total CPU-time overheads (all cores),
-// including asynchronous quarantine management (Paint+sync).
-func Fig2CPUTime(cfg Config, reps int) (*Table, error) {
-	profiles := spec.RevocationEngaging()
-	conds := StandardConditions()
-	m, err := specMatrix(profiles, conds, cfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Figure 2: SPEC total CPU-time overheads (all cores)",
-		Header: []string{"benchmark", "Reloaded", "Cornucopia", "CHERIvoke", "Paint+sync"},
-	}
-	for _, bench := range benchNames(profiles) {
-		row := []string{bench}
-		for _, c := range conds {
-			row = append(row, pct(geomeanOverheadPct(profiles, m, bench, c.Name, MeanCPU)))
-		}
-		t.AddRow(row...)
-	}
-	return t, nil
-}
-
-// Fig3RSS reproduces Figure 3: peak-RSS ratio between test condition and
-// baseline, sorted descending by baseline RSS.
-func Fig3RSS(cfg Config, reps int) (*Table, error) {
-	profiles := []spec.Profile{}
-	for _, name := range []string{"xalancbmk", "omnetpp", "astar", "libquantum", "gobmk", "hmmer"} {
-		profiles = append(profiles, spec.ByName(name)[0])
-	}
-	conds := StandardConditions()
-	m, err := specMatrix(profiles, conds, cfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	type row struct {
-		name    string
-		baseMiB float64
-		ratios  []float64
-	}
-	var rows []row
-	for _, p := range profiles {
-		base := MeanRSS(m[p.Name()]["Baseline"])
-		r := row{name: p.Name(), baseMiB: base * 4096 / (1 << 20)}
-		for _, c := range conds {
-			r.ratios = append(r.ratios, metrics.Ratio(MeanRSS(m[p.Name()][c.Name]), base))
-		}
-		rows = append(rows, r)
-	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].baseMiB > rows[j].baseMiB })
-	t := &Table{
-		Title:  "Figure 3: peak memory footprint (RSS) ratio vs baseline",
-		Header: []string{"benchmark", "baseRSS", "Reloaded", "Cornucopia", "CHERIvoke", "Paint+sync"},
-	}
-	for _, r := range rows {
-		cells := []string{r.name, fmt.Sprintf("%.1fMiB", r.baseMiB)}
-		for _, v := range r.ratios {
-			cells = append(cells, f3(v))
-		}
-		t.AddRow(cells...)
-	}
-	t.AddNote("policy target is 1.33x (33%% of the heap in quarantine); small-heap benchmarks are dominated by the scaled 8 MiB quarantine floor")
-	return t, nil
-}
-
-// Fig4BusTraffic reproduces Figure 4: DRAM bus traffic overheads, with
-// Reloaded's mean traffic as a percentage of Cornucopia's.
-func Fig4BusTraffic(cfg Config, reps int) (*Table, error) {
-	profiles := spec.RevocationEngaging()
-	conds := SweepConditions()
-	m, err := specMatrix(profiles, conds, cfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Figure 4: SPEC DRAM bus traffic overheads",
-		Header: []string{"benchmark", "baseGTx", "Reloaded", "Cornucopia", "CHERIvoke", "Rel/Cor"},
-	}
-	var relCorRatios []float64
-	for _, bench := range benchNames(profiles) {
-		var baseTx float64
-		for _, p := range profiles {
-			if p.Bench == bench {
-				baseTx += MeanDRAM(m[p.Name()]["Baseline"])
-			}
-		}
-		row := []string{bench, fmt.Sprintf("%.2g", baseTx/1e9)}
-		for _, c := range conds {
-			row = append(row, pct(geomeanOverheadPct(profiles, m, bench, c.Name, MeanDRAM)))
-		}
-		rel := geomeanOverheadPct(profiles, m, bench, "Reloaded", MeanDRAM)
-		cor := geomeanOverheadPct(profiles, m, bench, "Cornucopia", MeanDRAM)
-		ratio := metrics.Ratio(rel, cor)
-		relCorRatios = append(relCorRatios, ratio)
-		row = append(row, fmt.Sprintf("%.0f%%", ratio*100))
-		t.AddRow(row...)
-	}
-	sort.Float64s(relCorRatios)
-	t.AddNote("median Reloaded traffic overhead relative to Cornucopia: %.0f%% (paper: 87%%)",
-		relCorRatios[len(relCorRatios)/2]*100)
-	return t, nil
-}
-
-// pgbenchMatrix runs pgbench under baseline + the standard conditions.
-func pgbenchMatrix(txs int, cfg Config, reps int) (map[string][]*Result, error) {
-	out := map[string][]*Result{}
-	for _, c := range append([]Condition{Baseline()}, StandardConditions()...) {
-		rs, err := Repeat(pgbench.New(txs), c, cfg, reps)
-		if err != nil {
-			return nil, err
-		}
-		out[c.Name] = rs
-	}
-	return out, nil
-}
-
-// Fig5PgbenchTime reproduces Figure 5: normalized time overheads for
-// pgbench: wall clock, total CPU (all cores), and the server thread alone.
-func Fig5PgbenchTime(txs int, cfg Config, reps int) (*Table, error) {
-	m, err := pgbenchMatrix(txs, cfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Figure 5: pgbench normalized time overheads",
-		Header: []string{"condition", "wall", "totalCPU", "serverCPU"},
-	}
-	serverCPU := func(rs []*Result) float64 {
-		var s metrics.Samples
-		for _, r := range rs {
-			s.AddU(r.AppCPUCycles)
-		}
-		return s.Mean()
-	}
-	base := m["Baseline"]
-	for _, c := range StandardConditions() {
-		rs := m[c.Name]
-		t.AddRow(c.Name,
-			pct(metrics.Overhead(MeanWall(rs), MeanWall(base))),
-			pct(metrics.Overhead(MeanCPU(rs), MeanCPU(base))),
-			pct(metrics.Overhead(serverCPU(rs), serverCPU(base))))
-	}
-	t.AddNote("the workload is not steadily CPU-bound: server CPU overheads can exceed wall overheads (§5.2)")
-	return t, nil
-}
-
-// Fig6PgbenchBus reproduces Figure 6: normalized bus access overheads for
-// pgbench, total and on the application core.
-func Fig6PgbenchBus(txs int, cfg Config, reps int) (*Table, error) {
-	m, err := pgbenchMatrix(txs, cfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	appCore := cfg.AppCores
-	if len(appCore) == 0 {
-		appCore = []int{3}
-	}
-	coreDRAM := func(rs []*Result) float64 {
-		var s metrics.Samples
-		for _, r := range rs {
-			s.AddU(r.DRAMByCore[appCore[0]])
-		}
-		return s.Mean()
-	}
-	revokerDRAM := func(rs []*Result) float64 {
-		var s metrics.Samples
-		for _, r := range rs {
-			s.AddU(r.DRAMByAgent[bus.AgentRevoker])
-		}
-		return s.Mean()
-	}
-	t := &Table{
-		Title:  "Figure 6: pgbench normalized bus access overheads",
-		Header: []string{"condition", "total", "appCore", "sweepTraffic"},
-	}
-	base := m["Baseline"]
-	for _, c := range StandardConditions() {
-		rs := m[c.Name]
-		t.AddRow(c.Name,
-			pct(metrics.Overhead(MeanDRAM(rs), MeanDRAM(base))),
-			pct(metrics.Overhead(coreDRAM(rs), coreDRAM(base))),
-			fmt.Sprintf("%.1f%%", 100*revokerDRAM(rs)/MeanDRAM(base)))
-	}
-	relOv := metrics.Overhead(MeanDRAM(m["Reloaded"]), MeanDRAM(base))
-	corOv := metrics.Overhead(MeanDRAM(m["Cornucopia"]), MeanDRAM(base))
-	t.AddNote("Reloaded incurs %.0f%% of Cornucopia's traffic overhead (paper: <50%%)", 100*metrics.Ratio(relOv, corOv))
-	t.AddNote("at 1/8 scale, quarantine cache effects dominate both strategies' traffic and Cornucopia's STW re-sweep collapses; the paper's pgbench traffic gap does not reproduce here (it does across SPEC, Figure 4)")
-	return t, nil
-}
-
-// Fig7Samples collects the per-transaction latency samples per condition
-// (in milliseconds), for plotting Figure 7's CDF directly.
-func Fig7Samples(txs int, cfg Config, reps int) (map[string]*metrics.Samples, error) {
-	m, err := pgbenchMatrix(txs, cfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	out := map[string]*metrics.Samples{}
-	for name, rs := range m {
-		lat := &metrics.Samples{}
-		for _, r := range rs {
-			lat.Merge(r.Lat.Scaled(r.HzGHz * 1e6)) // cycles → ms
-		}
-		out[name] = lat
-	}
-	return out, nil
-}
-
-// Fig7PgbenchCDF reproduces Figure 7: the per-transaction latency
-// distribution per condition, with the median world-stopped durations and
-// Reloaded's median cumulative fault-handling time.
-func Fig7PgbenchCDF(txs int, cfg Config, reps int) (*Table, error) {
-	m, err := pgbenchMatrix(txs, cfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Figure 7: pgbench per-transaction latency distribution (ms)",
-		Header: []string{"condition", "p50", "p85", "p90", "p95", "p99", "p99.9", "max"},
-	}
-	order := []string{"Paint+sync", "CHERIvoke", "Cornucopia", "Reloaded"}
-	for _, name := range order {
-		rs := m[name]
-		lat := &metrics.Samples{}
-		for _, r := range rs {
-			lat.Merge(r.Lat)
-		}
-		hz := rs[0].HzGHz * 1e6 // cycles per ms
-		row := []string{name}
-		for _, p := range []float64{50, 85, 90, 95, 99, 99.9, 100} {
-			row = append(row, f3(lat.Percentile(p)/hz))
-		}
-		t.AddRow(row...)
-	}
-	// Phase medians (the dashed/dotted segments of the figure).
-	for _, name := range []string{"CHERIvoke", "Cornucopia", "Reloaded"} {
-		stw := &metrics.Samples{}
-		faults := &metrics.Samples{}
-		for _, r := range m[name] {
-			for _, e := range r.Epochs {
-				stw.AddU(e.STWCycles)
-				faults.AddU(e.FaultCycles)
-			}
-		}
-		hz := m[name][0].HzGHz * 1e6
-		if name == "Reloaded" {
-			t.AddNote("%s median world-stopped %.4f ms; median cumulative fault time %.4f ms",
-				name, stw.Median()/hz, faults.Median()/hz)
-		} else {
-			t.AddNote("%s median world-stopped %.4f ms", name, stw.Median()/hz)
-		}
-	}
-	return t, nil
-}
-
-// Table1RateSchedules reproduces Table 1: pgbench latency percentiles under
-// fixed-rate schedules. Rates are chosen as the paper's fractions of the
-// unscheduled throughput (100/150/250 out of ~285 tx/s at full scale).
-func Table1RateSchedules(txs int, cfg Config, reps int) (*Table, error) {
-	// First measure unscheduled throughput under Reloaded.
-	cond := Condition{Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded, RevokerCores: []int{2}}
-	un, err := Repeat(pgbench.New(txs), cond, cfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	unTPS := float64(txs) / un[0].Seconds(un[0].WallCycles)
-	t := &Table{
-		Title:  "Table 1: pgbench latency percentiles (ms) under fixed-rate schedules (Reloaded)",
-		Header: []string{"tx/sec", "p50", "p90", "p95", "p99", "p99.9"},
-	}
-	addRow := func(label string, rs []*Result) {
-		lat := &metrics.Samples{}
-		for _, r := range rs {
-			lat.Merge(r.Lat)
-		}
-		hz := rs[0].HzGHz * 1e6
-		row := []string{label}
-		for _, p := range []float64{50, 90, 95, 99, 99.9} {
-			row = append(row, f3(lat.Percentile(p)/hz))
-		}
-		t.AddRow(row...)
-	}
-	for _, frac := range []float64{0.35, 0.53, 0.88} {
-		rate := unTPS * frac
-		rs, err := Repeat(pgbench.NewRated(txs, rate), cond, cfg, reps)
-		if err != nil {
-			return nil, err
-		}
-		addRow(fmt.Sprintf("%.0f", rate), rs)
-	}
-	addRow("unscheduled", un)
-	t.AddNote("rates are 35%%/53%%/88%% of the measured unscheduled throughput (%.0f tx/s), matching the paper's 100/150/250 of ~285", unTPS)
-	return t, nil
-}
-
-// Fig8QPSLatency reproduces Figure 8: gRPC QPS latency percentiles
-// normalized to the no-revocation baseline, plus throughput impact.
-func Fig8QPSLatency(measure, warmup uint64, cfg Config, reps int) (*Table, error) {
-	type cellSamples struct{ perRun map[float64]*metrics.Samples }
-	pcts := []float64{50, 90, 95, 99, 99.9}
-	runCond := func(c Condition) (*cellSamples, *metrics.Samples, error) {
-		cs := &cellSamples{perRun: map[float64]*metrics.Samples{}}
-		for _, p := range pcts {
-			cs.perRun[p] = &metrics.Samples{}
-		}
-		tput := &metrics.Samples{}
-		for i := 0; i < reps; i++ {
-			w := qps.New(measure, warmup)
-			c2 := cfg
-			c2.Seed = cfg.Seed + int64(i)*7919
-			r, err := Run(w, c, c2)
-			if err != nil {
-				return nil, nil, err
-			}
-			for _, p := range pcts {
-				cs.perRun[p].Add(r.Lat.Percentile(p))
-			}
-			tput.Add(float64(w.Messages) / r.Seconds(w.MeasureCycles))
-		}
-		return cs, tput, nil
-	}
-	baseCS, baseTput, err := runCond(Baseline())
-	if err != nil {
-		return nil, err
-	}
-	t := &Table{
-		Title:  "Figure 8: gRPC QPS latency percentiles normalized to baseline",
-		Header: []string{"condition", "p50", "p90", "p95", "p99", "p99.9", "QPS delta"},
-	}
-	baseRow := []string{"Baseline(ms)"}
-	hz := 2.5e6 // cycles per ms at 2.5 GHz
-	if cfg.Machine.Sim.HzGHz != 0 {
-		hz = cfg.Machine.Sim.HzGHz * 1e6
-	}
-	for _, p := range pcts {
-		baseRow = append(baseRow, f3(baseCS.perRun[p].Mean()/hz))
-	}
-	baseRow = append(baseRow, "--")
-	t.AddRow(baseRow...)
-	for _, c := range QPSConditions() {
-		cs, tput, err := runCond(c)
-		if err != nil {
-			return nil, err
-		}
-		row := []string{c.Name}
-		for _, p := range pcts {
-			row = append(row, fmt.Sprintf("%.2fx", metrics.Ratio(cs.perRun[p].Mean(), baseCS.perRun[p].Mean())))
-		}
-		row = append(row, pct(metrics.Overhead(tput.Mean(), baseTput.Mean())))
-		t.AddRow(row...)
-	}
-	t.AddNote("CHERIvoke is excluded, as in the paper (footnote 25); the revoker is unpinned and competes with the server")
-	return t, nil
-}
-
-// PhaseRows summarizes one workload's revocation phase durations under the
-// three sweeping strategies (Figure 9's boxes). It runs each condition once
-// per rep and reports five-number summaries in milliseconds.
-func PhaseRows(t *Table, label string, results map[string][]*Result) {
-	box := func(s *metrics.Samples, hz float64) string {
-		if s.N() == 0 {
-			return "--"
-		}
-		b := s.Boxplot()
-		return fmt.Sprintf("%.3f/%.3f/%.3f/%.3f/%.3f", b.Min/hz, b.P25/hz, b.Median/hz, b.P75/hz, b.Max/hz)
-	}
-	collect := func(cond string, f func(revoke.EpochRecord) uint64) (*metrics.Samples, float64) {
-		s := &metrics.Samples{}
-		hz := 2.5e6
-		for _, r := range results[cond] {
-			hz = r.HzGHz * 1e6
-			for _, e := range r.Epochs {
-				s.AddU(f(e))
-			}
-		}
-		return s, hz
-	}
-	stw := func(e revoke.EpochRecord) uint64 { return e.STWCycles }
-	conc := func(e revoke.EpochRecord) uint64 { return e.ConcurrentCycles }
-	flt := func(e revoke.EpochRecord) uint64 { return e.FaultCycles }
-
-	s, hz := collect("CHERIvoke", stw)
-	t.AddRow(label, "CHERIvoke", "stop-the-world", box(s, hz))
-	s, hz = collect("Cornucopia", conc)
-	t.AddRow(label, "Cornucopia", "concurrent", box(s, hz))
-	s, hz = collect("Cornucopia", stw)
-	t.AddRow(label, "Cornucopia", "stop-the-world", box(s, hz))
-	s, hz = collect("Reloaded", stw)
-	t.AddRow(label, "Reloaded", "stop-the-world", box(s, hz))
-	s, hz = collect("Reloaded", conc)
-	t.AddRow(label, "Reloaded", "concurrent", box(s, hz))
-	s, hz = collect("Reloaded", flt)
-	t.AddRow(label, "Reloaded", "faults (cum/epoch)", box(s, hz))
-}
-
-// Fig9Phases reproduces Figure 9: revocation phase time distributions for a
-// representative subset of benchmarks. cfg scales the SPEC surrogates; the
-// pgbench and gRPC parts derive proportional scales from it.
-func Fig9Phases(cfg Config, reps int) (*Table, error) {
-	pgCfg := PgbenchConfig()
-	qpsCfg := QPSConfig()
-	if cfg.Scale != 0 && cfg.Scale != 64 {
-		pgCfg.Scale = cfg.Scale / 8
-		if pgCfg.Scale == 0 {
-			pgCfg.Scale = 1
-		}
-		qpsCfg.Scale = cfg.Scale
-	}
-	t := &Table{
-		Title:  "Figure 9: revocation phase times, min/p25/median/p75/max (ms)",
-		Header: []string{"benchmark", "strategy", "phase", "distribution(ms)"},
-	}
-	subset := []string{"xalancbmk", "astar", "omnetpp", "hmmer", "gobmk", "libquantum"}
-	for _, name := range subset {
-		p := spec.ByName(name)[0]
-		results := map[string][]*Result{}
-		for _, c := range SweepConditions() {
-			rs, err := Repeat(p, c, cfg, reps)
-			if err != nil {
-				return nil, err
-			}
-			results[c.Name] = rs
-		}
-		PhaseRows(t, p.Name(), results)
-	}
-	// pgbench rows.
-	pgResults := map[string][]*Result{}
-	for _, c := range SweepConditions() {
-		rs, err := Repeat(pgbench.New(3000), c, pgCfg, reps)
-		if err != nil {
-			return nil, err
-		}
-		pgResults[c.Name] = rs
-	}
-	PhaseRows(t, "pgbench", pgResults)
-	// gRPC rows (revoker unpinned; CHERIvoke excluded as in the paper).
-	qpsResults := map[string][]*Result{}
-	for _, c := range QPSConditions() {
-		if !c.Shimmed || c.Strategy == revoke.PaintSync {
-			continue
-		}
-		var rs []*Result
-		for i := 0; i < reps; i++ {
-			w := qps.New(1_000_000_000, 100_000_000)
-			rcfg := qpsCfg
-			rcfg.Seed += int64(i) * 104729
-			r, err := Run(w, c, rcfg)
-			if err != nil {
-				return nil, err
-			}
-			rs = append(rs, r)
-		}
-		qpsResults[c.Name] = rs
-	}
-	PhaseRows(t, "gRPC QPS", qpsResults)
-	t.AddNote("gRPC QPS CHERIvoke is absent, as in the paper")
-	return t, nil
-}
-
-// Table2RevRates reproduces Table 2: Reloaded revocation-rate statistics
-// for the representative subset. cfg scales the SPEC surrogates as in
-// Fig9Phases.
-func Table2RevRates(cfg Config, reps int) (*Table, error) {
-	pgCfg := PgbenchConfig()
-	qpsCfg := QPSConfig()
-	if cfg.Scale != 0 && cfg.Scale != 64 {
-		pgCfg.Scale = cfg.Scale / 8
-		if pgCfg.Scale == 0 {
-			pgCfg.Scale = 1
-		}
-		qpsCfg.Scale = cfg.Scale
-	}
-	t := &Table{
-		Title: "Table 2: Reloaded revocation rate statistics",
-		Header: []string{"benchmark", "meanAlloc(MiB)", "sumFreed(MiB)", "F:A",
-			"revocations", "rev/sec"},
-	}
-	cond := Condition{Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded, RevokerCores: []int{2}}
-	addRow := func(name string, rs []*Result) {
-		var alloc, freed, revs, revPerSec metrics.Samples
-		for _, r := range rs {
-			if r.Quar.LiveAtTriggerCount > 0 {
-				alloc.Add(float64(r.Quar.LiveAtTriggerSum) / float64(r.Quar.LiveAtTriggerCount))
-			}
-			freed.AddU(r.Quar.TotalQuarantined)
-			revs.Add(float64(len(r.Epochs)))
-			revPerSec.Add(float64(len(r.Epochs)) / r.Seconds(r.WallCycles))
-		}
-		meanAllocMiB := 0.0
-		if alloc.N() > 0 {
-			meanAllocMiB = alloc.Mean() / (1 << 20)
-		}
-		fa := 0.0
-		if alloc.N() > 0 && alloc.Mean() > 0 {
-			fa = freed.Mean() / alloc.Mean()
-		}
-		t.AddRow(name, f2(meanAllocMiB), f1(freed.Mean()/(1<<20)), f1(fa),
-			f1(revs.Mean()), f2(revPerSec.Mean()))
-	}
-	for _, name := range []string{"xalancbmk", "astar", "omnetpp", "hmmer", "gobmk"} {
-		p := spec.ByName(name)[0]
-		rs, err := Repeat(p, cond, cfg, reps)
-		if err != nil {
-			return nil, err
-		}
-		addRow(p.Name(), rs)
-	}
-	rs, err := Repeat(pgbench.New(3000), cond, pgCfg, reps)
-	if err != nil {
-		return nil, err
-	}
-	addRow("pgbench", rs)
-	{
-		var qrs []*Result
-		c := cond
-		c.RevokerCores = nil
-		for i := 0; i < reps; i++ {
-			w := qps.New(1_000_000_000, 100_000_000)
-			rcfg := qpsCfg
-			rcfg.Seed += int64(i) * 15485863
-			r, err := Run(w, c, rcfg)
-			if err != nil {
-				return nil, err
-			}
-			qrs = append(qrs, r)
-		}
-		addRow("gRPC QPS", qrs)
-	}
-	t.AddNote("footprints scaled by 1/64 (pgbench 1/8) and churn by a further 1/8; F:A orderings are preserved, absolute rev/sec compresses (see EXPERIMENTS.md)")
-	return t, nil
 }

@@ -70,8 +70,3 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-func pct(v float64) string   { return fmt.Sprintf("%+.1f%%", v) }
-func f3(v float64) string    { return fmt.Sprintf("%.3f", v) }
-func f2(v float64) string    { return fmt.Sprintf("%.2f", v) }
-func f1(v float64) string    { return fmt.Sprintf("%.1f", v) }
-func msStr(v float64) string { return fmt.Sprintf("%.3fms", v) }
