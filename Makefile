@@ -4,10 +4,11 @@ GO ?= go
 # cheap enough to run under the race detector on every verify. The
 # simulator packages (sim, kernel, revoke, …) hand off between goroutines
 # one-at-a-time and are exercised by the plain `test` target.
-RACE_PKGS = ./internal/bus ./internal/ca ./internal/metrics ./internal/shadow \
-            ./internal/tmem ./internal/trace ./internal/vm
+RACE_PKGS = ./internal/bus ./internal/ca ./internal/fault ./internal/metrics \
+            ./internal/oracle ./internal/shadow ./internal/tmem ./internal/trace \
+            ./internal/vm
 
-.PHONY: all build vet test race verify sweep-bench
+.PHONY: all build vet test race verify chaos sweep-bench
 
 all: verify
 
@@ -29,6 +30,13 @@ race:
 
 # verify is the tier-1 gate: everything must pass before a change lands.
 verify: build vet test race
+
+# chaos: a strict fault-injection smoke campaign against Reloaded. Every
+# protocol-subverting class must be flagged by the soundness oracle and
+# every infrastructure fault absorbed by abort-and-retry; any silent
+# (undetected, unrecovered) fault fails the target.
+chaos:
+	$(GO) run ./cmd/chaos -strategies reloaded -seeds 2 -strict
 
 # BENCH_sweep.json: one reduced-rep pass over every figure and table,
 # emitted as the machine-readable cornucopia-sweep/v1 document for

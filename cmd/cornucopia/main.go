@@ -35,19 +35,20 @@ import (
 )
 
 func condition(name string, workers int) (harness.Condition, error) {
-	switch strings.ToLower(name) {
-	case "baseline":
+	if strings.EqualFold(strings.TrimSpace(name), "baseline") {
 		return harness.Baseline(), nil
-	case "paintsync", "paint+sync":
-		return harness.Condition{Name: "Paint+sync", Shimmed: true, Strategy: revoke.PaintSync, RevokerCores: []int{2}}, nil
-	case "cherivoke":
-		return harness.Condition{Name: "CHERIvoke", Shimmed: true, Strategy: revoke.CHERIvoke, RevokerCores: []int{2}}, nil
-	case "cornucopia":
-		return harness.Condition{Name: "Cornucopia", Shimmed: true, Strategy: revoke.Cornucopia, RevokerCores: []int{2}, Workers: workers}, nil
-	case "reloaded":
-		return harness.Condition{Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded, RevokerCores: []int{2}, Workers: workers}, nil
 	}
-	return harness.Condition{}, fmt.Errorf("unknown strategy %q", name)
+	s, err := revoke.ParseStrategy(name)
+	if err != nil {
+		return harness.Condition{}, err
+	}
+	cond := harness.Condition{Name: s.String(), Shimmed: true, Strategy: s, RevokerCores: []int{2}}
+	// Only the concurrent sweepers parallelize; Paint+sync never sweeps and
+	// CHERIvoke sweeps under the STW pause.
+	if s != revoke.PaintSync && s != revoke.CHERIvoke {
+		cond.Workers = workers
+	}
+	return cond, nil
 }
 
 // writeTrace exports the run's trace: chrome JSON or CSV, chosen by the

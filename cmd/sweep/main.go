@@ -13,10 +13,12 @@
 //	      [-reps N] [-scale N] [-txs N] [-measure-ms N] [-warmup-ms N] [-seed N]
 //
 // -resume FILE attaches an on-disk manifest keyed by job content hash:
-// completed jobs are recorded as they finish, and a re-invoked sweep (same
-// flags, or any overlapping grid) serves them from the manifest instead of
-// recomputing. Interrupt a sweep at any point and rerun it to pick up
-// where it left off.
+// completed jobs are recorded as they finish, and a re-invoked sweep
+// serves them from the manifest instead of recomputing. Interrupt a sweep
+// at any point and rerun it to pick up where it left off. The manifest's
+// header records the figure set and grid flags that produced it; resuming
+// with different flags fails immediately with a description of the
+// mismatch (rerun with matching flags, or point -resume at a fresh file).
 //
 // -out FILE additionally writes a machine-readable JSON document (schema
 // cornucopia-sweep/v1): every figure's rows, every job's headline
@@ -33,6 +35,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -101,8 +104,19 @@ func main() {
 
 	var manifest *expt.Manifest
 	if *resume != "" {
+		// The manifest header pins the exact grid this file caches: the
+		// sorted figure set plus every flag that changes job content. A
+		// -resume against a file written with different flags fails up
+		// front instead of silently re-running (or worse, mixing) grids.
+		ids := make([]string, len(selected))
+		for i, f := range selected {
+			ids[i] = f.ID
+		}
+		sort.Strings(ids)
+		grid := fmt.Sprintf("figures=%s reps=%d scale=%d txs=%d measure-ms=%d warmup-ms=%d seed=%d",
+			strings.Join(ids, ","), *reps, *scale, *txs, *measureMs, *warmupMs, *seed)
 		var err error
-		manifest, err = expt.OpenManifest(*resume)
+		manifest, err = expt.OpenManifestFor(*resume, expt.ManifestMeta{Tool: "sweep", Grid: grid})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -120,9 +134,13 @@ func main() {
 	}
 	if *progress {
 		pcfg.Progress = func(ev expt.Event) {
-			fmt.Fprintf(os.Stderr, "[%d/%d] %-6s %s under %s seed=%d (%d attempt(s), %.1fs)\n",
+			line := fmt.Sprintf("[%d/%d] %-6s %s under %s seed=%d (%d attempt(s), %.1fs)",
 				ev.Done, ev.Total, ev.Status, ev.Workload, ev.Condition, ev.Seed,
 				ev.Attempts, ev.Host.Seconds())
+			if ev.Err != "" {
+				line += fmt.Sprintf(" [%s]", ev.Err)
+			}
+			fmt.Fprintln(os.Stderr, line)
 		}
 	}
 	pool := expt.NewPool(pcfg)

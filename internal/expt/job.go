@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/workload"
+	"repro/internal/workload/chaos"
 	"repro/internal/workload/pgbench"
 	"repro/internal/workload/qps"
 	"repro/internal/workload/spec"
@@ -27,6 +28,8 @@ type WorkloadRef struct {
 	// Measure and Warmup are the gRPC QPS windows, in cycles.
 	Measure uint64 `json:"measure,omitempty"`
 	Warmup  uint64 `json:"warmup,omitempty"`
+	// Ops is the chaos workload's churn step count.
+	Ops int `json:"ops,omitempty"`
 }
 
 // SpecWorkload references a SPEC surrogate by profile name ("xalancbmk")
@@ -45,6 +48,9 @@ func PgbenchRatedWorkload(txs int, rate float64) WorkloadRef {
 func QPSWorkload(measure, warmup uint64) WorkloadRef {
 	return WorkloadRef{Kind: "qps", Measure: measure, Warmup: warmup}
 }
+
+// ChaosWorkload references an adversarial fault-campaign run (cmd/chaos).
+func ChaosWorkload(ops int) WorkloadRef { return WorkloadRef{Kind: "chaos", Ops: ops} }
 
 // Instantiate builds a fresh workload instance. Workloads are stateful
 // (qps counts its measured messages), so every run needs its own.
@@ -67,6 +73,8 @@ func (w WorkloadRef) Instantiate() (workload.Workload, error) {
 		return pgbench.New(w.Txs), nil
 	case "qps":
 		return qps.New(w.Measure, w.Warmup), nil
+	case "chaos":
+		return chaos.New(w.Ops), nil
 	}
 	return nil, fmt.Errorf("expt: unknown workload kind %q", w.Kind)
 }
@@ -83,6 +91,8 @@ func (w WorkloadRef) String() string {
 		return "pgbench"
 	case "qps":
 		return "grpc-qps"
+	case "chaos":
+		return "chaos"
 	}
 	return w.Kind
 }

@@ -19,12 +19,27 @@ type Manifest struct {
 
 	mu   sync.Mutex
 	done map[string]*JobResult
+	meta *ManifestMeta
 	f    *os.File
 }
 
 type manifestLine struct {
-	Key    string     `json:"key"`
-	Result *JobResult `json:"result"`
+	Key    string        `json:"key,omitempty"`
+	Result *JobResult    `json:"result,omitempty"`
+	Meta   *ManifestMeta `json:"meta,omitempty"`
+}
+
+// ManifestSchema versions the manifest header line.
+const ManifestSchema = "cornucopia-manifest/v1"
+
+// ManifestMeta is the manifest's first line: which tool wrote it and the
+// canonical description of the grid it caches. A resumed sweep refuses a
+// manifest whose meta does not match its own request, instead of silently
+// mixing results from different grids.
+type ManifestMeta struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+	Grid   string `json:"grid"`
 }
 
 // maxManifestLine bounds one manifest line; latency-sample-heavy jobs
@@ -32,35 +47,99 @@ type manifestLine struct {
 const maxManifestLine = 256 << 20
 
 // OpenManifest loads the manifest at path (creating it if absent) and
-// opens it for appending.
+// opens it for appending, without any metadata validation (legacy entry
+// point; cmd tools should prefer OpenManifestFor).
 func OpenManifest(path string) (*Manifest, error) {
+	m, _, err := openManifest(path)
+	return m, err
+}
+
+// OpenManifestFor opens the manifest at path for the given tool/grid
+// combination. A fresh (absent or empty) manifest adopts meta as its
+// header; an existing one must carry a matching header, or the open fails
+// with a description of the mismatch — results cached for one grid are
+// never served to another.
+func OpenManifestFor(path string, meta ManifestMeta) (*Manifest, error) {
+	if meta.Schema == "" {
+		meta.Schema = ManifestSchema
+	}
+	m, got, err := openManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	adopt := func() error {
+		b, err := json.Marshal(manifestLine{Meta: &meta})
+		if err != nil {
+			return err
+		}
+		if _, err := m.f.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("expt: writing manifest header %s: %w", path, err)
+		}
+		m.meta = &meta
+		return nil
+	}
+	switch {
+	case got == nil && m.Len() == 0:
+		if err := adopt(); err != nil {
+			m.Close()
+			return nil, err
+		}
+	case got == nil:
+		m.Close()
+		return nil, fmt.Errorf(
+			"expt: manifest %s predates metadata headers and cannot be validated against this request; use a fresh -resume path",
+			path)
+	case got.Schema != meta.Schema || got.Tool != meta.Tool || got.Grid != meta.Grid:
+		m.Close()
+		return nil, fmt.Errorf(
+			"expt: manifest %s was written for a different run (tool %q grid %q, want tool %q grid %q); rerun with matching flags or use a fresh -resume path",
+			path, got.Tool, got.Grid, meta.Tool, meta.Grid)
+	}
+	return m, nil
+}
+
+func openManifest(path string) (*Manifest, *ManifestMeta, error) {
 	m := &Manifest{path: path, done: map[string]*JobResult{}}
 	if f, err := os.Open(path); err == nil {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 1<<20), maxManifestLine)
 		for sc.Scan() {
 			var line manifestLine
-			if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.Key == "" || line.Result == nil {
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
 				continue // torn tail from an interrupted write
+			}
+			if line.Meta != nil && m.meta == nil {
+				m.meta = line.Meta
+				continue
+			}
+			if line.Key == "" || line.Result == nil {
+				continue
 			}
 			m.done[line.Key] = line.Result
 		}
 		closeErr := f.Close()
 		if err := sc.Err(); err != nil {
-			return nil, fmt.Errorf("expt: reading manifest %s: %w", path, err)
+			return nil, nil, fmt.Errorf("expt: reading manifest %s: %w", path, err)
 		}
 		if closeErr != nil {
-			return nil, closeErr
+			return nil, nil, closeErr
 		}
 	} else if !os.IsNotExist(err) {
-		return nil, err
+		return nil, nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m.f = f
-	return m, nil
+	return m, m.meta, nil
+}
+
+// Meta returns the manifest's header, if it has one.
+func (m *Manifest) Meta() *ManifestMeta {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.meta
 }
 
 // Lookup returns the recorded result for key, if any.

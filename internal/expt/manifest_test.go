@@ -3,6 +3,7 @@ package expt
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -139,4 +140,69 @@ func TestPoolResumesFromManifest(t *testing.T) {
 	if m2.Len() != 3 {
 		t.Fatalf("manifest Len = %d, want 3 (new job recorded)", m2.Len())
 	}
+}
+
+func TestManifestMetaAdoptAndMatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.jsonl")
+	meta := ManifestMeta{Tool: "sweep", Grid: "fig1,fig2 reps=3 seed=1"}
+	m, err := OpenManifestFor(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record("k1", &JobResult{Workload: "w", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	// Same meta: reopens, and the cached result is served.
+	m, err = OpenManifestFor(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Lookup("k1"); !ok {
+		t.Fatal("matching reopen lost the cached result")
+	}
+	if got := m.Meta(); got == nil || got.Grid != meta.Grid || got.Schema != ManifestSchema {
+		t.Fatalf("Meta() = %+v", got)
+	}
+	m.Close()
+
+	// Different grid: refused with a useful message.
+	_, err = OpenManifestFor(path, ManifestMeta{Tool: "sweep", Grid: "fig3 reps=1 seed=9"})
+	if err == nil {
+		t.Fatal("grid mismatch accepted")
+	}
+	if !strings.Contains(err.Error(), "different run") || !strings.Contains(err.Error(), "fig3 reps=1 seed=9") {
+		t.Fatalf("mismatch error unhelpful: %v", err)
+	}
+	// Different tool: also refused.
+	if _, err := OpenManifestFor(path, ManifestMeta{Tool: "chaos", Grid: meta.Grid}); err == nil {
+		t.Fatal("tool mismatch accepted")
+	}
+}
+
+func TestManifestMetaRejectsLegacy(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "legacy.jsonl")
+	m, err := OpenManifest(path) // headerless
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record("k1", &JobResult{Workload: "w"}); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+	if _, err := OpenManifestFor(path, ManifestMeta{Tool: "sweep", Grid: "g"}); err == nil {
+		t.Fatal("headerless non-empty manifest accepted")
+	} else if !strings.Contains(err.Error(), "predates metadata headers") {
+		t.Fatalf("legacy error unhelpful: %v", err)
+	}
+	// Legacy manifests still load through the legacy entry point.
+	m, err = OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Lookup("k1"); !ok {
+		t.Fatal("legacy reopen lost the result")
+	}
+	m.Close()
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,13 +26,19 @@ type Event struct {
 	Workload  string
 	Condition string
 	Seed      int64
-	// Status is "ran", "cached" (served from the manifest), or "failed".
+	// Status is "ran", "cached" (served from the manifest), "retry" (one
+	// attempt failed and another is coming), or "failed".
 	Status string
 	// Attempts is how many times the job was started (>1 means retried).
 	Attempts int
+	// Err classifies what went wrong on "retry" and "failed" events:
+	// "timeout", "panic: <first line>", or "error: <message>". Empty on
+	// success.
+	Err string
 	// Host is the host wall-clock time the final attempt took.
 	Host time.Duration
 	// Done and Total count completed and submitted jobs at event time.
+	// Zero on "retry" events, which do not complete the job.
 	Done, Total int
 }
 
@@ -212,6 +219,32 @@ func (p *Pool) submit(j Job) *entry {
 	return e
 }
 
+// ErrClass compresses an attempt error for progress display: a timeout, a
+// panic (first line of the message, stack dropped), or a plain error.
+func ErrClass(err error) string {
+	if err == nil {
+		return ""
+	}
+	msg := err.Error()
+	if strings.Contains(msg, "timed out") {
+		return "timeout"
+	}
+	if i := strings.Index(msg, "panic: "); i >= 0 {
+		line := msg[i:]
+		if j := strings.IndexByte(line, '\n'); j >= 0 {
+			line = line[:j]
+		}
+		if len(line) > 120 {
+			line = line[:120]
+		}
+		return line
+	}
+	if len(msg) > 120 {
+		msg = msg[:120]
+	}
+	return "error: " + msg
+}
+
 // finishLocked closes the entry and emits its progress event. Caller holds
 // p.mu.
 func (p *Pool) finishLocked(e *entry, status string) {
@@ -220,6 +253,9 @@ func (p *Pool) finishLocked(e *entry, status string) {
 		Key: e.key, Workload: e.job.Workload.String(), Condition: e.job.Cond.Name,
 		Seed: e.job.Cfg.Seed, Status: status, Attempts: e.attempts, Host: e.host,
 		Done: p.done, Total: p.stats.Submitted,
+	}
+	if status == "failed" {
+		ev.Err = ErrClass(e.err)
 	}
 	close(e.ready)
 	if p.cfg.Progress != nil {
@@ -261,10 +297,18 @@ func (p *Pool) execute(e *entry) {
 		p.mu.Lock()
 		e.attempts = attempt + 1
 		e.host = host
-		if attempt < p.cfg.Retries {
+		willRetry := attempt < p.cfg.Retries
+		if willRetry {
 			p.stats.Retries++
 		}
 		p.mu.Unlock()
+		if willRetry && p.cfg.Progress != nil {
+			p.cfg.Progress(Event{
+				Key: e.key, Workload: e.job.Workload.String(), Condition: e.job.Cond.Name,
+				Seed: e.job.Cfg.Seed, Status: "retry", Attempts: attempt + 1,
+				Err: ErrClass(err), Host: host,
+			})
+		}
 	}
 	p.mu.Lock()
 	e.err = fmt.Errorf("expt: job %.12s (%s under %s, seed %d) failed after %d attempt(s): %w",

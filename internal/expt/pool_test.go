@@ -197,3 +197,87 @@ func TestJobKeyStable(t *testing.T) {
 		t.Fatal("attaching a tracer changed the key")
 	}
 }
+
+func TestPoolRetryEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	var runs atomic.Int64
+	p := NewPool(PoolConfig{Workers: 1, Retries: 2, Progress: func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}})
+	p.run = func(j Job) (*JobResult, error) {
+		if runs.Add(1) < 3 {
+			return nil, errors.New("transient fault")
+		}
+		return fakeResult(j), nil
+	}
+	if _, err := p.Get(fakeJob("xalancbmk", 1)); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var retries []Event
+	for _, ev := range events {
+		if ev.Status == "retry" {
+			retries = append(retries, ev)
+		}
+	}
+	if len(retries) != 2 {
+		t.Fatalf("want 2 retry events, got %d (%+v)", len(retries), events)
+	}
+	for i, ev := range retries {
+		if ev.Attempts != i+1 {
+			t.Fatalf("retry %d has Attempts %d", i, ev.Attempts)
+		}
+		if !strings.Contains(ev.Err, "transient fault") {
+			t.Fatalf("retry event lost the error class: %+v", ev)
+		}
+	}
+	last := events[len(events)-1]
+	if last.Status != "ran" || last.Attempts != 3 || last.Err != "" {
+		t.Fatalf("final event wrong: %+v", last)
+	}
+}
+
+func TestPoolFailedEventCarriesErrClass(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	p := NewPool(PoolConfig{Workers: 1, Progress: func(ev Event) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	}})
+	p.run = func(Job) (*JobResult, error) { panic("sweeper exploded") }
+	if _, err := p.Get(fakeJob("xalancbmk", 2)); err == nil {
+		t.Fatal("want failure")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	last := events[len(events)-1]
+	if last.Status != "failed" {
+		t.Fatalf("final event %+v", last)
+	}
+	if !strings.HasPrefix(last.Err, "panic: sweeper exploded") {
+		t.Fatalf("failed event Err = %q, want panic class", last.Err)
+	}
+	if strings.Contains(last.Err, "\n") || len(last.Err) > 120 {
+		t.Fatalf("panic class not compressed: %q", last.Err)
+	}
+}
+
+func TestErrClass(t *testing.T) {
+	if got := ErrClass(nil); got != "" {
+		t.Fatalf("ErrClass(nil) = %q", got)
+	}
+	if got := ErrClass(errors.New("attempt timed out after 5s (simulation goroutines abandoned)")); got != "timeout" {
+		t.Fatalf("timeout class = %q", got)
+	}
+	if got := ErrClass(errors.New("panic: boom\ngoroutine 1 [running]")); got != "panic: boom" {
+		t.Fatalf("panic class = %q", got)
+	}
+	if got := ErrClass(errors.New("no such profile")); got != "error: no such profile" {
+		t.Fatalf("error class = %q", got)
+	}
+}

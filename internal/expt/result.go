@@ -3,9 +3,11 @@ package expt
 import (
 	"repro/internal/alloc"
 	"repro/internal/bus"
+	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/oracle"
 	"repro/internal/quarantine"
 	"repro/internal/revoke"
 )
@@ -40,6 +42,12 @@ type JobResult struct {
 	Heap   alloc.Stats          `json:"heap"`
 	Quar   quarantine.Stats     `json:"quarantine"`
 	Epochs []revoke.EpochRecord `json:"epochs,omitempty"`
+
+	// Fault, Oracle, and Recovery carry the fault-campaign outputs
+	// (cmd/chaos); all nil outside campaigns.
+	Fault    *fault.Report         `json:"fault,omitempty"`
+	Oracle   *oracle.Report        `json:"oracle,omitempty"`
+	Recovery *revoke.RecoveryStats `json:"recovery,omitempty"`
 
 	// LatCycles holds the per-event latency samples, in cycles.
 	LatCycles []float64 `json:"lat_cycles,omitempty"`
@@ -79,6 +87,12 @@ func FromHarness(r *harness.Result, seed int64) *JobResult {
 	if r.Lat != nil && r.Lat.N() > 0 {
 		jr.LatCycles = append([]float64(nil), r.Lat.Values()...)
 	}
+	jr.Fault = r.Fault
+	jr.Oracle = r.Oracle
+	if r.Recovery.Total() > 0 {
+		rec := r.Recovery
+		jr.Recovery = &rec
+	}
 	return jr
 }
 
@@ -106,6 +120,11 @@ func (jr *JobResult) Harness() *harness.Result {
 	}
 	for _, x := range jr.LatCycles {
 		r.Lat.Add(x)
+	}
+	r.Fault = jr.Fault
+	r.Oracle = jr.Oracle
+	if jr.Recovery != nil {
+		r.Recovery = *jr.Recovery
 	}
 	return r
 }

@@ -1,0 +1,109 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseClassRoundTrip(t *testing.T) {
+	for _, c := range Classes() {
+		got, err := ParseClass(c.String())
+		if err != nil {
+			t.Fatalf("ParseClass(%q): %v", c.String(), err)
+		}
+		if got != c {
+			t.Fatalf("ParseClass(%q) = %v, want %v", c.String(), got, c)
+		}
+	}
+	if _, err := ParseClass("meteor-strike"); err == nil {
+		t.Fatal("ParseClass accepted an unknown class")
+	}
+	if len(ClassNames()) != int(NumClasses) {
+		t.Fatalf("ClassNames() has %d entries, want %d", len(ClassNames()), NumClasses)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	if _, err := New(Spec{Seed: 1, Rate: 1.5}); err == nil {
+		t.Fatal("New accepted rate > 1")
+	}
+	if _, err := New(Spec{Seed: 1, Rate: -0.1}); err == nil {
+		t.Fatal("New accepted a negative rate")
+	}
+	if _, err := New(Spec{Seed: 1, Classes: []string{"no-such-fault"}}); err == nil {
+		t.Fatal("New accepted an unknown class name")
+	}
+	in, err := New(Spec{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Classes() {
+		if !in.Armed(c) {
+			t.Fatalf("empty Classes should arm everything; %v is off", c)
+		}
+	}
+	if in.Delay() != 100_000 {
+		t.Fatalf("default delay = %d, want 100000", in.Delay())
+	}
+}
+
+func TestArmedSubset(t *testing.T) {
+	in, err := New(Spec{Seed: 1, Classes: []string{"worker-crash", "Tag-Stale-Read "}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.Armed(WorkerCrash) || !in.Armed(TagStaleRead) {
+		t.Fatal("named classes not armed")
+	}
+	if in.Armed(ShootdownDrop) || in.Armed(BarrierSuppress) {
+		t.Fatal("unnamed classes armed")
+	}
+	if in.Should(ShootdownDrop, 100, 0) {
+		t.Fatal("disarmed class fired")
+	}
+}
+
+// TestDeterminism drives two injectors with the same spec through the same
+// opportunity stream and requires identical decisions and reports.
+func TestDeterminism(t *testing.T) {
+	spec := Spec{Seed: 42, Rate: 0.3}
+	a, _ := New(spec)
+	b, _ := New(spec)
+	for i := uint64(0); i < 2000; i++ {
+		c := Class(i % uint64(NumClasses))
+		cycle := i * 137
+		if a.Should(c, cycle, i) != b.Should(c, cycle, i) {
+			t.Fatalf("decision diverged at opportunity %d", i)
+		}
+	}
+	ra, rb := a.Report(), b.Report()
+	if !reflect.DeepEqual(ra, rb) {
+		t.Fatalf("reports diverged:\n%+v\n%+v", ra, rb)
+	}
+	if ra.Injections == 0 {
+		t.Fatal("rate 0.3 over 2000 opportunities injected nothing")
+	}
+	if ra.Injections == 2000 {
+		t.Fatal("rate 0.3 fired on every opportunity")
+	}
+}
+
+func TestMaxPerClass(t *testing.T) {
+	in, _ := New(Spec{Seed: 7, MaxPerClass: 3})
+	fired := 0
+	for i := uint64(0); i < 100; i++ {
+		if in.Should(WorkerCrash, i, 0) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("MaxPerClass 3 allowed %d injections", fired)
+	}
+	if in.Count(WorkerCrash) != 3 {
+		t.Fatalf("Count = %d, want 3", in.Count(WorkerCrash))
+	}
+	rep := in.Report()
+	if rep.ByClass["worker-crash"] != 3 {
+		t.Fatalf("ByClass = %v", rep.ByClass)
+	}
+}

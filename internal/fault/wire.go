@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"repro/internal/bus"
+	"repro/internal/ca"
+	"repro/internal/kernel"
+	"repro/internal/revoke"
+	"repro/internal/tmem"
+	"repro/internal/trace"
+)
+
+// Wire installs the injector's armed classes into their hook points: the
+// address space's shootdown filter, the kernel's load/store injection
+// hooks, physical memory's sweep filter, and the revocation service's
+// fault hooks. Every injected fault also emits a KindInject trace instant.
+// svc may be nil (no revoker-side classes are wired then).
+//
+// The targeted classes (BarrierSuppress, TagStaleRead) only consider
+// opportunities whose capability points into painted (quarantined) memory:
+// suppressing a check that would have passed anyway injects nothing
+// observable, and would make campaign outcomes depend on the rate of
+// harmless opportunities.
+func Wire(in *Injector, p *kernel.Process, svc *revoke.Service) {
+	m := p.M
+	now := m.Eng.WallClock
+	emit := func(c Class, arg uint64) {
+		m.Trace.Instant(now(), -1, bus.AgentKernel, trace.KindInject,
+			p.Epoch(), uint64(c), arg)
+	}
+	if in.Armed(ShootdownDrop) {
+		p.AS.ShootdownFilter = func(core int) bool {
+			if in.Should(ShootdownDrop, now(), uint64(core)) {
+				emit(ShootdownDrop, uint64(core))
+				return true
+			}
+			return false
+		}
+	}
+	if in.Armed(CapDirtyLoss) {
+		p.Inject.DropCapDirty = func(va uint64) bool {
+			if in.Should(CapDirtyLoss, now(), va) {
+				emit(CapDirtyLoss, va)
+				return true
+			}
+			return false
+		}
+	}
+	if in.Armed(BarrierSuppress) {
+		p.Inject.SuppressGenFault = func(va uint64, v ca.Capability) bool {
+			if !v.Tag() || !p.Shadow.Test(v.Base()) {
+				return false
+			}
+			if in.Should(BarrierSuppress, now(), va) {
+				emit(BarrierSuppress, va)
+				return true
+			}
+			return false
+		}
+	}
+	if in.Armed(TagStaleRead) {
+		m.Phys.SweepFilter = func(id tmem.FrameID, g int, c ca.Capability) bool {
+			if !c.Tag() || !p.Shadow.Test(c.Base()) {
+				return false
+			}
+			if in.Should(TagStaleRead, now(), c.Base()) {
+				emit(TagStaleRead, c.Base())
+				return true
+			}
+			return false
+		}
+	}
+	if svc == nil {
+		return
+	}
+	var hooks revoke.FaultHooks
+	wired := false
+	if in.Armed(WorkerCrash) {
+		hooks.WorkerCrash = func() bool {
+			if in.Should(WorkerCrash, now(), in.delay) {
+				emit(WorkerCrash, in.delay)
+				return true
+			}
+			return false
+		}
+		hooks.CrashStallCycles = in.Delay()
+		wired = true
+	}
+	if in.Armed(EpochPublishDelay) {
+		hooks.PublishDelay = func() uint64 {
+			if in.Should(EpochPublishDelay, now(), in.delay) {
+				emit(EpochPublishDelay, in.delay)
+				return in.Delay()
+			}
+			return 0
+		}
+		wired = true
+	}
+	if wired {
+		svc.SetFaultHooks(hooks)
+	}
+}

@@ -1,0 +1,152 @@
+package harness
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/revoke"
+	"repro/internal/workload/chaos"
+)
+
+// chaosConfig is the campaign configuration: a small quarantine floor so
+// epochs are frequent, the oracle armed, and a tight scheduler skew
+// quantum so application loads interleave with the concurrent sweep in
+// virtual time (at the default 50k-cycle quantum a whole background pass
+// fits between two application slices and mid-epoch races never occur).
+func chaosConfig(seed int64, spec *fault.Spec) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Machine.Sim.SkewQuantum = 2_000
+	cfg.QuarantineMin = 8 << 10
+	cfg.Oracle = true
+	cfg.Fault = spec
+	return cfg
+}
+
+func reloadedCond() Condition {
+	return Condition{Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded, Workers: 3}
+}
+
+// TestChaosMutationMatrix checks the acceptance matrix: each fault class
+// injected against Reloaded is either flagged by the soundness oracle
+// (detected-unsound) or absorbed by abort-and-retry with the recovery
+// recorded. A class that injects but produces neither is a silent
+// soundness hole.
+func TestChaosMutationMatrix(t *testing.T) {
+	type expect struct {
+		// detected requires oracle violations; tolerated requires a recovery
+		// counter. shootdown-drop may land either way (the app can race the
+		// stale-TLB window before the retry heals it), so both are set.
+		detected, tolerated bool
+		recovered           func(r revoke.RecoveryStats) uint64
+	}
+	cases := map[string]expect{
+		"shootdown-drop":      {detected: true, tolerated: true, recovered: func(r revoke.RecoveryStats) uint64 { return r.ShootdownRetries }},
+		"cap-dirty-loss":      {detected: true},
+		"barrier-suppress":    {detected: true},
+		"tag-stale-read":      {detected: true},
+		"worker-crash":        {tolerated: true, recovered: func(r revoke.RecoveryStats) uint64 { return r.SlicesReclaimed + r.WorkersRespawned }},
+		"epoch-publish-delay": {tolerated: true, recovered: func(r revoke.RecoveryStats) uint64 { return r.PublishDelays }},
+	}
+	for _, cls := range fault.ClassNames() {
+		exp, ok := cases[cls]
+		if !ok {
+			t.Fatalf("matrix has no expectation for class %q", cls)
+		}
+		t.Run(cls, func(t *testing.T) {
+			spec := &fault.Spec{Seed: 7, Classes: []string{cls}, MaxPerClass: 8}
+			res, err := Run(chaos.New(4000), reloadedCond(), chaosConfig(1, spec))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Fault.Injections == 0 {
+				t.Fatalf("%s: no injection opportunities fired — the fault is not wired", cls)
+			}
+			viol := res.Oracle.ViolationCount
+			var recov uint64
+			if exp.recovered != nil {
+				recov = exp.recovered(res.Recovery)
+			}
+			switch {
+			case exp.detected && exp.tolerated:
+				if viol == 0 && recov == 0 {
+					t.Fatalf("%s: %d injections, no violation and no recovery (silent)",
+						cls, res.Fault.Injections)
+				}
+			case exp.detected:
+				if viol == 0 {
+					t.Fatalf("%s: %d injections slipped past the oracle (recovery %+v)",
+						cls, res.Fault.Injections, res.Recovery)
+				}
+			default:
+				if viol != 0 {
+					t.Fatalf("%s should be absorbed by recovery, oracle flagged %d violations: %+v",
+						cls, viol, res.Oracle.Violations)
+				}
+				if recov == 0 {
+					t.Fatalf("%s: %d injections tolerated but no recovery recorded (%+v)",
+						cls, res.Fault.Injections, res.Recovery)
+				}
+			}
+		})
+	}
+}
+
+// TestChaosCleanRuns asserts the faults-disabled invariant: with the oracle
+// armed and no injection, every strategy passes the audit with zero
+// violations.
+func TestChaosCleanRuns(t *testing.T) {
+	for _, s := range revoke.Strategies() {
+		cond := Condition{Name: s.String(), Shimmed: true, Strategy: s, Workers: 3}
+		res, err := Run(chaos.New(3000), cond, chaosConfig(3, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Oracle.ViolationCount != 0 {
+			t.Fatalf("%s: clean run flagged %d violations: %+v",
+				s, res.Oracle.ViolationCount, res.Oracle.Violations)
+		}
+		if res.Oracle.EpochsChecked == 0 {
+			t.Fatalf("%s: oracle never saw an epoch boundary", s)
+		}
+		if res.Fault != nil {
+			t.Fatalf("%s: fault report present without a spec", s)
+		}
+	}
+}
+
+// TestChaosDeterminism runs the same faulted campaign twice and requires
+// byte-identical fault, oracle, and recovery results.
+func TestChaosDeterminism(t *testing.T) {
+	run := func() *Result {
+		spec := &fault.Spec{Seed: 11, Rate: 0.5, DelayCycles: 50_000}
+		res, err := Run(chaos.New(3000), reloadedCond(), chaosConfig(5, spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Fault, b.Fault) {
+		t.Fatalf("fault reports diverged:\n%+v\n%+v", a.Fault, b.Fault)
+	}
+	if !reflect.DeepEqual(a.Oracle, b.Oracle) {
+		t.Fatalf("oracle reports diverged:\n%+v\n%+v", a.Oracle, b.Oracle)
+	}
+	if a.Recovery != b.Recovery {
+		t.Fatalf("recovery stats diverged: %+v vs %+v", a.Recovery, b.Recovery)
+	}
+	if a.WallCycles != b.WallCycles {
+		t.Fatalf("wall clocks diverged: %d vs %d", a.WallCycles, b.WallCycles)
+	}
+}
+
+// TestOracleRequiresShim pins the configuration error.
+func TestOracleRequiresShim(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Oracle = true
+	if _, err := Run(chaos.New(10), Baseline(), cfg); err == nil {
+		t.Fatal("oracle over the bare allocator should be rejected")
+	}
+}

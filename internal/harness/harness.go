@@ -13,8 +13,10 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/bus"
 	"repro/internal/color"
+	"repro/internal/fault"
 	"repro/internal/kernel"
 	"repro/internal/metrics"
+	"repro/internal/oracle"
 	"repro/internal/quarantine"
 	"repro/internal/revoke"
 	"repro/internal/trace"
@@ -99,6 +101,14 @@ type Result struct {
 	Quar   quarantine.Stats
 	Epochs []revoke.EpochRecord
 
+	// Recovery counts the revoker's abort-and-retry actions (all zero
+	// outside fault campaigns).
+	Recovery revoke.RecoveryStats
+	// Fault and Oracle report the injection campaign and soundness audit
+	// when Config.Fault / Config.Oracle were set (nil otherwise).
+	Fault  *fault.Report
+	Oracle *oracle.Report
+
 	// Lat holds per-event latencies (cycles) for interactive workloads.
 	Lat *metrics.Samples
 
@@ -133,6 +143,13 @@ type Config struct {
 	// the run (see internal/trace). The same tracer is returned in
 	// Result.Trace. Nil disables tracing at no cost.
 	Trace *trace.Tracer
+	// Fault, when non-nil, arms deterministic fault injection
+	// (internal/fault) for this run. The omitempty tags keep pre-campaign
+	// experiment job keys stable.
+	Fault *fault.Spec `json:"Fault,omitempty"`
+	// Oracle installs the end-to-end soundness oracle (internal/oracle);
+	// requires a shimmed condition.
+	Oracle bool `json:"Oracle,omitempty"`
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -172,13 +189,18 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 
 	var svc *revoke.Service
 	var shim *quarantine.Shim
+	var orc *oracle.Oracle
 	if cond.Shimmed {
-		svc = revoke.NewService(p, revoke.Config{
+		rcfg := revoke.Config{
 			Strategy:             cond.Strategy,
 			RevokerCores:         cond.RevokerCores,
 			Workers:              cond.Workers,
 			AlwaysTrapCleanPages: cond.AlwaysTrap,
-		})
+		}
+		if err := rcfg.Validate(); err != nil {
+			return nil, fmt.Errorf("harness: %s: %w", cond.Name, err)
+		}
+		svc = revoke.NewService(p, rcfg)
 		pol := cond.Policy
 		if pol.HeapFraction == 0 {
 			pol = quarantine.DefaultPolicy()
@@ -194,9 +216,27 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 			h.SetColoring(true)
 			rig.Mem = color.New(h, shim)
 		}
+		if cfg.Oracle {
+			orc = oracle.New(p, h, svc)
+			svc.SetObserver(orc)
+			shim.SetDrainObserver(orc.ObserveDrain)
+		}
 		svc.Start()
 	} else {
+		if cfg.Oracle {
+			return nil, fmt.Errorf("harness: %s: the soundness oracle requires a shimmed condition", cond.Name)
+		}
 		rig.Mem = h
+	}
+
+	var inj *fault.Injector
+	if cfg.Fault != nil {
+		var err error
+		inj, err = fault.New(*cfg.Fault)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		fault.Wire(inj, p, svc)
 	}
 
 	var appTh *kernel.Thread
@@ -238,6 +278,15 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 	}
 	if svc != nil {
 		res.Epochs = svc.Records()
+		res.Recovery = svc.Recovery()
+	}
+	if inj != nil {
+		rep := inj.Report()
+		res.Fault = &rep
+	}
+	if orc != nil {
+		rep := orc.Report()
+		res.Oracle = &rep
 	}
 	return res, nil
 }

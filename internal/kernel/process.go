@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"fmt"
 	"math/rand"
 
 	"repro/internal/bus"
@@ -11,6 +12,20 @@ import (
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
+
+// InjectHooks are optional fault-injection points consulted on the
+// capability load/store fast paths (internal/fault). All nil in normal
+// operation; a non-nil hook returning true suppresses the corresponding
+// mechanism for that one access.
+type InjectHooks struct {
+	// SuppressGenFault makes a tagged capability load that would trap on
+	// the load barrier (generation mismatch, or the §7.6 always-trap
+	// disposition) proceed unchecked with the possibly-stale value.
+	SuppressGenFault func(va uint64, v ca.Capability) bool
+	// DropCapDirty loses the PTE capability-dirty update of one tagged
+	// capability store (§4.2's store barrier never sees the page).
+	DropCapDirty func(va uint64) bool
+}
 
 // LoadBarrierHandler is implemented by a revoker that arms the per-page
 // capability load barrier (§3.2). HandleLoadGenFault runs in the faulting
@@ -82,6 +97,10 @@ type Process struct {
 	barrier      LoadBarrierHandler
 	barrierArmed bool
 	colorMode    bool
+
+	// Inject holds this process's fault-injection hook points; the zero
+	// value injects nothing.
+	Inject InjectHooks
 
 	hoards []*Hoard
 	// ephemeral holds capabilities carried into in-flight system calls,
@@ -400,6 +419,29 @@ func (p *Process) ScanRoots(scanner *Thread) (scanned, revoked int) {
 		}
 	}
 	return scanned, revoked
+}
+
+// ForEachRootCap visits every capability root the kernel can see for this
+// process — all thread register files, kernel hoards, and in-flight
+// syscall (ephemeral) capabilities — in the same deterministic order
+// ScanRoots uses, but read-only and without charging any cycles. This is
+// the audit view (internal/oracle).
+func (p *Process) ForEachRootCap(fn func(where string, c ca.Capability)) {
+	for ti, th := range p.threads {
+		for i, c := range th.regs {
+			fn(fmt.Sprintf("thread %d reg %d", ti, i), c)
+		}
+	}
+	for _, h := range p.hoards {
+		for i, c := range h.caps {
+			fn(fmt.Sprintf("hoard %s slot %d", h.Name, i), c)
+		}
+	}
+	for ti, th := range p.threads {
+		for i, c := range p.ephemeral[th] {
+			fn(fmt.Sprintf("thread %d syscall cap %d", ti, i), c)
+		}
+	}
 }
 
 // BumpGenerations toggles the in-core capability load generation on every

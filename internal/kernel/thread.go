@@ -343,6 +343,11 @@ func (t *Thread) LoadCap(c ca.Capability, off uint64) (ca.Capability, error) {
 	}
 	core := t.Sim.CoreID()
 	if pte.Bits&vm.PTECapLoadTrap != 0 && t.P.barrierArmed {
+		if h := t.P.Inject.SuppressGenFault; h != nil && h(va, v) {
+			// Injected fault: the always-trap disposition fails to fire and
+			// the load completes with the unchecked value.
+			return t.filterColor(v), nil
+		}
 		// §7.6 always-trap disposition: every tagged load from this page
 		// traps; the handler installs a current-generation PTE (and sweeps
 		// if the page has become dirty during an epoch).
@@ -366,6 +371,11 @@ func (t *Thread) LoadCap(c ca.Capability, off uint64) (ca.Capability, error) {
 			t.P.AS.TLBFill(core, va, pte)
 			t.P.stats.TLBRefills++
 		} else if t.P.barrierArmed {
+			if h := t.P.Inject.SuppressGenFault; h != nil && h(va, v) {
+				// Injected fault: the load barrier fails to fire and the
+				// load completes with the stale-generation value.
+				return t.filterColor(v), nil
+			}
 			// Genuine load-generation fault: the armed revoker sweeps the
 			// page in our context and self-heals the load (§3.2).
 			t.P.stats.GenFaults++
@@ -449,8 +459,13 @@ func (t *Thread) StoreCap(c ca.Capability, off uint64, v ca.Capability) error {
 		return err
 	}
 	if v.Tag() && pte.Bits&vm.PTECapDirty == 0 {
-		pte.Bits |= vm.PTECapDirty | vm.PTEEverCapDirty
-		t.Sim.Tick(t.P.M.Costs.PTEUpdate)
+		if h := t.P.Inject.DropCapDirty; h != nil && h(va) {
+			// Injected fault: the hardware dirty-bit update is lost; the
+			// store itself still lands below.
+		} else {
+			pte.Bits |= vm.PTECapDirty | vm.PTEEverCapDirty
+			t.Sim.Tick(t.P.M.Costs.PTEUpdate)
+		}
 	}
 	t.busAccess(va, true)
 	t.P.M.Phys.StoreCap(pte.Frame, g, v)

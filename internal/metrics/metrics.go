@@ -218,3 +218,45 @@ func Ratio(test, baseline float64) float64 {
 	}
 	return test / baseline
 }
+
+// Counter is one named tally, the serializable element of a Counters
+// snapshot.
+type Counter struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// Counters is an ordered bag of named uint64 tallies: fault-campaign
+// aggregation (injections, violations, recoveries per class) and similar
+// event accounting. Names keep first-insertion order so snapshots are
+// deterministic without callers sorting.
+type Counters struct {
+	names []string
+	vals  map[string]uint64
+}
+
+// Add increases the named counter by n, creating it at zero first.
+func (c *Counters) Add(name string, n uint64) {
+	if c.vals == nil {
+		c.vals = make(map[string]uint64)
+	}
+	if _, ok := c.vals[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.vals[name] += n
+}
+
+// Get returns the named counter's value (zero if never added).
+func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+
+// Names returns the counter names in first-insertion order.
+func (c *Counters) Names() []string { return append([]string(nil), c.names...) }
+
+// Snapshot returns all counters in first-insertion order.
+func (c *Counters) Snapshot() []Counter {
+	out := make([]Counter, 0, len(c.names))
+	for _, n := range c.names {
+		out = append(out, Counter{Name: n, Value: c.vals[n]})
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+// Package oracle implements the end-to-end soundness oracle for fault
+// campaigns (cmd/chaos). It observes every revocation epoch boundary
+// (revoke.EpochObserver) and every quarantine drain, and asserts the
+// paper's §2.2.3/§3.2 invariants over the whole machine:
+//
+//   - No capability — in a register, a kernel hoard, a syscall buffer, or
+//     any tagged granule of physical memory — survives a completed epoch
+//     if its base was quarantined (painted) when the epoch began.
+//   - The epoch counter is odd exactly while a pass is in flight, and
+//     quarantined memory is only reused once its clearance target has
+//     passed (paint at epoch e, reuse at EpochClearTarget(e)).
+//   - The revocation bitmap and the heap agree: every painted granule
+//     lies inside a fully-painted heap object or an mmap-level dead
+//     reservation.
+//
+// The strict survivor check is skipped for Paint+sync, which never sweeps
+// by design; the parity and agreement invariants hold for every strategy.
+//
+// The walk runs at the epoch boundary itself, which the simulator executes
+// atomically (no virtual-time yield between the closing counter advance
+// and the observer), so the oracle sees a consistent machine. Mid-epoch
+// drains are exact, not a race: the drain observer retires released spans
+// from the epoch-begin snapshot, so memory legitimately reused during a
+// long epoch is never misflagged.
+package oracle
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/ca"
+	"repro/internal/kernel"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+	"repro/internal/shadow"
+	"repro/internal/vm"
+)
+
+// maxReportViolations bounds the per-run violation log; the count is
+// always exact.
+const maxReportViolations = 64
+
+// Violation records one invariant breach.
+type Violation struct {
+	Epoch     uint64 `json:"epoch"`
+	Cycle     uint64 `json:"cycle"`
+	Invariant string `json:"invariant"`
+	Where     string `json:"where"`
+	Addr      uint64 `json:"addr"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Report summarizes one run's audit.
+type Report struct {
+	EpochsChecked   uint64 `json:"epochs_checked"`
+	CapsChecked     uint64 `json:"caps_checked"`
+	GranulesChecked uint64 `json:"granules_checked"`
+	DrainsChecked   uint64 `json:"drains_checked"`
+	ViolationCount  uint64 `json:"violation_count"`
+	// Violations holds the first maxReportViolations breaches; Truncated
+	// marks an overflow.
+	Violations []Violation `json:"violations,omitempty"`
+	Truncated  bool        `json:"truncated,omitempty"`
+}
+
+// Oracle audits one process's revocation protocol. Install it with
+// Service.SetObserver and Shim.SetDrainObserver.
+type Oracle struct {
+	p      *kernel.Process
+	h      *alloc.Heap
+	svc    *revoke.Service
+	strict bool
+	// snap is the revocation bitmap as of the in-flight epoch's begin;
+	// granules drained mid-epoch are retired from it.
+	snap *shadow.Bitmap
+	rep  Report
+}
+
+// New builds an oracle for the process/heap/service triple. The strict
+// survivor check is enabled for every strategy that sweeps.
+func New(p *kernel.Process, h *alloc.Heap, svc *revoke.Service) *Oracle {
+	return &Oracle{p: p, h: h, svc: svc, strict: svc.Strategy() != revoke.PaintSync}
+}
+
+func (o *Oracle) violate(cycle uint64, invariant, where string, addr uint64, detail string) {
+	o.rep.ViolationCount++
+	if len(o.rep.Violations) >= maxReportViolations {
+		o.rep.Truncated = true
+		return
+	}
+	o.rep.Violations = append(o.rep.Violations, Violation{
+		Epoch: o.p.Epoch(), Cycle: cycle,
+		Invariant: invariant, Where: where, Addr: addr, Detail: detail,
+	})
+}
+
+// EpochBegin implements revoke.EpochObserver: check the counter turned
+// odd and snapshot the paint set the pass is responsible for.
+func (o *Oracle) EpochBegin(th *kernel.Thread, epoch uint64) {
+	if epoch%2 != 1 {
+		o.violate(th.Sim.Now(), "epoch-parity", "epoch begin", 0,
+			fmt.Sprintf("in-flight counter %d is even", epoch))
+	}
+	o.snap = o.p.Shadow.Clone()
+}
+
+// EpochEnd implements revoke.EpochObserver: the full machine walk.
+func (o *Oracle) EpochEnd(th *kernel.Thread, rec *revoke.EpochRecord) {
+	now := th.Sim.Now()
+	o.rep.EpochsChecked++
+	if e := o.p.Epoch(); e%2 != 0 {
+		o.violate(now, "epoch-parity", "epoch end", 0,
+			fmt.Sprintf("completed counter %d is odd", e))
+	}
+	if o.strict && o.snap != nil {
+		check := func(where string, c ca.Capability) {
+			o.rep.CapsChecked++
+			if c.Tag() && o.snap.Test(c.Base()) {
+				o.violate(now, "revoked-cap-survives", where, c.Base(),
+					fmt.Sprintf("capability [0x%x,+%d) into epoch-%d quarantine survived the pass",
+						c.Base(), c.Top()-c.Base(), rec.Epoch))
+			}
+		}
+		o.p.ForEachRootCap(check)
+		phys := o.p.M.Phys
+		o.p.AS.ForEachMappedPage(func(vpn uint64, pte *vm.PTE) bool {
+			phys.ForEachTag(pte.Frame, func(g int, c ca.Capability) {
+				check(fmt.Sprintf("page 0x%x granule %d (gen %d bits %#x)",
+					vpn, g, pte.Gen, pte.Bits), c)
+			})
+			return true
+		})
+	}
+	o.checkAgreement(now)
+	o.snap = nil
+}
+
+// checkAgreement asserts the bitmap/heap invariant: every painted granule
+// belongs to a fully-painted live heap object (an object in quarantine)
+// or to a dead mmap reservation.
+func (o *Oracle) checkAgreement(now uint64) {
+	coveredEnd := uint64(0) // end of the last verified span (ascending walk)
+	o.p.Shadow.ForEachPainted(func(addr uint64) bool {
+		o.rep.GranulesChecked++
+		if addr < coveredEnd {
+			return true
+		}
+		if base, size, ok := o.h.Lookup(addr); ok {
+			want := int(size / ca.GranuleSize)
+			if got := o.p.Shadow.CountPaintedInRange(base, size); got != want {
+				o.violate(now, "paint-heap-mismatch",
+					fmt.Sprintf("object [0x%x,+%d)", base, size), addr,
+					fmt.Sprintf("%d of %d granules painted", got, want))
+			}
+			coveredEnd = base + size
+			return true
+		}
+		if base, length, ok := o.svc.QuarantinedReservation(addr); ok {
+			coveredEnd = base + length
+			return true
+		}
+		o.violate(now, "paint-heap-mismatch", "unattributed granule", addr,
+			"painted granule outside any heap object or dead reservation")
+		coveredEnd = addr + ca.GranuleSize
+		return true
+	})
+}
+
+// ObserveDrain audits one quarantine drain (install with
+// Shim.SetDrainObserver): reuse must wait for the clearance target, and
+// the released spans retire from the in-flight snapshot so their reuse
+// during the rest of the epoch is not misflagged.
+func (o *Oracle) ObserveDrain(th *kernel.Thread, target uint64, spans []quarantine.Span) {
+	o.rep.DrainsChecked++
+	if e := th.P.Epoch(); e < target {
+		o.violate(th.Sim.Now(), "reuse-before-clear", "quarantine drain", 0,
+			fmt.Sprintf("drain at epoch %d before clearance target %d", e, target))
+	}
+	if o.snap == nil {
+		return
+	}
+	for _, s := range spans {
+		auth := ca.NewRoot(s.Base, s.Size, ca.PermPaint)
+		if err := o.snap.Unpaint(auth, s.Base, s.Size); err != nil {
+			panic(fmt.Sprintf("oracle: snapshot unpaint: %v", err))
+		}
+	}
+}
+
+// Report snapshots the audit counters.
+func (o *Oracle) Report() Report {
+	rep := o.rep
+	rep.Violations = append([]Violation(nil), o.rep.Violations...)
+	return rep
+}

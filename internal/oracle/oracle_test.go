@@ -1,0 +1,130 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/kernel"
+	"repro/internal/revoke"
+)
+
+// plant runs body on a fresh machine with an oracle installed over a
+// (never-started) Reloaded service, and returns the audit report.
+func plant(t *testing.T, body func(th *kernel.Thread, o *Oracle, h *alloc.Heap)) Report {
+	t.Helper()
+	m := kernel.NewMachine(kernel.DefaultMachineConfig())
+	p := m.NewProcess(1)
+	h := alloc.NewHeap(p)
+	svc := revoke.NewService(p, revoke.Config{Strategy: revoke.Reloaded})
+	o := New(p, h, svc)
+	p.Spawn("planter", nil, func(th *kernel.Thread) { body(th, o, h) })
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return o.Report()
+}
+
+func hasInvariant(rep Report, inv string) bool {
+	for _, v := range rep.Violations {
+		if v.Invariant == inv {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSurvivorDetected plants the core unsoundness: a tagged capability to
+// a painted (quarantined) object survives in a register past the epoch
+// boundary. The oracle must flag it.
+func TestSurvivorDetected(t *testing.T) {
+	rep := plant(t, func(th *kernel.Thread, o *Oracle, h *alloc.Heap) {
+		c, err := h.Malloc(th, 64)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		base, size, ok := h.Lookup(c.Base())
+		if !ok {
+			t.Error("lookup of fresh allocation failed")
+			return
+		}
+		auth, _ := h.PaintAuth(base)
+		if err := th.PaintShadow(auth, base, size); err != nil {
+			t.Error(err)
+			return
+		}
+		th.SetReg(0, c) // the stale capability the sweep should have cleared
+		o.EpochBegin(th, 1)
+		o.EpochEnd(th, &revoke.EpochRecord{Epoch: 1})
+	})
+	if !hasInvariant(rep, "revoked-cap-survives") {
+		t.Fatalf("surviving capability not flagged: %+v", rep)
+	}
+	if rep.CapsChecked == 0 || rep.EpochsChecked != 1 {
+		t.Fatalf("walk counters wrong: %+v", rep)
+	}
+	for _, v := range rep.Violations {
+		if v.Invariant == "revoked-cap-survives" && !strings.Contains(v.Where, "reg") &&
+			!strings.Contains(v.Where, "page") {
+			t.Fatalf("violation site unattributed: %+v", v)
+		}
+	}
+}
+
+// TestParityViolations plants both epoch-counter parity breaches.
+func TestParityViolations(t *testing.T) {
+	rep := plant(t, func(th *kernel.Thread, o *Oracle, h *alloc.Heap) {
+		o.EpochBegin(th, 2)   // in-flight counter must be odd
+		th.P.AdvanceEpoch(th) // counter now 1 (odd) at the "completed" boundary
+		o.EpochEnd(th, &revoke.EpochRecord{Epoch: 1})
+	})
+	if !hasInvariant(rep, "epoch-parity") {
+		t.Fatalf("parity breaches not flagged: %+v", rep)
+	}
+	if rep.ViolationCount != 2 {
+		t.Fatalf("want 2 parity violations (begin even, end odd), got %+v", rep)
+	}
+}
+
+// TestEarlyDrainDetected plants a quarantine drain before its clearance
+// target has passed.
+func TestEarlyDrainDetected(t *testing.T) {
+	rep := plant(t, func(th *kernel.Thread, o *Oracle, h *alloc.Heap) {
+		o.ObserveDrain(th, th.P.Epoch()+2, nil)
+	})
+	if !hasInvariant(rep, "reuse-before-clear") {
+		t.Fatalf("early drain not flagged: %+v", rep)
+	}
+	if rep.DrainsChecked != 1 {
+		t.Fatalf("DrainsChecked = %d, want 1", rep.DrainsChecked)
+	}
+}
+
+// TestCleanBoundaryPasses checks a consistent boundary yields no
+// violations: painted object, no surviving capability, snapshot retired.
+func TestCleanBoundaryPasses(t *testing.T) {
+	rep := plant(t, func(th *kernel.Thread, o *Oracle, h *alloc.Heap) {
+		c, err := h.Malloc(th, 64)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		base, size, _ := h.Lookup(c.Base())
+		auth, _ := h.PaintAuth(base)
+		if err := th.PaintShadow(auth, base, size); err != nil {
+			t.Error(err)
+			return
+		}
+		// No register copy parked: the machine holds no capability into the
+		// painted span.
+		o.EpochBegin(th, 1)
+		o.EpochEnd(th, &revoke.EpochRecord{Epoch: 1})
+	})
+	if rep.ViolationCount != 0 {
+		t.Fatalf("clean boundary flagged: %+v", rep)
+	}
+	if rep.GranulesChecked == 0 {
+		t.Fatal("agreement walk never ran")
+	}
+}

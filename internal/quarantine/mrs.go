@@ -87,6 +87,13 @@ type Shim struct {
 	cur      buffer  // accumulating frees
 	inflight *buffer // awaiting the in-flight (or a future) epoch
 
+	// drainObs, when non-nil, observes the start of every quarantine
+	// drain with the draining buffer's clearance target and the spans
+	// about to be released (internal/oracle asserts the §2.2.3
+	// epoch-parity reuse rule there and retires the spans from its
+	// paint snapshot).
+	drainObs func(th *kernel.Thread, target uint64, spans []Span)
+
 	stats Stats
 }
 
@@ -161,10 +168,27 @@ func (q *Shim) trigger(th *kernel.Thread) {
 	q.stats.QuarantineAtTriggerSum += buf.bytes
 }
 
+// Span is one quarantined object's address range, as reported to the
+// drain observer.
+type Span struct{ Base, Size uint64 }
+
+// SetDrainObserver installs a callback invoked at the start of every
+// quarantine drain, before any storage is returned to the allocator.
+func (q *Shim) SetDrainObserver(fn func(th *kernel.Thread, target uint64, spans []Span)) {
+	q.drainObs = fn
+}
+
 // drainIfClear releases the in-flight buffer if its epoch has passed.
 func (q *Shim) drainIfClear(th *kernel.Thread) {
 	if q.inflight == nil || th.P.Epoch() < q.inflight.target {
 		return
+	}
+	if q.drainObs != nil {
+		spans := make([]Span, len(q.inflight.entries))
+		for i, e := range q.inflight.entries {
+			spans[i] = Span{e.base, e.size}
+		}
+		q.drainObs(th, q.inflight.target, spans)
 	}
 	buf := q.inflight
 	q.inflight = nil

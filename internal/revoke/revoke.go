@@ -19,6 +19,7 @@ package revoke
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bus"
 	"repro/internal/ca"
@@ -67,6 +68,32 @@ func (s Strategy) String() string {
 	return fmt.Sprintf("Strategy(%d)", int(s))
 }
 
+// Valid reports whether s names an implemented strategy.
+func (s Strategy) Valid() bool { return s >= PaintSync && s <= CornucopiaTwoPass }
+
+// Strategies lists every implemented strategy in declaration order.
+func Strategies() []Strategy {
+	return []Strategy{PaintSync, CHERIvoke, Cornucopia, Reloaded, CornucopiaTwoPass}
+}
+
+// ParseStrategy resolves a strategy from its display name or a common
+// lower-case alias, rejecting anything it does not implement.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "paintsync", "paint+sync", "paint-sync":
+		return PaintSync, nil
+	case "cherivoke":
+		return CHERIvoke, nil
+	case "cornucopia":
+		return Cornucopia, nil
+	case "reloaded", "cornucopia-reloaded":
+		return Reloaded, nil
+	case "cornucopia-2pass", "cornucopia2pass", "twopass", "2pass":
+		return CornucopiaTwoPass, nil
+	}
+	return 0, fmt.Errorf("revoke: unknown strategy %q", name)
+}
+
 // Config parameterizes a revocation Service.
 type Config struct {
 	Strategy Strategy
@@ -83,6 +110,89 @@ type Config struct {
 	// their generation refreshed every epoch.
 	AlwaysTrapCleanPages bool
 }
+
+// Validate rejects malformed configurations; construction goes through it.
+func (c Config) Validate() error {
+	if !c.Strategy.Valid() {
+		return fmt.Errorf("revoke: invalid strategy %s", c.Strategy)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("revoke: negative worker count %d", c.Workers)
+	}
+	return nil
+}
+
+// EpochObserver watches epoch boundaries. The soundness oracle
+// (internal/oracle) implements it to audit machine-wide invariants at the
+// instants the protocol promises them; both calls run with no intervening
+// virtual-time yield, so observers see a consistent machine.
+type EpochObserver interface {
+	// EpochBegin fires right after the opening counter advance (epoch is
+	// the new, odd value).
+	EpochBegin(th *kernel.Thread, epoch uint64)
+	// EpochEnd fires right after the closing counter advance, with the
+	// completed record.
+	EpochEnd(th *kernel.Thread, rec *EpochRecord)
+}
+
+// FaultHooks are optional injection points inside the revoker
+// (internal/fault). Each is consulted at its site when non-nil; all nil
+// means no faults.
+type FaultHooks struct {
+	// WorkerCrash is consulted by a background sweep worker before each
+	// page; true kills the worker mid-slice. The service thread reclaims
+	// the abandoned remainder and respawns a replacement.
+	WorkerCrash func() bool
+	// CrashStallCycles is how long a crashing worker hangs before its
+	// slice is abandoned (the stall half of "stalls and crashes").
+	CrashStallCycles uint64
+	// PublishDelay returns extra cycles the service idles between
+	// finishing an epoch's work and publishing the closing counter
+	// advance (0 = none). Allocators keep blocking on the stale counter
+	// for the duration.
+	PublishDelay func() uint64
+}
+
+// RecoveryStats counts the revoker's abort-and-retry actions over the
+// service's lifetime. All zero in normal operation.
+type RecoveryStats struct {
+	// SlicesReclaimed counts crashed workers' sweep slices re-swept by
+	// the service thread.
+	SlicesReclaimed uint64 `json:"slices_reclaimed,omitempty"`
+	// WorkersRespawned counts replacement sweep workers spawned after a
+	// crash.
+	WorkersRespawned uint64 `json:"workers_respawned,omitempty"`
+	// ShootdownRetries counts TLB shootdown broadcasts re-issued after an
+	// incomplete-delivery verify.
+	ShootdownRetries uint64 `json:"shootdown_retries,omitempty"`
+	// EpochRetries counts end-of-epoch verify failures that re-swept
+	// stale pages.
+	EpochRetries uint64 `json:"epoch_retries,omitempty"`
+	// PublishDelays counts absorbed epoch-counter publication delays.
+	PublishDelays uint64 `json:"publish_delays,omitempty"`
+}
+
+// Total sums all recovery actions.
+func (r RecoveryStats) Total() uint64 {
+	return r.SlicesReclaimed + r.WorkersRespawned + r.ShootdownRetries + r.EpochRetries + r.PublishDelays
+}
+
+// KindRecovery trace Arg values: which recovery action fired.
+const (
+	RecoverySliceReclaim uint64 = iota + 1
+	RecoveryWorkerRespawn
+	RecoveryShootdownReissue
+	RecoveryEpochResweep
+	RecoveryPublishDelay
+)
+
+// Abort-and-retry bounds: retries per verify failure, and the base
+// simulated-time backoff (doubled per attempt) charged before each retry.
+const (
+	maxShootdownRetries   = 3
+	maxEpochRetries       = 3
+	recoveryBackoffCycles = 2_000
+)
 
 // EpochRecord captures one revocation epoch's phase timing and work.
 type EpochRecord struct {
@@ -105,6 +215,15 @@ type EpochRecord struct {
 	// PagesSkippedClean counts pages the §7.6 always-trap disposition let
 	// the background pass skip outright.
 	PagesSkippedClean uint64
+	// SlicesReclaimed, WorkersRespawned, ShootdownRetries and EpochRetries
+	// count this epoch's abort-and-retry recovery actions (fault-injection
+	// campaigns; all zero in normal operation). PublishDelayCycles is the
+	// absorbed epoch-counter publication delay.
+	SlicesReclaimed    uint64 `json:",omitempty"`
+	WorkersRespawned   uint64 `json:",omitempty"`
+	ShootdownRetries   uint64 `json:",omitempty"`
+	EpochRetries       uint64 `json:",omitempty"`
+	PublishDelayCycles uint64 `json:",omitempty"`
 }
 
 // Service runs revocation for one process. It owns the background revoker
@@ -147,6 +266,16 @@ type Service struct {
 	workNext   int // next unclaimed slice index
 	workLeft   int // slices not yet fully swept
 	workGen    uint8
+
+	// abort-and-retry recovery state. abandoned holds the unswept
+	// remainders of crashed workers' slices until the service thread
+	// reclaims them; respawned counts replacement workers (for naming).
+	abandoned [][]pageRef
+	respawned int
+
+	obs   EpochObserver
+	hooks FaultHooks
+	recov RecoveryStats
 }
 
 type deadReservation struct {
@@ -160,8 +289,13 @@ type pageRef struct {
 	pte *vm.PTE
 }
 
-// NewService creates (but does not start) a revocation service.
+// NewService creates (but does not start) a revocation service. It panics
+// on a configuration Validate rejects; callers taking strategy names from
+// user input should validate first.
 func NewService(p *kernel.Process, cfg Config) *Service {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	s := &Service{
 		P:        p,
 		cfg:      cfg,
@@ -222,6 +356,27 @@ func (s *Service) Records() []EpochRecord { return s.records }
 // Strategy returns the configured strategy.
 func (s *Service) Strategy() Strategy { return s.cfg.Strategy }
 
+// SetObserver installs an epoch-boundary observer (nil removes it).
+func (s *Service) SetObserver(o EpochObserver) { s.obs = o }
+
+// SetFaultHooks installs the revoker-side fault-injection hooks.
+func (s *Service) SetFaultHooks(h FaultHooks) { s.hooks = h }
+
+// Recovery returns the service's lifetime abort-and-retry counters.
+func (s *Service) Recovery() RecoveryStats { return s.recov }
+
+// QuarantinedReservation reports whether addr lies inside a dead mmap-level
+// reservation (§6.2) still held in quarantine, returning its span. The
+// soundness oracle uses it to attribute painted granules outside the heap.
+func (s *Service) QuarantinedReservation(addr uint64) (base, length uint64, ok bool) {
+	for _, d := range s.deadResv {
+		if addr >= d.r.Base && addr < d.r.Base+d.r.Length {
+			return d.r.Base, d.r.Length, true
+		}
+	}
+	return 0, 0, false
+}
+
 // QuarantineReservation paints and holds a fully-unmapped reservation
 // (§6.2) until a future epoch completes, then releases its address space.
 func (s *Service) QuarantineReservation(th *kernel.Thread, r *vm.Reservation) {
@@ -264,6 +419,9 @@ func (s *Service) RevokeEpoch(th *kernel.Thread) EpochRecord {
 	s.cur = &rec
 	p.M.Trace.Begin(th.Sim.Now(), th.Sim.CoreID(), bus.AgentRevoker,
 		trace.KindEpoch, rec.Epoch, 0, 0)
+	if s.obs != nil {
+		s.obs.EpochBegin(th, rec.Epoch)
+	}
 
 	switch s.cfg.Strategy {
 	case PaintSync:
@@ -279,6 +437,18 @@ func (s *Service) RevokeEpoch(th *kernel.Thread) EpochRecord {
 		s.epochReloaded(th, &rec)
 	}
 
+	if s.hooks.PublishDelay != nil {
+		// Injected fault: the closing counter advance is held back.
+		// Absorption is safe — the sweep is complete, so no new violations
+		// can appear while allocators block on the stale counter — but the
+		// delay is visible as quarantine back-pressure and is recorded.
+		if d := s.hooks.PublishDelay(); d > 0 {
+			rec.PublishDelayCycles += d
+			s.recov.PublishDelays++
+			s.traceRecovery(th, RecoveryPublishDelay, d)
+			th.Idle(d)
+		}
+	}
 	stats = p.Stats()
 	rec.FaultCount = stats.GenFaults - s.faultBase
 	rec.FaultCycles = stats.GenFaultCycles - s.faultCyclesBase
@@ -286,6 +456,9 @@ func (s *Service) RevokeEpoch(th *kernel.Thread) EpochRecord {
 	rec.EndCycle = th.Sim.Now()
 	p.M.Trace.End(rec.EndCycle, th.Sim.CoreID(), bus.AgentRevoker,
 		trace.KindEpoch, rec.Epoch, rec.CapsRevoked, rec.PagesVisited)
+	if s.obs != nil {
+		s.obs.EpochEnd(th, &rec)
+	}
 	s.cur = nil
 	s.records = append(s.records, rec)
 	s.releaseDeadReservations(th)
@@ -431,6 +604,7 @@ func (s *Service) epochReloaded(th *kernel.Thread, rec *EpochRecord) {
 	t0 := th.Sim.Now()
 	p.StopTheWorld(th)
 	p.BumpGenerations(th)
+	s.verifyShootdown(th, rec)
 	sc, rv := p.ScanRoots(th)
 	rec.CapsVisited += uint64(sc)
 	rec.CapsRevoked += uint64(rv)
@@ -445,7 +619,62 @@ func (s *Service) epochReloaded(th *kernel.Thread, rec *EpochRecord) {
 	newGen := p.AS.CoreGen(th.Sim.CoreID())
 	pages := s.snapshotPages(false)
 	s.sweepShared(th, pages, rec, newGen)
+
+	// End-of-epoch verify: every mapped page must now be at the new
+	// generation (§7.6 always-trap pages intentionally stay stale). A
+	// failed verify — only reachable under fault injection — aborts and
+	// re-sweeps the stale remainder with simulated-time backoff.
+	for retry := 0; retry < maxEpochRetries; retry++ {
+		stale := s.stalePages(newGen)
+		if len(stale) == 0 {
+			break
+		}
+		rec.EpochRetries++
+		s.recov.EpochRetries++
+		s.traceRecovery(th, RecoveryEpochResweep, uint64(len(stale)))
+		th.Idle(recoveryBackoffCycles << uint(retry))
+		s.sweepShared(th, stale, rec, newGen)
+	}
 	rec.ConcurrentCycles = th.Sim.Now() - t1
+}
+
+// verifyShootdown checks that the BumpGenerations TLB shootdown reached
+// every core and re-issues the broadcast (bounded, with backoff) if
+// delivery was incomplete. Runs under stop-the-world.
+func (s *Service) verifyShootdown(th *kernel.Thread, rec *EpochRecord) {
+	p := s.P
+	for try := 0; p.AS.ShootdownIncomplete() && try < maxShootdownRetries; try++ {
+		rec.ShootdownRetries++
+		s.recov.ShootdownRetries++
+		s.traceRecovery(th, RecoveryShootdownReissue, uint64(try+1))
+		th.Sim.Tick(recoveryBackoffCycles << uint(try))
+		th.Sim.Tick(uint64(p.M.Eng.Config().Cores) * p.M.Costs.IPI)
+		p.AS.ShootdownAll()
+	}
+}
+
+// stalePages lists mapped pages still behind newGen, excluding §7.6
+// always-trap pages whose staleness is the design.
+func (s *Service) stalePages(newGen uint8) []pageRef {
+	var stale []pageRef
+	s.P.AS.ForEachMappedPage(func(vpn uint64, pte *vm.PTE) bool {
+		if pte.Gen != newGen && pte.Bits&vm.PTECapLoadTrap == 0 {
+			stale = append(stale, pageRef{vpn, pte})
+		}
+		return true
+	})
+	return stale
+}
+
+// traceRecovery emits one KindRecovery instant for an abort-and-retry
+// action (Arg = Recovery* ordinal, Arg2 = action-specific detail).
+func (s *Service) traceRecovery(th *kernel.Thread, action, detail uint64) {
+	epoch := uint64(0)
+	if s.cur != nil {
+		epoch = s.cur.Epoch
+	}
+	s.P.M.Trace.Instant(th.Sim.Now(), th.Sim.CoreID(), bus.AgentRevoker,
+		trace.KindRecovery, epoch, action, detail)
 }
 
 // visitReloaded brings one page to the current generation: a content sweep
@@ -537,7 +766,7 @@ func (s *Service) HandleLoadGenFault(th *kernel.Thread, va uint64, pte *vm.PTE) 
 // thread drains every slice itself; the epoch never deadlocks.
 func (s *Service) sweepShared(th *kernel.Thread, pages []pageRef, rec *EpochRecord, newGen uint8) {
 	if s.cfg.Workers <= 1 {
-		s.sweepSlice(th, pages, rec, newGen, 0)
+		s.sweepSlice(th, pages, rec, newGen, 0, false)
 		return
 	}
 	n := s.cfg.Workers
@@ -552,48 +781,122 @@ func (s *Service) sweepShared(th *kernel.Thread, pages []pageRef, rec *EpochReco
 	s.workGen = newGen
 	s.workSeq++
 	s.workEv.Broadcast(th.Sim)
-	s.drainSlices(th, rec, newGen)
-	th.WaitOn(s.workDone, func() bool { return s.workLeft == 0 })
+	// Let the woken workers reach their run queues before claiming slices
+	// ourselves: the engine runs a thread up to its skew quantum, so
+	// without this wakeup-latency idle a short sweep would be fully
+	// drained by the service thread before any worker is scheduled.
+	th.Idle(s.P.M.Costs.IPI)
+	s.drainSlices(th, rec, newGen, false)
+	for {
+		th.WaitOn(s.workDone, func() bool {
+			return s.workLeft == 0 || len(s.abandoned) > 0
+		})
+		if len(s.abandoned) == 0 {
+			break
+		}
+		s.reclaimAbandoned(th, rec, newGen)
+	}
 	s.workSlices = nil
 }
 
+// reclaimAbandoned is the abort-and-retry path for crashed sweep workers:
+// the service thread re-sweeps each abandoned remainder itself (its own
+// visits cannot crash) after a simulated-time backoff, then spawns a
+// replacement worker for the casualty.
+func (s *Service) reclaimAbandoned(th *kernel.Thread, rec *EpochRecord, newGen uint8) {
+	for len(s.abandoned) > 0 {
+		rest := s.abandoned[0]
+		s.abandoned = s.abandoned[1:]
+		rec.SlicesReclaimed++
+		s.recov.SlicesReclaimed++
+		s.traceRecovery(th, RecoverySliceReclaim, uint64(len(rest)))
+		th.Idle(recoveryBackoffCycles)
+		s.sweepSlice(th, rest, rec, newGen, s.cfg.Workers+s.respawned, false)
+		s.workLeft--
+		if s.workLeft == 0 {
+			s.workDone.Broadcast(th.Sim)
+		}
+		s.respawnWorker(th, rec)
+	}
+}
+
+// respawnWorker starts a replacement background sweep worker after a
+// crash. The replacement joins the current epoch's pool immediately and
+// serves later epochs like an original worker.
+func (s *Service) respawnWorker(th *kernel.Thread, rec *EpochRecord) {
+	s.respawned++
+	idx := s.cfg.Workers - 1 + s.respawned
+	rec.WorkersRespawned++
+	s.recov.WorkersRespawned++
+	s.traceRecovery(th, RecoveryWorkerRespawn, uint64(idx))
+	s.P.Spawn(fmt.Sprintf("revoker-w%d", idx), s.cfg.RevokerCores, func(wth *kernel.Thread) {
+		wth.Agent = bus.AgentRevoker
+		s.worker(wth, idx)
+	})
+}
+
 // sweepSlice sweeps one slice with the strategy's visit, bracketed by a
-// per-worker trace span (arg = slice/worker index, arg2 = pages).
-func (s *Service) sweepSlice(th *kernel.Thread, slice []pageRef, rec *EpochRecord, newGen uint8, idx int) {
+// per-worker trace span (arg = slice/worker index, arg2 = pages). When
+// canCrash is set, the injected WorkerCrash hook is consulted before each
+// page; on a hit the worker stalls, then dies, returning the unswept
+// remainder for the service thread to reclaim.
+func (s *Service) sweepSlice(th *kernel.Thread, slice []pageRef, rec *EpochRecord, newGen uint8, idx int, canCrash bool) (rest []pageRef, crashed bool) {
 	tr := s.P.M.Trace
 	tr.Begin(th.Sim.Now(), th.Sim.CoreID(), bus.AgentRevoker,
 		trace.KindSweep, rec.Epoch, uint64(idx), uint64(len(slice)))
-	if s.cfg.Strategy == Reloaded {
-		for _, pr := range slice {
-			s.visitReloaded(th, pr, rec, newGen)
+	for j, pr := range slice {
+		if canCrash && s.hooks.WorkerCrash != nil && s.hooks.WorkerCrash() {
+			if s.hooks.CrashStallCycles > 0 {
+				th.Idle(s.hooks.CrashStallCycles)
+			}
+			tr.End(th.Sim.Now(), th.Sim.CoreID(), bus.AgentRevoker,
+				trace.KindSweep, rec.Epoch, uint64(idx), uint64(j))
+			return slice[j:], true
 		}
-	} else {
-		s.sweepPages(th, slice, rec)
+		if s.cfg.Strategy == Reloaded {
+			s.visitReloaded(th, pr, rec, newGen)
+		} else {
+			v, r := th.SweepPage(pr.vpn, pr.pte)
+			rec.PagesVisited++
+			rec.CapsVisited += uint64(v)
+			rec.CapsRevoked += uint64(r)
+		}
 	}
 	tr.End(th.Sim.Now(), th.Sim.CoreID(), bus.AgentRevoker,
 		trace.KindSweep, rec.Epoch, uint64(idx), uint64(len(slice)))
+	return nil, false
 }
 
 // drainSlices claims and sweeps unclaimed slices until none remain. The
 // claim (read + increment, no intervening virtual-time yield) is atomic
 // under the simulator's one-thread-at-a-time execution, so each slice is
 // swept exactly once and workLeft is decremented exactly once per slice.
-func (s *Service) drainSlices(th *kernel.Thread, rec *EpochRecord, newGen uint8) {
+// A crashed slice is NOT decremented here: its remainder moves to
+// abandoned (workDone wakes the service thread, whose reclaim decrements
+// after the re-sweep) and drainSlices reports the crash to its caller.
+func (s *Service) drainSlices(th *kernel.Thread, rec *EpochRecord, newGen uint8, canCrash bool) bool {
 	for s.workNext < len(s.workSlices) {
 		i := s.workNext
 		s.workNext++
-		s.sweepSlice(th, s.workSlices[i], rec, newGen, i)
+		rest, crashed := s.sweepSlice(th, s.workSlices[i], rec, newGen, i, canCrash)
+		if crashed {
+			s.abandoned = append(s.abandoned, rest)
+			s.workDone.Broadcast(th.Sim)
+			return true
+		}
 		s.workLeft--
 		if s.workLeft == 0 {
 			s.workDone.Broadcast(th.Sim)
 		}
 	}
+	return false
 }
 
 // worker is the §7.1 background sweep worker loop. In-flight work is
 // drained before shutdown is honored: a Shutdown racing an epoch must not
 // strand unclaimed slices, or the service thread would wait on workDone
-// forever.
+// forever. An injected crash exits the loop for good; the service thread
+// reclaims the abandoned slice and respawns a replacement.
 func (s *Service) worker(th *kernel.Thread, idx int) {
 	seen := 0
 	for {
@@ -602,7 +905,9 @@ func (s *Service) worker(th *kernel.Thread, idx int) {
 		})
 		if s.workSeq > seen {
 			seen = s.workSeq
-			s.drainSlices(th, s.cur, s.workGen)
+			if s.drainSlices(th, s.cur, s.workGen, true) {
+				return
+			}
 			continue
 		}
 		if s.shutdown {

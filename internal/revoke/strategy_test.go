@@ -1,0 +1,59 @@
+package revoke
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStrategyStringUnknown(t *testing.T) {
+	if got := Strategy(99).String(); got != "Strategy(99)" {
+		t.Fatalf("Strategy(99).String() = %q", got)
+	}
+	if got := Strategy(-1).String(); got != "Strategy(-1)" {
+		t.Fatalf("Strategy(-1).String() = %q", got)
+	}
+}
+
+func TestParseStrategyRoundTrip(t *testing.T) {
+	for _, s := range Strategies() {
+		got, err := ParseStrategy(s.String())
+		if err != nil {
+			t.Fatalf("ParseStrategy(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("ParseStrategy(%q) = %v, want %v", s.String(), got, s)
+		}
+	}
+	if _, err := ParseStrategy("laser-sweep"); err == nil {
+		t.Fatal("ParseStrategy accepted an unknown name")
+	}
+}
+
+func TestConfigValidateRejectsOutOfRange(t *testing.T) {
+	for _, bad := range []Strategy{-1, Strategy(5), Strategy(99)} {
+		err := Config{Strategy: bad}.Validate()
+		if err == nil {
+			t.Fatalf("Validate accepted strategy %d", int(bad))
+		}
+		if !strings.Contains(err.Error(), "invalid strategy") {
+			t.Fatalf("unexpected error for strategy %d: %v", int(bad), err)
+		}
+	}
+	if err := (Config{Strategy: Reloaded, Workers: -1}).Validate(); err == nil {
+		t.Fatal("Validate accepted a negative worker count")
+	}
+	for _, s := range Strategies() {
+		if err := (Config{Strategy: s}).Validate(); err != nil {
+			t.Fatalf("Validate rejected %s: %v", s, err)
+		}
+	}
+}
+
+func TestNewServicePanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewService accepted an invalid config")
+		}
+	}()
+	NewService(nil, Config{Strategy: Strategy(42)})
+}

@@ -17,6 +17,7 @@ package shadow
 import (
 	"fmt"
 	"math/bits"
+	"sort"
 
 	"repro/internal/ca"
 )
@@ -167,6 +168,31 @@ func (b *Bitmap) AnyPaintedInRange(addr, length uint64) bool {
 		}
 	}
 	return false
+}
+
+// ForEachPainted visits every painted granule's base address in ascending
+// order, stopping early if fn returns false. Iteration sorts the sparse
+// chunk index, so this is for audits (internal/oracle), not hot paths.
+func (b *Bitmap) ForEachPainted(fn func(addr uint64) bool) {
+	keys := make([]uint64, 0, len(b.chunks))
+	for k := range b.chunks {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		c := b.chunks[k]
+		for w := 0; w < chunkWords; w++ {
+			word := c[w]
+			for word != 0 {
+				bit := bits.TrailingZeros64(word)
+				word &^= 1 << uint(bit)
+				g := k*chunkGranules + uint64(w)*64 + uint64(bit)
+				if !fn(g * ca.GranuleSize) {
+					return
+				}
+			}
+		}
+	}
 }
 
 // CountPaintedInRange returns the painted granule count within the range.

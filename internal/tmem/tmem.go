@@ -44,13 +44,24 @@ type frame struct {
 	inUse  bool
 }
 
-// Phys is a bank of tagged physical memory frames.
+// Phys is a bank of tagged physical memory frames. Frames are stored by
+// pointer so their storage never moves: a sweeper holds a *frame across
+// virtual-time yields, and growing the frame table under it (an app-thread
+// demand map mid-sweep) must not orphan the sweeper's view — a relocated
+// backing array would silently discard its tag clears.
 type Phys struct {
-	frames    []frame
+	frames    []*frame
 	free      []FrameID
 	maxFrames int
 	allocated int
 	peakAlloc int
+
+	// SweepFilter, when non-nil, is consulted for every tagged granule a
+	// SweepTags scan visits; returning true hides the granule from that
+	// scan entirely (not visited, never revoked) — a stale tag-controller
+	// read, injected by internal/fault. ForEachTag ignores the filter, so
+	// audits always see ground truth.
+	SweepFilter func(id FrameID, g int, c ca.Capability) bool
 }
 
 // NewPhys creates a memory bank capable of holding up to maxFrames frames.
@@ -70,9 +81,9 @@ func (p *Phys) AllocFrame() (FrameID, error) {
 			return NoFrame, fmt.Errorf("tmem: out of physical memory (%d frames)", p.maxFrames)
 		}
 		id = FrameID(len(p.frames))
-		p.frames = append(p.frames, frame{})
+		p.frames = append(p.frames, &frame{})
 	}
-	f := &p.frames[id]
+	f := p.frames[id]
 	f.tags = [tagWords]uint64{}
 	f.caps = nil
 	f.colors = nil
@@ -127,7 +138,7 @@ func (p *Phys) frame(id FrameID) *frame {
 	if int(id) >= len(p.frames) {
 		panic(fmt.Sprintf("tmem: frame %d out of range", id))
 	}
-	f := &p.frames[id]
+	f := p.frames[id]
 	if !f.inUse {
 		panic(fmt.Sprintf("tmem: access to free frame %d", id))
 	}
@@ -237,6 +248,9 @@ func (p *Phys) SweepTags(id FrameID, fn func(g int, c ca.Capability) bool) (visi
 			b := bits.TrailingZeros64(word)
 			word &^= 1 << b
 			g := w*64 + b
+			if p.SweepFilter != nil && p.SweepFilter(id, g, f.caps[g]) {
+				continue
+			}
 			visited++
 			if fn(g, f.caps[g]) {
 				f.tags[w] &^= 1 << b
@@ -245,6 +259,26 @@ func (p *Phys) SweepTags(id FrameID, fn func(g int, c ca.Capability) bool) (visi
 		}
 	}
 	return visited, revoked
+}
+
+// ForEachTag visits every tagged granule of the frame in ascending order,
+// read-only: tags are never cleared and SweepFilter does not apply. This
+// is the audit view (internal/oracle) of the tag controller's ground
+// truth.
+func (p *Phys) ForEachTag(id FrameID, fn func(g int, c ca.Capability)) {
+	f := p.frame(id)
+	if f.caps == nil {
+		return
+	}
+	for w := 0; w < tagWords; w++ {
+		word := f.tags[w]
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			g := w*64 + b
+			fn(g, f.caps[g])
+		}
+	}
 }
 
 // CopyFrame copies src's tags, capabilities and colors into dst, as a

@@ -213,3 +213,34 @@ func BenchmarkSweepDensePage(b *testing.B) {
 		p.SweepTags(f, func(int, ca.Capability) bool { return false })
 	}
 }
+
+// TestSweepSurvivesFrameTableGrowth pins the stable-frame-pointer
+// guarantee: a sweep caught mid-page by frame-table growth (an app-thread
+// demand map during a virtual-time yield) must not lose its tag clears to
+// a relocated backing array. With value-typed frame storage this test
+// leaks every tag cleared after the growth.
+func TestSweepSurvivesFrameTableGrowth(t *testing.T) {
+	p := NewPhys(1 << 12)
+	id := mustAlloc(t, p)
+	for g := 0; g < 100; g++ {
+		p.StoreCap(id, g, ca.NewRoot(uint64(g)*ca.GranuleSize, 16, ca.PermsData))
+	}
+	grown := false
+	visited, revoked := p.SweepTags(id, func(g int, c ca.Capability) bool {
+		if !grown {
+			// Grow the frame table well past any append capacity step
+			// while the sweep holds its view of frame id.
+			for i := 0; i < 1000; i++ {
+				mustAlloc(t, p)
+			}
+			grown = true
+		}
+		return true
+	})
+	if visited != 100 || revoked != 100 {
+		t.Fatalf("visited %d revoked %d, want 100/100", visited, revoked)
+	}
+	if p.TagCount(id) != 0 {
+		t.Fatalf("%d tags survived a full revoking sweep across frame-table growth", p.TagCount(id))
+	}
+}

@@ -50,6 +50,10 @@ func argNames(k Kind) (string, string) {
 		return "addr", "len"
 	case KindChunk:
 		return "base", "len"
+	case KindInject:
+		return "class", "detail"
+	case KindRecovery:
+		return "action", "detail"
 	}
 	return "", ""
 }

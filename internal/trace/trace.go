@@ -61,6 +61,14 @@ const (
 	// KindChunk is an instant event for the allocator reserving a fresh
 	// chunk from the address space. Arg is the chunk base, Arg2 its size.
 	KindChunk
+	// KindInject is an instant event for one injected fault
+	// (internal/fault). Arg is the fault class ordinal, Arg2 a
+	// class-specific detail (target core, virtual address, delay cycles).
+	KindInject
+	// KindRecovery is an instant event for one abort-and-retry recovery
+	// action by the revoker (internal/revoke). Arg is the recovery action
+	// ordinal, Arg2 a detail (pages reclaimed, retry number, delay).
+	KindRecovery
 	numKinds
 )
 
@@ -89,6 +97,10 @@ func (k Kind) String() string {
 		return "unpaint"
 	case KindChunk:
 		return "chunk-reserve"
+	case KindInject:
+		return "fault-inject"
+	case KindRecovery:
+		return "recovery"
 	}
 	return "unknown"
 }

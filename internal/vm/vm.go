@@ -162,6 +162,15 @@ type AddressSpace struct {
 	// trace shootdowns.
 	OnShootdown func()
 
+	// ShootdownFilter, when non-nil, is consulted once per core on every
+	// ShootdownAll; returning true drops that core's invalidation IPI, so
+	// its TLB keeps (possibly stale) entries. Fault injection only
+	// (internal/fault).
+	ShootdownFilter func(core int) bool
+	// incomplete records whether the most recent ShootdownAll dropped any
+	// core's IPI.
+	incomplete bool
+
 	stats Stats
 }
 
@@ -432,14 +441,25 @@ func (as *AddressSpace) TLBInvalidate(core int, va uint64) {
 // ShootdownAll flushes every core's TLB for this address space (an IPI
 // broadcast in hardware). The cycle cost is charged by the kernel layer.
 func (as *AddressSpace) ShootdownAll() {
+	dropped := false
 	for i := range as.tlbs {
+		if as.ShootdownFilter != nil && as.ShootdownFilter(i) {
+			dropped = true
+			continue
+		}
 		as.tlbs[i] = make(map[uint64]tlbEntry)
 	}
+	as.incomplete = dropped
 	as.stats.Shootdowns++
 	if as.OnShootdown != nil {
 		as.OnShootdown()
 	}
 }
+
+// ShootdownIncomplete reports whether the most recent ShootdownAll left
+// any core's TLB stale (a dropped IPI). The revoker verifies this after
+// arming the load barrier and re-issues the broadcast (abort-and-retry).
+func (as *AddressSpace) ShootdownIncomplete() bool { return as.incomplete }
 
 // CloneCOW clones the address space for fork with copy-on-write sharing:
 // resident pages share their frames (reference counted); both sides'

@@ -1,0 +1,150 @@
+// Package chaos is the adversarial workload for fault campaigns
+// (cmd/chaos). It is not a benchmark surrogate: instead of matching a
+// paper profile it maximizes the surface the soundness oracle audits —
+// rapid allocate/free churn through the quarantine shim, deliberately
+// dangling register copies of freed capabilities, capability stores that
+// dirty pages mid-epoch, kernel-hoard stashes, and loads through parked
+// capabilities that exercise the load barrier after every epoch.
+package chaos
+
+import (
+	"repro/internal/ca"
+	"repro/internal/kernel"
+	"repro/internal/quarantine"
+	"repro/internal/workload"
+)
+
+// regSlots is how many registers park live (and dangling) capabilities.
+const regSlots = 48
+
+// Chaos is the campaign workload; Ops churn steps run on one thread.
+type Chaos struct {
+	Ops int
+}
+
+// New builds the workload.
+func New(ops int) Chaos { return Chaos{Ops: ops} }
+
+// Name implements workload.Workload.
+func (c Chaos) Name() string { return "chaos" }
+
+// Body implements workload.Workload.
+func (c Chaos) Body(rig *workload.Rig, th *kernel.Thread) {
+	rng := rig.RNG
+	hoard := th.P.NewHoard("chaos-stash")
+	var live []ca.Capability
+	slot := 0
+	for op := 0; op < c.Ops; op++ {
+		if th.P.Epoch()%2 == 1 && len(live) > 0 && rng.Intn(2) == 0 {
+			// An epoch is in flight: race the background sweep. Loads of
+			// link fields during the window between the generation bump
+			// and the page's visit are exactly where the load barrier
+			// must catch dangling capabilities.
+			v := live[rng.Intn(len(live))]
+			got, err := th.LoadCap(v, 0)
+			if err != nil {
+				panic(err)
+			}
+			if got.Tag() {
+				th.SetReg(slot%regSlots, got)
+				slot++
+			}
+		}
+		switch rng.Intn(12) {
+		case 0, 1, 2, 3: // allocate, park in a register
+			size := uint64(32 + rng.Intn(1200))
+			v, err := rig.Mem.Malloc(th, size)
+			if err != nil {
+				// Out of simulated memory: shed half the pool and retry
+				// next op.
+				c.freeSome(rig, th, &live, len(live)/2)
+				continue
+			}
+			live = append(live, v)
+			th.SetReg(slot%regSlots, v)
+			slot++
+		case 4, 5, 6: // free a random object, keep the dangling register copy
+			if len(live) == 0 {
+				continue
+			}
+			i := rng.Intn(len(live))
+			v := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if err := rig.Mem.Free(th, v); err != nil {
+				panic(err)
+			}
+			// The capability stays parked in whatever register (and
+			// memory, and hoard slot) it reached: revocation must find
+			// every copy.
+		case 7, 8: // store a capability into another object's interior
+			if len(live) < 2 {
+				continue
+			}
+			src := live[rng.Intn(len(live))]
+			dst := live[rng.Intn(len(live))]
+			slots := int(dst.Len() / ca.GranuleSize)
+			if slots < 1 {
+				continue
+			}
+			// Half the stores land in slot 0 — the "link field" every
+			// later load probes first — so capability density is high
+			// where loads look.
+			off := uint64(0)
+			if rng.Intn(2) == 0 {
+				off = uint64(rng.Intn(slots)) * ca.GranuleSize
+			}
+			if err := th.StoreCap(dst, off, src); err != nil {
+				panic(err)
+			}
+		case 9: // stash a capability in a kernel hoard
+			if len(live) == 0 {
+				continue
+			}
+			hoard.Put(rng.Intn(16), live[rng.Intn(len(live))])
+		case 10, 11: // load back through a parked capability
+			if len(live) == 0 {
+				continue
+			}
+			v := live[rng.Intn(len(live))]
+			slots := int(v.Len() / ca.GranuleSize)
+			if slots < 1 {
+				continue
+			}
+			off := uint64(0)
+			if rng.Intn(2) == 0 {
+				off = uint64(rng.Intn(slots)) * ca.GranuleSize
+			}
+			got, err := th.LoadCap(v, off)
+			if err != nil {
+				panic(err)
+			}
+			// Park whatever came back, exactly as an application keeps
+			// using a pointer read out of a structure. A stale capability
+			// handed over by a suppressed load barrier lands in a
+			// register here, where the soundness oracle must find it.
+			if got.Tag() {
+				th.SetReg(slot%regSlots, got)
+				slot++
+			}
+			th.Work(150)
+		}
+	}
+	c.freeSome(rig, th, &live, len(live))
+	if shim, ok := rig.Mem.(*quarantine.Shim); ok {
+		shim.Flush(th)
+	}
+	rig.Join(th)
+}
+
+// freeSome frees n objects off the back of live (dangling copies remain
+// wherever they were parked).
+func (c Chaos) freeSome(rig *workload.Rig, th *kernel.Thread, live *[]ca.Capability, n int) {
+	for i := 0; i < n && len(*live) > 0; i++ {
+		v := (*live)[len(*live)-1]
+		*live = (*live)[:len(*live)-1]
+		if err := rig.Mem.Free(th, v); err != nil {
+			panic(err)
+		}
+	}
+}
