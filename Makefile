@@ -5,10 +5,10 @@ GO ?= go
 # simulator packages (sim, kernel, revoke, …) hand off between goroutines
 # one-at-a-time and are exercised by the plain `test` target.
 RACE_PKGS = ./internal/bus ./internal/ca ./internal/fault ./internal/metrics \
-            ./internal/oracle ./internal/shadow ./internal/tmem ./internal/trace \
-            ./internal/vm
+            ./internal/oracle ./internal/shadow ./internal/telemetry \
+            ./internal/tmem ./internal/trace ./internal/vm
 
-.PHONY: all build vet test race verify chaos sweep-bench
+.PHONY: all build vet test race verify chaos sweep-bench telemetry-smoke
 
 all: verify
 
@@ -37,6 +37,13 @@ verify: build vet test race
 # (undetected, unrecovered) fault fails the target.
 chaos:
 	$(GO) run ./cmd/chaos -strategies reloaded -seeds 2 -strict
+
+# telemetry-smoke: end-to-end observability check. Runs a telemetry-armed
+# sweep with the live introspection server on an ephemeral port, scrapes
+# /metrics mid-campaign, and asserts the profiler/metrics exports land
+# non-empty (folded stacks under telemetry-smoke/).
+telemetry-smoke:
+	./scripts/telemetry_smoke.sh
 
 # BENCH_sweep.json: one reduced-rep pass over every figure and table,
 # emitted as the machine-readable cornucopia-sweep/v1 document for

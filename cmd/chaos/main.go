@@ -28,6 +28,7 @@
 //	chaos [-strategies reloaded,cornucopia,... | all] [-classes all|c1,c2,...]
 //	      [-seeds N] [-seed BASE] [-rate R] [-max N] [-delay CYCLES] [-ops N]
 //	      [-workers N] [-timeout D] [-retries N] [-resume FILE]
+//	      [-http ADDR] [-http-linger D]
 //	      [-out report.json] [-progress] [-strict] [-list-classes]
 package main
 
@@ -37,12 +38,11 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
-	"time"
 
 	"repro/internal/expt"
+	"repro/internal/expt/cliflags"
 	"repro/internal/fault"
 	"repro/internal/harness"
 	"repro/internal/metrics"
@@ -184,12 +184,8 @@ func main() {
 	max := flag.Uint64("max", 8, "injection cap per class per run (0 = unbounded)")
 	delay := flag.Uint64("delay", 0, "fault duration in cycles for time-shaped faults (0 = default)")
 	ops := flag.Int("ops", 4000, "chaos workload churn steps per run")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel jobs")
-	timeout := flag.Duration("timeout", 10*time.Minute, "per-job attempt timeout (0 = unbounded)")
-	retries := flag.Int("retries", 1, "extra attempts for a failed job")
-	resume := flag.String("resume", "", "manifest file: record completed jobs and resume from them")
+	shared := cliflags.Register()
 	out := flag.String("out", "", "write the campaign report JSON to this file")
-	progress := flag.Bool("progress", false, "print per-job progress lines")
 	strict := flag.Bool("strict", false, "apply the Reloaded expectation matrix and exit non-zero on a miss")
 	listClasses := flag.Bool("list-classes", false, "list fault classes and exit")
 	flag.Parse()
@@ -275,39 +271,27 @@ func main() {
 		}
 	}
 
-	var manifest *expt.Manifest
-	if *resume != "" {
-		ids := append([]string(nil), clss...)
-		sort.Strings(ids)
-		sortedStrats := make([]string, len(strats))
-		for i, s := range strats {
-			sortedStrats[i] = s.String()
-		}
-		sort.Strings(sortedStrats)
-		grid := fmt.Sprintf("strategies=%s classes=%s seeds=%d seed=%d rate=%g max=%d delay=%d ops=%d",
-			strings.Join(sortedStrats, ","), strings.Join(ids, ","),
-			*seeds, *seed, *rate, *max, *delay, *ops)
-		var err error
-		manifest, err = expt.OpenManifestFor(*resume, expt.ManifestMeta{Tool: "chaos", Grid: grid})
-		if err != nil {
-			log.Fatal(err)
-		}
+	ids := append([]string(nil), clss...)
+	sort.Strings(ids)
+	sortedStrats := make([]string, len(strats))
+	for i, s := range strats {
+		sortedStrats[i] = s.String()
+	}
+	sort.Strings(sortedStrats)
+	grid := fmt.Sprintf("strategies=%s classes=%s seeds=%d seed=%d rate=%g max=%d delay=%d ops=%d",
+		strings.Join(sortedStrats, ","), strings.Join(ids, ","),
+		*seeds, *seed, *rate, *max, *delay, *ops)
+	manifest, err := shared.Manifest("chaos", grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if manifest != nil {
 		defer manifest.Close()
 	}
 
-	pcfg := expt.PoolConfig{
-		Workers: *workers, Timeout: *timeout, Retries: *retries, Manifest: manifest,
-	}
-	if *progress {
-		pcfg.Progress = func(ev expt.Event) {
-			line := fmt.Sprintf("[%d/%d] %-6s %s under %s seed=%d (%d attempt(s), %.1fs)",
-				ev.Done, ev.Total, ev.Status, ev.Workload, ev.Condition, ev.Seed,
-				ev.Attempts, ev.Host.Seconds())
-			if ev.Err != "" {
-				line += fmt.Sprintf(" [%s]", ev.Err)
-			}
-			fmt.Fprintln(os.Stderr, line)
-		}
+	pcfg, live, err := shared.PoolConfig("chaos", manifest)
+	if err != nil {
+		log.Fatal(err)
 	}
 	pool := expt.NewPool(pcfg)
 	for _, k := range keys {
@@ -392,6 +376,7 @@ func main() {
 		fmt.Printf("chaos: wrote %s (schema %s)\n", *out, Schema)
 	}
 
+	shared.Finish(live)
 	if len(rep.StrictFailures) > 0 {
 		for _, f := range rep.StrictFailures {
 			log.Printf("strict: %s", f)

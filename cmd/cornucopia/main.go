@@ -6,6 +6,8 @@
 //
 //	cornucopia [-workload NAME] [-strategy NAME] [-scale N] [-seed N] [-workers N]
 //	           [-trace FILE] [-trace-format chrome|csv] [-trace-events N]
+//	           [-prof-folded FILE] [-prof-pprof FILE] [-metrics-out FILE]
+//	           [-series-csv FILE] [-sample-every N]
 //
 // Workloads: any SPEC surrogate name (astar, bzip2, gobmk, hmmer,
 // libquantum, omnetpp, sjeng, xalancbmk), pgbench, or qps. Strategies:
@@ -15,6 +17,13 @@
 // the event stream to FILE: Chrome trace_event JSON (open in Perfetto or
 // chrome://tracing) by default or when FILE ends in .json, CSV when it
 // ends in .csv or -trace-format says so.
+//
+// The telemetry flags arm the cycle profiler and metrics registry
+// (internal/telemetry) for the run: -prof-folded writes folded
+// flame-graph stacks, -prof-pprof a gzipped pprof proto, -metrics-out
+// the final metric values as OpenMetrics text, and -series-csv the
+// sampled time series. The profile is conservation-checked: every
+// simulated cycle on every core is attributed exactly once.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/revoke"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 	"repro/internal/workload/pgbench"
@@ -75,6 +85,45 @@ func writeTrace(r *harness.Result, path, format string) error {
 	return fmt.Errorf("unknown trace format %q", format)
 }
 
+// writeTelemetry snapshots the recorder, verifies cycle conservation,
+// and writes the requested exports.
+func writeTelemetry(tl *telemetry.Telemetry, folded, pprofOut, metricsOut, seriesCSV string) error {
+	snap := tl.Snapshot()
+	if err := snap.CheckConservation(); err != nil {
+		return err
+	}
+	write := func(path string, fn func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("telemetry  wrote %s\n", path)
+		return nil
+	}
+	if err := write(folded, func(f *os.File) error { return snap.WriteFolded(f) }); err != nil {
+		return err
+	}
+	if err := write(pprofOut, func(f *os.File) error { return snap.WritePprof(f) }); err != nil {
+		return err
+	}
+	if err := write(metricsOut, func(f *os.File) error { return snap.WriteOpenMetrics(f, true) }); err != nil {
+		return err
+	}
+	return write(seriesCSV, func(f *os.File) error {
+		return telemetry.WriteSeriesCSV(f, []telemetry.Keyed{{Key: "run", Snap: snap}})
+	})
+}
+
 func pick(name string, cfg *harness.Config) (workload.Workload, error) {
 	switch strings.ToLower(name) {
 	case "pgbench":
@@ -103,6 +152,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write a structured event trace to this file")
 	traceFormat := flag.String("trace-format", "", "trace format: chrome or csv (default by file extension)")
 	traceEvents := flag.Int("trace-events", 1<<19, "trace ring capacity (most recent events kept)")
+	profFolded := flag.String("prof-folded", "", "write the cycle profile as folded flame-graph stacks to this file")
+	profPprof := flag.String("prof-pprof", "", "write the cycle profile as a gzipped pprof proto to this file")
+	metricsOut := flag.String("metrics-out", "", "write the final metrics in OpenMetrics text format to this file")
+	seriesCSV := flag.String("series-csv", "", "write the sampled metrics time series as CSV to this file")
+	sampleEvery := flag.Uint64("sample-every", telemetry.DefaultSampleEvery, "time-series sampling interval, simulated cycles")
 	flag.Parse()
 
 	cfg := harness.SpecConfig()
@@ -121,6 +175,10 @@ func main() {
 	if *traceOut != "" {
 		cfg.Trace = trace.New(*traceEvents)
 	}
+	wantTelem := *profFolded != "" || *profPprof != "" || *metricsOut != "" || *seriesCSV != ""
+	if wantTelem {
+		cfg.Telem = telemetry.New(telemetry.Options{SampleEvery: *sampleEvery})
+	}
 
 	r, err := harness.Run(w, cond, cfg)
 	if err != nil {
@@ -132,6 +190,11 @@ func main() {
 		}
 		fmt.Printf("trace      %d events → %s (%d dropped by ring wrap)\n",
 			r.Trace.Len(), *traceOut, r.Trace.Dropped())
+	}
+	if wantTelem {
+		if err := writeTelemetry(cfg.Telem, *profFolded, *profPprof, *metricsOut, *seriesCSV); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	fmt.Printf("workload   %s under %s (scale 1/%d, seed %d)\n", r.Workload, r.Condition, cfg.Scale, cfg.Seed)

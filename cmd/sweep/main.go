@@ -10,6 +10,9 @@
 //
 //	sweep [-figures all|fig1,table2,...] [-workers N] [-timeout D] [-retries N]
 //	      [-resume FILE] [-out results.json] [-progress]
+//	      [-http ADDR] [-http-linger D]
+//	      [-prof-folded FILE] [-prof-pprof FILE] [-metrics-out FILE]
+//	      [-series-csv FILE] [-sample-every N]
 //	      [-reps N] [-scale N] [-txs N] [-measure-ms N] [-warmup-ms N] [-seed N]
 //
 // -resume FILE attaches an on-disk manifest keyed by job content hash:
@@ -25,6 +28,13 @@
 // measurements, and per-(workload, condition) aggregate distributions —
 // suitable for BENCH_*.json perf-trajectory tracking.
 //
+// The telemetry exports (-prof-folded, -prof-pprof, -metrics-out,
+// -series-csv) arm per-job cycle profiling and metrics recording
+// (internal/telemetry): every job's profile is conservation-checked, and
+// the merged exports are byte-identical at any -workers count. -http
+// serves live campaign progress and the merged metrics while the sweep
+// runs (see internal/telemetry.Live).
+//
 // -scale N sets the SPEC footprint divisor; pgbench runs at N/8 and gRPC
 // QPS at N, preserving the suites' relative scales.
 package main
@@ -34,13 +44,14 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
 	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/expt/cliflags"
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -48,12 +59,13 @@ func main() {
 	log.SetPrefix("sweep: ")
 	figures := flag.String("figures", "all", "comma-separated figure ids (fig1..fig9, table1, table2) or 'all'")
 	list := flag.Bool("list", false, "list figure ids and exit")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel jobs (grid shards across host cores)")
-	timeout := flag.Duration("timeout", 10*time.Minute, "per-job attempt timeout (0 = unbounded)")
-	retries := flag.Int("retries", 1, "extra attempts for a failed job")
-	resume := flag.String("resume", "", "manifest file: record completed jobs and resume from them")
+	shared := cliflags.Register()
 	out := flag.String("out", "", "write machine-readable JSON results to this file")
-	progress := flag.Bool("progress", false, "print per-job progress lines")
+	profFolded := flag.String("prof-folded", "", "write the merged cycle profile as folded flame-graph stacks to this file")
+	profPprof := flag.String("prof-pprof", "", "write the merged cycle profile as a gzipped pprof proto to this file")
+	metricsOut := flag.String("metrics-out", "", "write the merged final metrics in OpenMetrics text format to this file")
+	seriesCSV := flag.String("series-csv", "", "write every job's sampled time series as CSV to this file")
+	sampleEvery := flag.Uint64("sample-every", telemetry.DefaultSampleEvery, "time-series sampling interval, simulated cycles")
 	reps := flag.Int("reps", 3, "runs per grid cell")
 	scale := flag.Uint64("scale", 64, "SPEC footprint divisor (pgbench scales at 1/8 of this)")
 	txs := flag.Int("txs", 6000, "pgbench transactions per run")
@@ -102,48 +114,51 @@ func main() {
 		}
 	}
 
-	var manifest *expt.Manifest
-	if *resume != "" {
-		// The manifest header pins the exact grid this file caches: the
-		// sorted figure set plus every flag that changes job content. A
-		// -resume against a file written with different flags fails up
-		// front instead of silently re-running (or worse, mixing) grids.
-		ids := make([]string, len(selected))
-		for i, f := range selected {
-			ids[i] = f.ID
-		}
-		sort.Strings(ids)
-		grid := fmt.Sprintf("figures=%s reps=%d scale=%d txs=%d measure-ms=%d warmup-ms=%d seed=%d",
-			strings.Join(ids, ","), *reps, *scale, *txs, *measureMs, *warmupMs, *seed)
-		var err error
-		manifest, err = expt.OpenManifestFor(*resume, expt.ManifestMeta{Tool: "sweep", Grid: grid})
-		if err != nil {
-			log.Fatal(err)
-		}
+	// Telemetry is armed by any consumer of it: an export file or the
+	// live server's merged-metrics families.
+	wantTelem := *profFolded != "" || *profPprof != "" || *metricsOut != "" ||
+		*seriesCSV != "" || shared.HTTPAddr != ""
+
+	// The manifest header pins the exact grid this file caches: the
+	// sorted figure set plus every flag that changes job content. A
+	// -resume against a file written with different flags fails up
+	// front instead of silently re-running (or worse, mixing) grids.
+	ids := make([]string, len(selected))
+	for i, f := range selected {
+		ids[i] = f.ID
+	}
+	sort.Strings(ids)
+	grid := fmt.Sprintf("figures=%s reps=%d scale=%d txs=%d measure-ms=%d warmup-ms=%d seed=%d",
+		strings.Join(ids, ","), *reps, *scale, *txs, *measureMs, *warmupMs, *seed)
+	if wantTelem {
+		// Sample interval shapes the recorded series; mixing intervals in
+		// one manifest would merge incomparable rows.
+		grid += fmt.Sprintf(" telemetry-sample-every=%d", *sampleEvery)
+	}
+	manifest, err := shared.Manifest("sweep", grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if manifest != nil {
 		defer manifest.Close()
 		if n := manifest.Len(); n > 0 {
-			fmt.Printf("resuming: %d completed job(s) on record in %s\n", n, *resume)
+			fmt.Printf("resuming: %d completed job(s) on record in %s\n", n, shared.Resume)
 		}
 	}
 
-	pcfg := expt.PoolConfig{
-		Workers:  *workers,
-		Timeout:  *timeout,
-		Retries:  *retries,
-		Manifest: manifest,
+	pcfg, live, err := shared.PoolConfig("sweep", manifest)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *progress {
-		pcfg.Progress = func(ev expt.Event) {
-			line := fmt.Sprintf("[%d/%d] %-6s %s under %s seed=%d (%d attempt(s), %.1fs)",
-				ev.Done, ev.Total, ev.Status, ev.Workload, ev.Condition, ev.Seed,
-				ev.Attempts, ev.Host.Seconds())
-			if ev.Err != "" {
-				line += fmt.Sprintf(" [%s]", ev.Err)
-			}
-			fmt.Fprintln(os.Stderr, line)
-		}
+	if wantTelem {
+		pcfg.Telemetry = &telemetry.Options{SampleEvery: *sampleEvery}
 	}
 	pool := expt.NewPool(pcfg)
+	if live != nil && wantTelem {
+		live.SetMetricsSource(func() *telemetry.Snapshot {
+			return telemetry.Merge(telemetrySnaps(pool))
+		})
+	}
 
 	// Build every selected figure concurrently: each figure prefetches its
 	// whole grid up front, so the pool sees the union of all grids at once
@@ -176,10 +191,10 @@ func main() {
 	}
 	st := pool.Stats()
 	fmt.Printf("sweep: %d job(s) ran, %d from manifest, %d retried, %d failed; %d worker(s), %.1fs host wall clock\n",
-		st.Executed, st.Cached, st.Retries, st.Failed, *workers, time.Since(start).Seconds())
+		st.Executed, st.Cached, st.Retries, st.Failed, shared.Workers, time.Since(start).Seconds())
 
 	if *out != "" {
-		doc := expt.BuildDocument(pool, figResults, *workers, *reps, *scale)
+		doc := expt.BuildDocument(pool, figResults, shared.Workers, *reps, *scale)
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
@@ -194,7 +209,66 @@ func main() {
 		fmt.Printf("sweep: wrote %s (%d jobs, %d aggregates, schema %s)\n",
 			*out, len(doc.Jobs), len(doc.Aggregates), expt.Schema)
 	}
+
+	if wantTelem {
+		if err := writeTelemetry(pool, *profFolded, *profPprof, *metricsOut, *seriesCSV); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	shared.Finish(live)
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// telemetrySnaps collects the completed jobs' telemetry snapshots keyed
+// by job hash. Jobs run without telemetry (e.g. served from an older
+// manifest) are skipped.
+func telemetrySnaps(pool *expt.Pool) []telemetry.Keyed {
+	var out []telemetry.Keyed
+	for _, c := range pool.Results() {
+		if c.Result.Telem != nil {
+			out = append(out, telemetry.Keyed{Key: c.Key, Snap: c.Result.Telem})
+		}
+	}
+	return out
+}
+
+// writeTelemetry emits the requested merged exports. Merge sorts by job
+// key, so every file is byte-identical at any -workers count.
+func writeTelemetry(pool *expt.Pool, folded, pprofOut, metricsOut, seriesCSV string) error {
+	snaps := telemetrySnaps(pool)
+	if len(snaps) == 0 {
+		fmt.Fprintln(os.Stderr, "sweep: no telemetry recorded (all jobs served from a pre-telemetry manifest?)")
+	}
+	merged := telemetry.Merge(snaps)
+	write := func(path string, fn func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("sweep: wrote %s\n", path)
+		return nil
+	}
+	if err := write(folded, func(f *os.File) error { return merged.WriteFolded(f) }); err != nil {
+		return err
+	}
+	if err := write(pprofOut, func(f *os.File) error { return merged.WritePprof(f) }); err != nil {
+		return err
+	}
+	if err := write(metricsOut, func(f *os.File) error { return merged.WriteOpenMetrics(f, true) }); err != nil {
+		return err
+	}
+	return write(seriesCSV, func(f *os.File) error { return telemetry.WriteSeriesCSV(f, snaps) })
 }

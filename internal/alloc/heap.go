@@ -23,6 +23,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/ca"
 	"repro/internal/kernel"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -165,6 +166,8 @@ func asAllocator(th *kernel.Thread, f func()) {
 // Alloc allocates size bytes on behalf of th, returning a capability with
 // exact bounds over the rounded size.
 func (h *Heap) Alloc(th *kernel.Thread, size uint64) (ca.Capability, error) {
+	th.P.M.Telem.Enter(th.Sim, telemetry.CompAlloc)
+	defer th.P.M.Telem.Exit(th.Sim)
 	var c ca.Capability
 	var err error
 	asAllocator(th, func() {
@@ -458,6 +461,8 @@ func (h *Heap) PaintAuth(addr uint64) (ca.Capability, bool) {
 // Baseline (non-temporal-safety) configurations use this; mrs replaces it
 // with quarantine + deferred Release.
 func (h *Heap) Free(th *kernel.Thread, c ca.Capability) error {
+	th.P.M.Telem.Enter(th.Sim, telemetry.CompAlloc)
+	defer th.P.M.Telem.Exit(th.Sim)
 	if !c.Tag() {
 		return fmt.Errorf("%w: untagged capability", ErrBadFree)
 	}

@@ -1,0 +1,130 @@
+// Package cliflags centralizes the experiment-runner flag plumbing that
+// cmd/sweep and cmd/chaos share: the pool sizing flags (-workers,
+// -timeout, -retries), manifest resume (-resume), per-job progress lines
+// (-progress), and the live introspection server (-http, -http-linger).
+// Both commands register the same flags with the same defaults and get
+// the same progress formatting, so the tools stay drop-in consistent.
+package cliflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/telemetry"
+)
+
+// Flags holds the shared experiment-runner flag values after Parse.
+type Flags struct {
+	Workers  int
+	Timeout  time.Duration
+	Retries  int
+	Resume   string
+	Progress bool
+	// HTTPAddr mounts the live introspection server (telemetry.Live) when
+	// non-empty; ":0" binds an ephemeral port.
+	HTTPAddr string
+	// HTTPLinger keeps the -http server up this long after the run
+	// completes, so scrapers (and CI smoke tests) can still reach it.
+	HTTPLinger time.Duration
+}
+
+// Register installs the shared flags on the process flag set with the
+// canonical defaults. Call before flag.Parse.
+func Register() *Flags {
+	f := &Flags{}
+	flag.IntVar(&f.Workers, "workers", runtime.NumCPU(), "parallel jobs (grid shards across host cores)")
+	flag.DurationVar(&f.Timeout, "timeout", 10*time.Minute, "per-job attempt timeout (0 = unbounded)")
+	flag.IntVar(&f.Retries, "retries", 1, "extra attempts for a failed job")
+	flag.StringVar(&f.Resume, "resume", "", "manifest file: record completed jobs and resume from them")
+	flag.BoolVar(&f.Progress, "progress", false, "print per-job progress lines")
+	flag.StringVar(&f.HTTPAddr, "http", "", "serve live introspection (/metrics, /jobs, /events) on this address (\":0\" = ephemeral)")
+	flag.DurationVar(&f.HTTPLinger, "http-linger", 0, "keep the -http server up this long after the run completes")
+	return f
+}
+
+// Manifest opens the -resume manifest for the given tool and grid
+// signature, or returns nil when resume is off. The caller owns Close.
+func (f *Flags) Manifest(tool, grid string) (*expt.Manifest, error) {
+	if f.Resume == "" {
+		return nil, nil
+	}
+	return expt.OpenManifestFor(f.Resume, expt.ManifestMeta{Tool: tool, Grid: grid})
+}
+
+// PoolConfig assembles the pool configuration from the flags: sizing,
+// the manifest, and a progress chain feeding the -progress printer and
+// the -http live server. The returned Live is nil unless -http was set;
+// pass it to Finish when the run completes. Callers may further adjust
+// the returned config (e.g. set Telemetry) before expt.NewPool.
+func (f *Flags) PoolConfig(tool string, manifest *expt.Manifest) (expt.PoolConfig, *telemetry.Live, error) {
+	cfg := expt.PoolConfig{
+		Workers:  f.Workers,
+		Timeout:  f.Timeout,
+		Retries:  f.Retries,
+		Manifest: manifest,
+	}
+	var live *telemetry.Live
+	if f.HTTPAddr != "" {
+		live = telemetry.NewLive(tool)
+		addr, err := live.Start(f.HTTPAddr)
+		if err != nil {
+			return cfg, nil, fmt.Errorf("cliflags: -http %s: %w", f.HTTPAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: live introspection on http://%s/\n", tool, addr)
+	}
+	if f.Progress || live != nil {
+		printer := f.Progress
+		cfg.Progress = func(ev expt.Event) {
+			live.Observe(Update(ev))
+			if printer {
+				fmt.Fprintln(os.Stderr, FormatEvent(ev))
+			}
+		}
+	}
+	return cfg, live, nil
+}
+
+// Finish lingers the live server for -http-linger, then shuts it down.
+// Safe to call with a nil live (no -http).
+func (f *Flags) Finish(live *telemetry.Live) {
+	if live == nil {
+		return
+	}
+	if f.HTTPLinger > 0 {
+		fmt.Fprintf(os.Stderr, "lingering %s for late scrapes\n", f.HTTPLinger)
+		time.Sleep(f.HTTPLinger)
+	}
+	_ = live.Close()
+}
+
+// Update converts a pool event to the live server's observation type.
+func Update(ev expt.Event) telemetry.JobUpdate {
+	return telemetry.JobUpdate{
+		Key:       ev.Key,
+		Workload:  ev.Workload,
+		Condition: ev.Condition,
+		Seed:      ev.Seed,
+		Status:    ev.Status,
+		Attempts:  ev.Attempts,
+		Err:       ev.Err,
+		HostMS:    float64(ev.Host) / float64(time.Millisecond),
+		Done:      ev.Done,
+		Total:     ev.Total,
+	}
+}
+
+// FormatEvent renders the standard one-line progress format both tools
+// print under -progress.
+func FormatEvent(ev expt.Event) string {
+	line := fmt.Sprintf("[%d/%d] %-6s %s under %s seed=%d (%d attempt(s), %.1fs)",
+		ev.Done, ev.Total, ev.Status, ev.Workload, ev.Condition, ev.Seed,
+		ev.Attempts, ev.Host.Seconds())
+	if ev.Err != "" {
+		line += fmt.Sprintf(" [%s]", ev.Err)
+	}
+	return line
+}

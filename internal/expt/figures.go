@@ -443,10 +443,10 @@ func fig7Build(o Options, g Getter) (*harness.Table, error) {
 		for _, r := range rs {
 			lat.Merge(r.Lat)
 		}
-		hz := rs[0].HzGHz * 1e6 // cycles per ms
+		hz := cyclesPerMs(rs)
 		row := []string{name}
 		for _, p := range []float64{50, 85, 90, 95, 99, 99.9, 100} {
-			row = append(row, f3(lat.Percentile(p)/hz))
+			row = append(row, pctCell(lat, p, hz))
 		}
 		t.AddRow(row...)
 	}
@@ -460,15 +460,39 @@ func fig7Build(o Options, g Getter) (*harness.Table, error) {
 				faults.AddU(e.FaultCycles)
 			}
 		}
-		hz := m[name][0].HzGHz * 1e6
-		if name == "Reloaded" {
+		hz := cyclesPerMs(m[name])
+		stwMed, ok := stw.MedianOK()
+		switch {
+		case !ok:
+			t.AddNote("%s recorded no revocation epochs", name)
+		case name == "Reloaded":
+			fltMed, _ := faults.MedianOK()
 			t.AddNote("%s median world-stopped %.4f ms; median cumulative fault time %.4f ms",
-				name, stw.Median()/hz, faults.Median()/hz)
-		} else {
-			t.AddNote("%s median world-stopped %.4f ms", name, stw.Median()/hz)
+				name, stwMed/hz, fltMed/hz)
+		default:
+			t.AddNote("%s median world-stopped %.4f ms", name, stwMed/hz)
 		}
 	}
 	return t, nil
+}
+
+// cyclesPerMs reads the cell's clock rate, defaulting to the standard
+// 2.5 GHz machine when the cell is empty.
+func cyclesPerMs(rs []*harness.Result) float64 {
+	if len(rs) > 0 && rs[0].HzGHz != 0 {
+		return rs[0].HzGHz * 1e6
+	}
+	return 2.5e6
+}
+
+// pctCell renders percentile p of lat in milliseconds at hz cycles/ms,
+// or "--" when the cell holds no samples.
+func pctCell(lat *metrics.Samples, p, hz float64) string {
+	v, ok := lat.PercentileOK(p)
+	if !ok {
+		return "--"
+	}
+	return f3(v / hz)
 }
 
 // table1Build reproduces Table 1: pgbench latency percentiles under
@@ -493,10 +517,10 @@ func table1Build(o Options, g Getter) (*harness.Table, error) {
 		for _, r := range rs {
 			lat.Merge(r.Lat)
 		}
-		hz := rs[0].HzGHz * 1e6
+		hz := cyclesPerMs(rs)
 		row := []string{label}
 		for _, p := range []float64{50, 90, 95, 99, 99.9} {
-			row = append(row, f3(lat.Percentile(p)/hz))
+			row = append(row, pctCell(lat, p, hz))
 		}
 		t.AddRow(row...)
 	}
@@ -544,7 +568,11 @@ func fig8Build(o Options, g Getter) (*harness.Table, error) {
 			}
 			r := jr.Harness()
 			for _, p := range pcts {
-				cs.perRun[p].Add(r.Lat.Percentile(p))
+				// A run with no measured events contributes no percentile
+				// samples (instead of panicking the whole figure).
+				if v, ok := r.Lat.PercentileOK(p); ok {
+					cs.perRun[p].Add(v)
+				}
 			}
 			tput.Add(float64(jr.Messages) / jr.Seconds(jr.MeasureCycles))
 		}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/metrics"
 )
 
 // tinyOpts keeps figure smoke tests fast: one rep, SPEC at 1/512 scale,
@@ -310,5 +311,41 @@ func TestGenerateResumesFromManifest(t *testing.T) {
 	}
 	if first.String() != second.String() {
 		t.Errorf("resumed table differs:\n--- fresh ---\n%s\n--- resumed ---\n%s", first, second)
+	}
+}
+
+// TestEmptyCellGuards pins the renderers' behavior when a figure cell
+// holds no samples (all jobs failed, or a condition recorded no epochs):
+// "--" cells and a fallback clock rate instead of a panic.
+func TestEmptyCellGuards(t *testing.T) {
+	empty := &metrics.Samples{}
+	if got := pctCell(empty, 50, 2.5e6); got != "--" {
+		t.Errorf("pctCell(empty) = %q, want --", got)
+	}
+	full := &metrics.Samples{}
+	full.Add(2.5e6) // one sample of exactly 1 ms at 2.5 GHz
+	if got := pctCell(full, 50, 2.5e6); got != "1.000" {
+		t.Errorf("pctCell(full) = %q, want 1.000", got)
+	}
+	if hz := cyclesPerMs(nil); hz != 2.5e6 {
+		t.Errorf("cyclesPerMs(nil) = %v, want default 2.5e6", hz)
+	}
+	if hz := cyclesPerMs([]*harness.Result{{HzGHz: 3}}); hz != 3e6 {
+		t.Errorf("cyclesPerMs = %v, want 3e6", hz)
+	}
+}
+
+// TestBuildAggregatesEmptyLat exercises BuildAggregates over a JobResult
+// whose latency set is empty; the min/median/max columns must come back
+// zero rather than panicking.
+func TestBuildAggregatesEmptyLat(t *testing.T) {
+	aggs := BuildAggregates([]*JobResult{{Workload: "w", Condition: "c"}})
+	if len(aggs) == 0 {
+		t.Fatal("no aggregates")
+	}
+	for _, a := range aggs {
+		if a.Workload != "w" || a.Condition != "c" {
+			t.Errorf("unexpected cell %+v", a)
+		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 	"repro/internal/workload/qps"
 )
 
@@ -73,6 +74,12 @@ type PoolConfig struct {
 	// Progress, when non-nil, observes every job completion. Called
 	// concurrently from worker goroutines; the pool serializes calls.
 	Progress func(Event)
+	// Telemetry, when non-nil, arms per-job telemetry recording: every
+	// executed job runs with a fresh recorder, its snapshot is checked
+	// for cycle conservation (a violation fails the job) and stored in
+	// JobResult.Telem. Job keys are unaffected — telemetry never changes
+	// what a run computes.
+	Telemetry *telemetry.Options
 }
 
 // Pool executes jobs on a bounded set of host goroutines, memoizing by job
@@ -105,23 +112,28 @@ func NewPool(cfg PoolConfig) *Pool {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	return &Pool{
+	p := &Pool{
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.Workers),
-		run:     runJob,
 		entries: map[string]*entry{},
 	}
+	p.run = func(j Job) (*JobResult, error) { return runJob(j, cfg.Telemetry) }
+	return p
 }
 
 // runJob executes one job for real: instantiate the workload, cold-boot a
-// machine, run, flatten.
-func runJob(j Job) (*JobResult, error) {
+// machine, run, flatten. With telem set, the run is profiled and the
+// snapshot must conserve cycles.
+func runJob(j Job, telem *telemetry.Options) (*JobResult, error) {
 	w, err := j.Workload.Instantiate()
 	if err != nil {
 		return nil, err
 	}
 	cfg := j.Cfg
 	cfg.Trace = nil
+	if telem != nil {
+		cfg.Telem = telemetry.New(*telem)
+	}
 	r, err := harness.Run(w, j.Cond, cfg)
 	if err != nil {
 		return nil, err
@@ -130,6 +142,13 @@ func runJob(j Job) (*JobResult, error) {
 	if q, ok := w.(*qps.QPS); ok {
 		jr.Messages = q.Messages
 		jr.MeasureCycles = q.MeasureCycles
+	}
+	if cfg.Telem.Enabled() {
+		snap := cfg.Telem.Snapshot()
+		if err := snap.CheckConservation(); err != nil {
+			return nil, fmt.Errorf("telemetry: %w", err)
+		}
+		jr.Telem = snap
 	}
 	return jr, nil
 }
@@ -278,9 +297,13 @@ func (p *Pool) execute(e *entry) {
 			if p.cfg.Manifest != nil {
 				if rerr := p.cfg.Manifest.Record(e.key, res); rerr != nil {
 					// The run succeeded; a manifest write failure only
-					// costs resumability. Surface it via progress.
+					// costs resumability. Surface it via progress, under
+					// p.mu like every other emission — callbacks must
+					// never run concurrently with each other.
 					if p.cfg.Progress != nil {
+						p.mu.Lock()
 						p.cfg.Progress(Event{Key: e.key, Status: "manifest-error: " + rerr.Error()})
+						p.mu.Unlock()
 					}
 				}
 			}
@@ -300,15 +323,18 @@ func (p *Pool) execute(e *entry) {
 		willRetry := attempt < p.cfg.Retries
 		if willRetry {
 			p.stats.Retries++
+			// Emit while still holding p.mu: finishLocked emits under the
+			// lock, so releasing it first would let a retry event race a
+			// concurrent completion into the callback.
+			if p.cfg.Progress != nil {
+				p.cfg.Progress(Event{
+					Key: e.key, Workload: e.job.Workload.String(), Condition: e.job.Cond.Name,
+					Seed: e.job.Cfg.Seed, Status: "retry", Attempts: attempt + 1,
+					Err: ErrClass(err), Host: host,
+				})
+			}
 		}
 		p.mu.Unlock()
-		if willRetry && p.cfg.Progress != nil {
-			p.cfg.Progress(Event{
-				Key: e.key, Workload: e.job.Workload.String(), Condition: e.job.Cond.Name,
-				Seed: e.job.Cfg.Seed, Status: "retry", Attempts: attempt + 1,
-				Err: ErrClass(err), Host: host,
-			})
-		}
 	}
 	p.mu.Lock()
 	e.err = fmt.Errorf("expt: job %.12s (%s under %s, seed %d) failed after %d attempt(s): %w",

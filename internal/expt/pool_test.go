@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/revoke"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -279,5 +281,151 @@ func TestErrClass(t *testing.T) {
 	}
 	if got := ErrClass(errors.New("no such profile")); got != "error: no such profile" {
 		t.Fatalf("error class = %q", got)
+	}
+}
+
+// TestPoolProgressSerializedUnderConcurrency runs many jobs on many
+// workers and checks the Progress contract: calls are serialized (never
+// overlapping), completion events carry strictly increasing Done counts
+// reaching Total, and retry events never count as completions. Run with
+// -race to catch callback data races.
+func TestPoolProgressSerializedUnderConcurrency(t *testing.T) {
+	const n = 40
+	var inCallback atomic.Int32
+	var mu sync.Mutex
+	var events []Event
+	var failedOnce sync.Map
+	p := NewPool(PoolConfig{
+		Workers: 8,
+		Retries: 1,
+		Progress: func(ev Event) {
+			if inCallback.Add(1) != 1 {
+				t.Error("Progress callbacks overlap")
+			}
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+			inCallback.Add(-1)
+		},
+	})
+	p.run = func(j Job) (*JobResult, error) {
+		// Every third job fails its first attempt so retry events mix in.
+		if j.Cfg.Seed%3 == 0 {
+			if _, loaded := failedOnce.LoadOrStore(j.Cfg.Seed, true); !loaded {
+				return nil, errors.New("transient")
+			}
+		}
+		return fakeResult(j), nil
+	}
+	var jobs []Job
+	for i := 0; i < n; i++ {
+		jobs = append(jobs, fakeJob("astar", int64(i+1)))
+	}
+	p.Prefetch(jobs)
+	for _, j := range jobs {
+		if _, err := p.Get(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var done int
+	for _, ev := range events {
+		switch ev.Status {
+		case "retry":
+			if ev.Done != 0 {
+				t.Errorf("retry event carries Done=%d", ev.Done)
+			}
+		case "ran":
+			done++
+			if ev.Done != done {
+				t.Errorf("completion %d carries Done=%d (events out of order)", done, ev.Done)
+			}
+			if ev.Total != n {
+				t.Errorf("Total = %d, want %d", ev.Total, n)
+			}
+		default:
+			t.Errorf("unexpected status %q", ev.Status)
+		}
+	}
+	if done != n {
+		t.Errorf("saw %d completions, want %d", done, n)
+	}
+}
+
+// telemetryExports renders every sweep-level telemetry export for a
+// pool's completed jobs, the way cmd/sweep does.
+func telemetryExports(t *testing.T, p *Pool) (folded, om, csv string) {
+	t.Helper()
+	var snaps []telemetry.Keyed
+	for _, c := range p.Results() {
+		if c.Result.Telem != nil {
+			snaps = append(snaps, telemetry.Keyed{Key: c.Key, Snap: c.Result.Telem})
+		}
+	}
+	merged := telemetry.Merge(snaps)
+	var fb, ob, cb strings.Builder
+	if err := merged.WriteFolded(&fb); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteOpenMetrics(&ob, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.WriteSeriesCSV(&cb, snaps); err != nil {
+		t.Fatal(err)
+	}
+	return fb.String(), ob.String(), cb.String()
+}
+
+// TestTelemetryExportsWorkerCountInvariant runs the same telemetry-armed
+// job set at -workers 1 and 8 (real harness runs, tiny scale) and
+// requires byte-identical folded, OpenMetrics, and series-CSV exports —
+// the ISSUE's worker-invariance acceptance criterion at the pool layer.
+func TestTelemetryExportsWorkerCountInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real simulator runs; skipped under -short")
+	}
+	jobs := func() []Job {
+		var js []Job
+		for _, name := range []string{"hmmer", "astar", "sjeng"} {
+			j := fakeJob(name, 1)
+			j.Cfg = harness.SpecConfig()
+			j.Cfg.Scale = 2048
+			j.Cfg.Seed = 1
+			j.Cond = harness.Condition{
+				Name: "Reloaded", Shimmed: true,
+				Strategy: revoke.Reloaded, RevokerCores: []int{2}, Workers: 1,
+			}
+			js = append(js, j)
+		}
+		return js
+	}
+	run := func(workers int) (string, string, string) {
+		p := NewPool(PoolConfig{
+			Workers:   workers,
+			Telemetry: &telemetry.Options{SampleEvery: 500_000},
+		})
+		js := jobs()
+		p.Prefetch(js)
+		for _, j := range js {
+			if _, err := p.Get(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return telemetryExports(t, p)
+	}
+	f1, o1, c1 := run(1)
+	f8, o8, c8 := run(8)
+	if f1 != f8 {
+		t.Errorf("folded exports differ between -workers 1 and 8:\n%s\nvs\n%s", f1, f8)
+	}
+	if o1 != o8 {
+		t.Errorf("OpenMetrics exports differ between -workers 1 and 8")
+	}
+	if c1 != c8 {
+		t.Errorf("series CSV exports differ between -workers 1 and 8")
+	}
+	if !strings.Contains(f1, "app") || len(c1) == 0 {
+		t.Errorf("exports look empty: folded=%q", f1)
 	}
 }

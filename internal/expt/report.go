@@ -123,9 +123,12 @@ func BuildAggregates(results []*JobResult) []Aggregate {
 				s.Add(m.get(r))
 			}
 			mean, ci := s.MeanCI()
+			min, _ := s.MinOK()
+			med, _ := s.MedianOK()
+			max, _ := s.MaxOK()
 			out = append(out, Aggregate{
 				Workload: k.w, Condition: k.c, Metric: m.name, N: s.N(),
-				Mean: mean, CI95: ci, Min: s.Min(), Median: s.Median(), Max: s.Max(),
+				Mean: mean, CI95: ci, Min: min, Median: med, Max: max,
 			})
 		}
 	}

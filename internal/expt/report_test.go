@@ -86,7 +86,7 @@ func TestJobResultHarnessRoundTrip(t *testing.T) {
 		Cond:     harness.StandardConditions()[1],
 		Cfg:      harness.PgbenchConfig(),
 	}
-	jr, err := runJob(j)
+	jr, err := runJob(j, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

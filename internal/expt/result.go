@@ -10,6 +10,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/quarantine"
 	"repro/internal/revoke"
+	"repro/internal/telemetry"
 )
 
 // agents lists the bus agents a Result reports traffic for, in a stable
@@ -58,6 +59,11 @@ type JobResult struct {
 	// outputs (zero for other workloads).
 	Messages      uint64 `json:"messages,omitempty"`
 	MeasureCycles uint64 `json:"measure_cycles,omitempty"`
+
+	// Telem is the run's telemetry snapshot (profile + metrics) when the
+	// pool ran with PoolConfig.Telemetry; nil otherwise. It rides the
+	// manifest, so resumed sweeps keep their profiles.
+	Telem *telemetry.Snapshot `json:"telem,omitempty"`
 }
 
 // FromHarness flattens a harness result.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/quarantine"
 	"repro/internal/revoke"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -150,6 +151,11 @@ type Config struct {
 	// Oracle installs the end-to-end soundness oracle (internal/oracle);
 	// requires a shimmed condition.
 	Oracle bool `json:"Oracle,omitempty"`
+	// Telem, when non-nil, records the run's cycle profile and metrics
+	// time series (see internal/telemetry); snapshot it after Run
+	// returns. Excluded from JSON so experiment job keys stay stable —
+	// enabling telemetry never changes what a run computes.
+	Telem *telemetry.Telemetry `json:"-"`
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -175,6 +181,8 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 	}
 	m := kernel.NewMachine(cfg.Machine)
 	m.Trace = cfg.Trace // before NewProcess: wires the MMU shootdown hook
+	m.Telem = cfg.Telem
+	cfg.Telem.Bind(m.Eng)
 	p := m.NewProcess(cfg.Seed)
 	h := alloc.NewHeap(p)
 
@@ -228,6 +236,8 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 		}
 		rig.Mem = h
 	}
+
+	bindTelemetrySources(cfg.Telem, m, p, h, shim, svc)
 
 	var inj *fault.Injector
 	if cfg.Fault != nil {
@@ -289,6 +299,35 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 		res.Oracle = &rep
 	}
 	return res, nil
+}
+
+// bindTelemetrySources wires the standard metric series to their state
+// readers. Sources are pure reads evaluated only at sample boundaries and
+// snapshot time, so the bindings cost nothing on the simulated hot path.
+func bindTelemetrySources(tl *telemetry.Telemetry, m *kernel.Machine, p *kernel.Process,
+	h *alloc.Heap, shim *quarantine.Shim, svc *revoke.Service) {
+	if !tl.Enabled() {
+		return
+	}
+	tl.Source(telemetry.StdEpochCounter, func() float64 { return float64(p.Epoch()) })
+	tl.Source(telemetry.StdCDBitSetsTotal, func() float64 { return float64(p.Stats().CDBitSets) })
+	tl.Source(telemetry.StdGenFaultsTotal, func() float64 { return float64(p.Stats().GenFaults) })
+	tl.Source(telemetry.StdGenFaultCyclesTotal, func() float64 { return float64(p.Stats().GenFaultCycles) })
+	tl.Source(telemetry.StdCapLoadsTotal, func() float64 { return float64(p.Stats().CapLoads) })
+	tl.Source(telemetry.StdCapStoresTotal, func() float64 { return float64(p.Stats().CapStores) })
+	tl.Source(telemetry.StdTLBRefillsTotal, func() float64 { return float64(p.Stats().TLBRefills) })
+	tl.Source(telemetry.StdHeapLiveBytes, func() float64 { return float64(h.LiveBytes()) })
+	tl.Source(telemetry.StdHeapAllocsTotal, func() float64 { return float64(h.Stats().Allocs) })
+	tl.Source(telemetry.StdHeapFreesTotal, func() float64 { return float64(h.Stats().Frees) })
+	tl.Source(telemetry.StdMappedPages, func() float64 { return float64(p.AS.Stats().MappedPages) })
+	tl.Source(telemetry.StdFramesAllocated, func() float64 { return float64(m.Phys.Allocated()) })
+	if shim != nil {
+		tl.Source(telemetry.StdQuarBytes, func() float64 { return float64(shim.Stats().QuarantinedBytes) })
+		tl.Source(telemetry.StdQuarBlocksTotal, func() float64 { return float64(shim.Stats().Blocks) })
+	}
+	if svc != nil {
+		tl.Source(telemetry.StdRecoveryActionsTotal, func() float64 { return float64(svc.Recovery().Total()) })
+	}
 }
 
 // Repeat runs (w, cond) reps times with distinct seeds ("batches" with a

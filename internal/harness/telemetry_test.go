@@ -1,0 +1,162 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/workload/chaos"
+	"repro/internal/workload/spec"
+)
+
+// TestTelemetryConservationSPEC runs the figure-1 conditions with the
+// profiler armed and checks the core invariant: per-core attributed busy
+// cycles plus idle cycles equal the core's clock, exactly.
+func TestTelemetryConservationSPEC(t *testing.T) {
+	p := spec.ByName("hmmer")[1]
+	for _, c := range append([]Condition{Baseline()}, StandardConditions()...) {
+		cfg := fastCfg()
+		cfg.Telem = telemetry.New(telemetry.Options{SampleEvery: 200_000})
+		r, err := Run(p, c, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := cfg.Telem.Snapshot()
+		if err := snap.CheckConservation(); err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		// The profile must cover every core clock the engine reports.
+		var total, clocks uint64
+		for _, st := range snap.Stacks {
+			total += st.Cycles
+		}
+		for i, cc := range snap.CoreClock {
+			clocks += cc
+			_ = i
+		}
+		for _, idle := range snap.Idle {
+			total += idle
+		}
+		if total != clocks {
+			t.Fatalf("%s: attributed %d != summed clocks %d", c.Name, total, clocks)
+		}
+		if r.WallCycles == 0 {
+			t.Fatalf("%s: empty run", c.Name)
+		}
+	}
+}
+
+// TestTelemetryDoesNotPerturbRuns asserts that enabling telemetry changes
+// nothing about what a run computes: wall clock, CPU, DRAM and epoch
+// counts match a telemetry-free run of the same configuration.
+func TestTelemetryDoesNotPerturbRuns(t *testing.T) {
+	p := spec.ByName("hmmer")[1]
+	cond := StandardConditions()[0] // Reloaded
+	bare, err := Run(p, cond, fastCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastCfg()
+	cfg.Telem = telemetry.New(telemetry.Options{})
+	inst, err := Run(p, cond, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.WallCycles != inst.WallCycles || bare.CPUCycles != inst.CPUCycles ||
+		bare.DRAMTotal != inst.DRAMTotal || len(bare.Epochs) != len(inst.Epochs) {
+		t.Fatalf("telemetry perturbed the run:\nbare %+v\ninst %+v", bare, inst)
+	}
+}
+
+// TestTelemetryStacksAndSeries checks that the expected component stacks
+// and metric series actually show up under Reloaded: load-barrier faults
+// nest sweep work under the app, the revoker sweeps and shoots down, and
+// the standard counters move.
+func TestTelemetryStacksAndSeries(t *testing.T) {
+	p := spec.ByName("hmmer")[1]
+	cfg := fastCfg()
+	// Tight skew quantum and a small quarantine floor interleave epochs
+	// with application loads, so Reloaded's load barrier actually fires.
+	cfg.Machine.Sim.SkewQuantum = 2_000
+	cfg.QuarantineMin = 8 << 10
+	cfg.Telem = telemetry.New(telemetry.Options{SampleEvery: 200_000})
+	if _, err := Run(p, StandardConditions()[0], cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Telem.Snapshot()
+	got := map[string]uint64{}
+	for _, st := range snap.Stacks {
+		got[st.Stack] += st.Cycles
+	}
+	for _, want := range []string{
+		"app", "app;alloc", "app;alloc;kernel", "app;quarantine",
+		"app;barrier-fault", "revoker;sweep", "revoker;shootdown",
+	} {
+		if got[want] == 0 {
+			t.Errorf("no cycles attributed to stack %q (have %v)", want, keys(got))
+		}
+	}
+	series := map[string]telemetry.SeriesSnap{}
+	for _, ss := range snap.Series {
+		series[ss.Name] = ss
+	}
+	for _, name := range []string{
+		"gen_faults_total", "epochs_total", "swept_pages_total",
+		"heap_allocs_total", "quarantine_blocks_total",
+	} {
+		if _, ok := series[name]; !ok {
+			t.Fatalf("series %q missing", name)
+		}
+	}
+	for _, name := range []string{"gen_faults_total", "epochs_total", "swept_pages_total", "heap_allocs_total"} {
+		if series[name].Value == 0 {
+			t.Errorf("series %q never moved", name)
+		}
+	}
+	if series["epoch_cycles"].Count == 0 {
+		t.Error("epoch_cycles histogram has no observations")
+	}
+	if len(snap.Rows) == 0 {
+		t.Fatal("no time-series rows sampled")
+	}
+	last := uint64(0)
+	for _, rw := range snap.Rows {
+		if rw.Cycle <= last {
+			t.Fatalf("rows not strictly increasing: %d after %d", rw.Cycle, last)
+		}
+		last = rw.Cycle
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteFolded(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("folded export empty")
+	}
+}
+
+// TestTelemetryConservationChaos runs the chaos workload — worker crashes,
+// epoch retries, concurrent sweep visits — and demands the same exact
+// cycle conservation.
+func TestTelemetryConservationChaos(t *testing.T) {
+	cfg := chaosConfig(1, nil)
+	cfg.Telem = telemetry.New(telemetry.Options{SampleEvery: 100_000})
+	if _, err := Run(chaos.New(4000), reloadedCond(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	snap := cfg.Telem.Snapshot()
+	if err := snap.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Stacks) == 0 {
+		t.Fatal("no stacks recorded")
+	}
+}
+
+func keys(m map[string]uint64) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -9,6 +9,7 @@ package kernel
 import (
 	"repro/internal/bus"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tmem"
 	"repro/internal/trace"
 )
@@ -101,6 +102,11 @@ type Machine struct {
 	// valid no-op tracer, so hot paths need no guards. Set it before
 	// creating processes so the MMU shootdown hook is wired.
 	Trace *trace.Tracer
+
+	// Telem, when non-nil, is the cycle profiler and metrics registry
+	// fed by kernel emit sites. Like Trace, nil is a valid disabled
+	// recorder; set it (and Bind it to Eng) before creating processes.
+	Telem *telemetry.Telemetry
 
 	procs []*Process
 }

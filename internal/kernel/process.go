@@ -9,6 +9,7 @@ import (
 	"repro/internal/ca"
 	"repro/internal/shadow"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -74,6 +75,9 @@ type ProcStats struct {
 	TLBRefills          uint64
 	ColorTraps          uint64
 	StopTheWorlds       uint64
+	// CDBitSets counts capability-dirty PTE bit transitions (§4.2): the
+	// store-barrier signal Cornucopia's page filter is built on.
+	CDBitSets uint64
 }
 
 // Process is one simulated CheriABI process.
@@ -121,12 +125,13 @@ func (m *Machine) NewProcess(seed int64) *Process {
 	p.epochEv = m.Eng.NewEvent()
 	p.stwEv = m.Eng.NewEvent()
 	p.resumeEv = m.Eng.NewEvent()
-	if m.Trace != nil {
+	if m.Trace != nil || m.Telem != nil {
 		// The MMU has no clock; timestamp shootdowns with the machine's
 		// wall clock (the initiating core already charged the IPI costs).
 		p.AS.OnShootdown = func() {
 			m.Trace.Instant(m.Eng.WallClock(), -1, bus.AgentKernel,
 				trace.KindShootdown, p.epoch, 0, 0)
+			m.Telem.Add(telemetry.StdShootdownsTotal, 1)
 		}
 	}
 	m.procs = append(m.procs, p)
@@ -312,6 +317,8 @@ func (p *Process) StopTheWorld(initiator *Thread) {
 	}
 	p.M.Trace.Begin(initiator.Sim.Now(), initiator.Sim.CoreID(),
 		bus.AgentKernel, trace.KindSTW, p.epoch, 0, 0)
+	p.M.Telem.Enter(initiator.Sim, telemetry.CompKernel)
+	defer p.M.Telem.Exit(initiator.Sim)
 	p.stwActive = true
 	p.stwInitiator = initiator
 	p.stats.StopTheWorlds++
@@ -360,6 +367,8 @@ func (p *Process) ResumeTheWorld(initiator *Thread) {
 	if !p.stwActive || p.stwInitiator != initiator {
 		panic("kernel: ResumeTheWorld without matching stop")
 	}
+	p.M.Telem.Enter(initiator.Sim, telemetry.CompKernel)
+	defer p.M.Telem.Exit(initiator.Sim)
 	for _, th := range p.threads {
 		if th != initiator && th.Sim.State() != sim.Finished {
 			initiator.Sim.Tick(p.M.Costs.ResumeThread)
@@ -378,6 +387,8 @@ func (p *Process) ResumeTheWorld(initiator *Thread) {
 // must only be called with the world stopped. It returns (scanned, revoked)
 // counts; costs are charged to the scanning thread.
 func (p *Process) ScanRoots(scanner *Thread) (scanned, revoked int) {
+	p.M.Telem.Enter(scanner.Sim, telemetry.CompKernel)
+	defer p.M.Telem.Exit(scanner.Sim)
 	costs := p.M.Costs
 	scanOne := func(c ca.Capability) (ca.Capability, bool) {
 		scanner.Sim.Tick(costs.CapScan)
@@ -450,6 +461,8 @@ func (p *Process) ForEachRootCap(fn func(where string, c ca.Capability)) {
 // stop-the-world rendezvous, so the toggle and shootdown ride those IPIs —
 // only a small per-core register write and TLB-invalidate cost remains.
 func (p *Process) BumpGenerations(initiator *Thread) {
+	p.M.Telem.Enter(initiator.Sim, telemetry.CompShootdown)
+	defer p.M.Telem.Exit(initiator.Sim)
 	ncores := p.M.Eng.Config().Cores
 	for c := 0; c < ncores; c++ {
 		p.AS.BumpCoreGen(c)

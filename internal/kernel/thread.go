@@ -7,6 +7,7 @@ import (
 	"repro/internal/ca"
 	"repro/internal/shadow"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tmem"
 	"repro/internal/trace"
 	"repro/internal/vm"
@@ -90,11 +91,13 @@ func (t *Thread) Idle(cycles uint64) {
 // marked in-syscall for its duration, which stop-the-world must drain
 // (§4.4).
 func (t *Thread) Syscall(cycles uint64) {
+	t.P.M.Telem.Enter(t.Sim, telemetry.CompKernel)
 	t.pre(t.P.M.Costs.Syscall)
 	t.inSyscall = true
 	t.Sim.Tick(cycles)
 	t.inSyscall = false
 	t.pre(0)
+	t.P.M.Telem.Exit(t.Sim)
 }
 
 // SyscallCaps models a blocking system call that carries capabilities into
@@ -103,6 +106,7 @@ func (t *Thread) Syscall(cycles uint64) {
 // scans (and possibly revokes) them, and the kernel never divulges an
 // unchecked capability (§4.4) — the returned slice is the post-scan view.
 func (t *Thread) SyscallCaps(cycles uint64, caps []ca.Capability) []ca.Capability {
+	t.P.M.Telem.Enter(t.Sim, telemetry.CompKernel)
 	t.pre(t.P.M.Costs.Syscall)
 	t.P.setEphemeral(t, caps)
 	t.inSyscall = true
@@ -111,6 +115,7 @@ func (t *Thread) SyscallCaps(cycles uint64, caps []ca.Capability) []ca.Capabilit
 	t.inSyscall = false
 	out := t.P.takeEphemeral(t)
 	t.pre(0)
+	t.P.M.Telem.Exit(t.Sim)
 	return out
 }
 
@@ -355,8 +360,10 @@ func (t *Thread) LoadCap(c ca.Capability, off uint64) (ca.Capability, error) {
 		t.P.M.Trace.Instant(t.Sim.Now(), core, bus.AgentKernel,
 			trace.KindFault, t.P.epoch, va, 0)
 		start := t.Sim.CPU()
+		t.P.M.Telem.Enter(t.Sim, telemetry.CompBarrierFault)
 		t.Sim.Tick(t.P.M.Costs.TrapEntry)
 		t.P.barrier.HandleLoadGenFault(t, va, pte)
+		t.P.M.Telem.Exit(t.Sim)
 		t.P.stats.GenFaultCycles += t.Sim.CPU() - start
 		t.P.AS.TLBFill(core, va, pte)
 		return t.reloadCap(pte, g, va)
@@ -382,8 +389,10 @@ func (t *Thread) LoadCap(c ca.Capability, off uint64) (ca.Capability, error) {
 			t.P.M.Trace.Instant(t.Sim.Now(), core, bus.AgentKernel,
 				trace.KindFault, t.P.epoch, va, 1)
 			start := t.Sim.CPU()
+			t.P.M.Telem.Enter(t.Sim, telemetry.CompBarrierFault)
 			t.Sim.Tick(t.P.M.Costs.TrapEntry)
 			t.P.barrier.HandleLoadGenFault(t, va, pte)
+			t.P.M.Telem.Exit(t.Sim)
 			t.P.stats.GenFaultCycles += t.Sim.CPU() - start
 			t.P.AS.TLBFill(core, va, pte)
 			return t.reloadCap(pte, g, va)
@@ -464,6 +473,7 @@ func (t *Thread) StoreCap(c ca.Capability, off uint64, v ca.Capability) error {
 			// store itself still lands below.
 		} else {
 			pte.Bits |= vm.PTECapDirty | vm.PTEEverCapDirty
+			t.P.stats.CDBitSets++
 			t.Sim.Tick(t.P.M.Costs.PTEUpdate)
 		}
 	}

@@ -80,14 +80,43 @@ func (s *Samples) Percentile(p float64) float64 {
 	return s.xs[lo]*(1-frac) + s.xs[hi]*frac
 }
 
+// PercentileOK is Percentile for callers that may hold an empty set (a
+// figure cell whose jobs all failed, a condition with no epochs): it
+// reports ok=false instead of panicking, so renderers can emit "--".
+func (s *Samples) PercentileOK(p float64) (float64, bool) {
+	if s == nil || len(s.xs) == 0 {
+		return 0, false
+	}
+	return s.Percentile(p), true
+}
+
 // Median returns the 50th percentile.
 func (s *Samples) Median() float64 { return s.Percentile(50) }
+
+// MedianOK is Median with the empty set reported, not panicked.
+func (s *Samples) MedianOK() (float64, bool) { return s.PercentileOK(50) }
 
 // Min and Max return the extrema.
 func (s *Samples) Min() float64 { s.sort(); return s.xs[0] }
 
 // Max returns the largest observation.
 func (s *Samples) Max() float64 { s.sort(); return s.xs[len(s.xs)-1] }
+
+// MinOK and MaxOK report the extrema of a possibly-empty set.
+func (s *Samples) MinOK() (float64, bool) {
+	if s == nil || len(s.xs) == 0 {
+		return 0, false
+	}
+	return s.Min(), true
+}
+
+// MaxOK returns the largest observation and whether the set is non-empty.
+func (s *Samples) MaxOK() (float64, bool) {
+	if s == nil || len(s.xs) == 0 {
+		return 0, false
+	}
+	return s.Max(), true
+}
 
 // Mean returns the arithmetic mean.
 func (s *Samples) Mean() float64 {

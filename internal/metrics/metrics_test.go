@@ -142,3 +142,38 @@ func TestQuickPercentileMonotone(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestOKVariantsEmpty(t *testing.T) {
+	empty := &Samples{}
+	var nilSet *Samples
+	for name, s := range map[string]*Samples{"empty": empty, "nil": nilSet} {
+		if v, ok := s.PercentileOK(50); ok || v != 0 {
+			t.Errorf("%s: PercentileOK = %v, %v", name, v, ok)
+		}
+		if v, ok := s.MedianOK(); ok || v != 0 {
+			t.Errorf("%s: MedianOK = %v, %v", name, v, ok)
+		}
+		if v, ok := s.MinOK(); ok || v != 0 {
+			t.Errorf("%s: MinOK = %v, %v", name, v, ok)
+		}
+		if v, ok := s.MaxOK(); ok || v != 0 {
+			t.Errorf("%s: MaxOK = %v, %v", name, v, ok)
+		}
+	}
+}
+
+func TestOKVariantsMatchPanicking(t *testing.T) {
+	s := samplesOf(5, 1, 9, 3)
+	if v, ok := s.PercentileOK(90); !ok || v != s.Percentile(90) {
+		t.Errorf("PercentileOK = %v, %v; want %v, true", v, ok, s.Percentile(90))
+	}
+	if v, ok := s.MedianOK(); !ok || v != s.Median() {
+		t.Errorf("MedianOK = %v, %v", v, ok)
+	}
+	if v, ok := s.MinOK(); !ok || v != 1 {
+		t.Errorf("MinOK = %v, %v", v, ok)
+	}
+	if v, ok := s.MaxOK(); !ok || v != 9 {
+		t.Errorf("MaxOK = %v, %v", v, ok)
+	}
+}

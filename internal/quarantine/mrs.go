@@ -21,6 +21,7 @@ import (
 	"repro/internal/ca"
 	"repro/internal/kernel"
 	"repro/internal/revoke"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -119,6 +120,8 @@ func (q *Shim) Policy() Policy { return q.pol }
 // quarantine, applies the trigger policy, and blocks if quarantine has run
 // far past it.
 func (q *Shim) Malloc(th *kernel.Thread, size uint64) (ca.Capability, error) {
+	tl := th.P.M.Telem
+	tl.Enter(th.Sim, telemetry.CompQuarantine)
 	q.drainIfClear(th)
 	limit := q.limit()
 	if q.cur.bytes >= q.pol.MinBytes && float64(q.cur.bytes) > limit {
@@ -137,12 +140,14 @@ func (q *Shim) Malloc(th *kernel.Thread, size uint64) (ca.Capability, error) {
 			tr.End(th.Sim.Now(), th.Sim.CoreID(), bus.AgentAlloc,
 				trace.KindQuarBlock, th.P.Epoch(), target, 0)
 			q.stats.BlockCycles += th.Sim.Now() - t0
+			tl.Observe(telemetry.StdQuarBlockCycles, float64(th.Sim.Now()-t0))
 			q.drainIfClear(th)
 			if q.inflight == nil {
 				q.trigger(th)
 			}
 		}
 	}
+	tl.Exit(th.Sim)
 	return q.H.Alloc(th, size)
 }
 
@@ -214,6 +219,8 @@ func (q *Shim) drainIfClear(th *kernel.Thread) {
 // epoch completes — use-after-free inside the quarantine window accesses
 // the old object, never a reallocated one (§2.2.2).
 func (q *Shim) Free(th *kernel.Thread, c ca.Capability) error {
+	th.P.M.Telem.Enter(th.Sim, telemetry.CompQuarantine)
+	defer th.P.M.Telem.Exit(th.Sim)
 	if !c.Tag() {
 		return fmt.Errorf("%w: untagged capability", alloc.ErrBadFree)
 	}
@@ -254,6 +261,8 @@ func (q *Shim) inflightBytes() uint64 {
 // Flush forces revocation until all quarantine drains. Used at orderly
 // shutdown and by tests.
 func (q *Shim) Flush(th *kernel.Thread) {
+	th.P.M.Telem.Enter(th.Sim, telemetry.CompQuarantine)
+	defer th.P.M.Telem.Exit(th.Sim)
 	for q.inflight != nil || q.cur.bytes > 0 {
 		if q.inflight == nil {
 			q.trigger(th)

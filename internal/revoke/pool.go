@@ -6,6 +6,7 @@ import (
 	"repro/internal/bus"
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Pool implements the second half of the paper's §7.1 proposal:
@@ -56,6 +57,7 @@ func (p *Pool) Start() {
 		name := fmt.Sprintf("revpool-%d", i)
 		p.host.Spawn(name, p.cores, func(th *kernel.Thread) {
 			th.Agent = bus.AgentRevoker
+			p.m.Telem.SetBase(th.Sim, telemetry.CompRevoker)
 			p.work(th)
 		})
 	}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/ca"
 	"repro/internal/kernel"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/vm"
 )
@@ -318,12 +319,14 @@ func (s *Service) Start() {
 	}
 	s.P.Spawn("revoker", s.cfg.RevokerCores, func(th *kernel.Thread) {
 		th.Agent = bus.AgentRevoker
+		s.P.M.Telem.SetBase(th.Sim, telemetry.CompRevoker)
 		s.run(th)
 	})
 	for i := 1; i < s.cfg.Workers; i++ {
 		i := i
 		s.P.Spawn(fmt.Sprintf("revoker-w%d", i), s.cfg.RevokerCores, func(th *kernel.Thread) {
 			th.Agent = bus.AgentRevoker
+			s.P.M.Telem.SetBase(th.Sim, telemetry.CompRevoker)
 			s.worker(th, i)
 		})
 	}
@@ -461,6 +464,13 @@ func (s *Service) RevokeEpoch(th *kernel.Thread) EpochRecord {
 	}
 	s.cur = nil
 	s.records = append(s.records, rec)
+	if tl := p.M.Telem; tl.Enabled() {
+		tl.Add(telemetry.StdEpochsTotal, 1)
+		tl.Add(telemetry.StdSweptPagesTotal, float64(rec.PagesVisited))
+		tl.Add(telemetry.StdRevokedCapsTotal, float64(rec.CapsRevoked))
+		tl.Observe(telemetry.StdSTWCycles, float64(rec.STWCycles))
+		tl.Observe(telemetry.StdEpochCycles, float64(rec.EndCycle-rec.StartCycle))
+	}
 	s.releaseDeadReservations(th)
 	return rec
 }
@@ -500,6 +510,8 @@ func (s *Service) snapshotPages(dirtyOnly bool) []pageRef {
 
 // sweepPages sweeps the given pages on th, accumulating into rec.
 func (s *Service) sweepPages(th *kernel.Thread, pages []pageRef, rec *EpochRecord) {
+	s.P.M.Telem.Enter(th.Sim, telemetry.CompSweep)
+	defer s.P.M.Telem.Exit(th.Sim)
 	for _, pr := range pages {
 		v, r := th.SweepPage(pr.vpn, pr.pte)
 		rec.PagesVisited++
@@ -605,6 +617,7 @@ func (s *Service) epochReloaded(th *kernel.Thread, rec *EpochRecord) {
 	p.StopTheWorld(th)
 	p.BumpGenerations(th)
 	s.verifyShootdown(th, rec)
+	p.M.Telem.Observe(telemetry.StdShootdownLatencyCycles, float64(th.Sim.Now()-t0))
 	sc, rv := p.ScanRoots(th)
 	rec.CapsVisited += uint64(sc)
 	rec.CapsRevoked += uint64(rv)
@@ -643,6 +656,8 @@ func (s *Service) epochReloaded(th *kernel.Thread, rec *EpochRecord) {
 // delivery was incomplete. Runs under stop-the-world.
 func (s *Service) verifyShootdown(th *kernel.Thread, rec *EpochRecord) {
 	p := s.P
+	p.M.Telem.Enter(th.Sim, telemetry.CompShootdown)
+	defer p.M.Telem.Exit(th.Sim)
 	for try := 0; p.AS.ShootdownIncomplete() && try < maxShootdownRetries; try++ {
 		rec.ShootdownRetries++
 		s.recov.ShootdownRetries++
@@ -746,7 +761,9 @@ func (s *Service) HandleLoadGenFault(th *kernel.Thread, va uint64, pte *vm.PTE) 
 		th.Agent = prev
 		return
 	}
+	th.P.M.Telem.Enter(th.Sim, telemetry.CompSweep)
 	s.visitReloaded(th, pageRef{va >> vm.PageShift, pte}, rec, newGen)
+	th.P.M.Telem.Exit(th.Sim)
 	th.Agent = prev
 }
 
@@ -831,6 +848,7 @@ func (s *Service) respawnWorker(th *kernel.Thread, rec *EpochRecord) {
 	s.traceRecovery(th, RecoveryWorkerRespawn, uint64(idx))
 	s.P.Spawn(fmt.Sprintf("revoker-w%d", idx), s.cfg.RevokerCores, func(wth *kernel.Thread) {
 		wth.Agent = bus.AgentRevoker
+		s.P.M.Telem.SetBase(wth.Sim, telemetry.CompRevoker)
 		s.worker(wth, idx)
 	})
 }
@@ -844,6 +862,8 @@ func (s *Service) sweepSlice(th *kernel.Thread, slice []pageRef, rec *EpochRecor
 	tr := s.P.M.Trace
 	tr.Begin(th.Sim.Now(), th.Sim.CoreID(), bus.AgentRevoker,
 		trace.KindSweep, rec.Epoch, uint64(idx), uint64(len(slice)))
+	s.P.M.Telem.Enter(th.Sim, telemetry.CompSweep)
+	defer s.P.M.Telem.Exit(th.Sim)
 	for j, pr := range slice {
 		if canCrash && s.hooks.WorkerCrash != nil && s.hooks.WorkerCrash() {
 			if s.hooks.CrashStallCycles > 0 {

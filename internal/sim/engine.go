@@ -107,6 +107,22 @@ type Thread struct {
 	started   bool
 }
 
+// ClockObserver receives every core-clock advance as it happens. Busy is
+// invoked from Tick with the cycles charged by the running thread; Idle is
+// invoked when a core's clock jumps forward to a waking thread's ready time
+// (the core had nothing to run in the gap). For any core, the busy and idle
+// cycles delivered to an observer sum exactly to that core's clock — the
+// invariant the telemetry profiler's conservation check rests on.
+//
+// Callbacks run synchronously on the simulated thread's goroutine while it
+// holds the engine (exactly one runs at a time), so observers need no
+// locking and see a deterministic call order. They must not call back into
+// the engine (no Tick, no blocking).
+type ClockObserver interface {
+	Busy(core, thread int, cycles uint64)
+	Idle(core int, cycles uint64)
+}
+
 // Engine is the simulation kernel. Create with New, add threads with Spawn,
 // then call Run from the host.
 type Engine struct {
@@ -116,7 +132,12 @@ type Engine struct {
 	schedCh chan *Thread
 	current *Thread
 	running bool
+	obs     ClockObserver
 }
+
+// SetClockObserver installs the observer delivered every clock advance.
+// Install before Run; a nil observer disables delivery.
+func (e *Engine) SetClockObserver(o ClockObserver) { e.obs = o }
 
 // New creates an engine.
 func New(cfg Config) *Engine {
@@ -269,7 +290,11 @@ func (e *Engine) dispatch(th *Thread) {
 	}
 	c.runq = c.runq[1:]
 	if th.readyAt > c.clock {
+		gap := th.readyAt - c.clock
 		c.clock = th.readyAt // the core was idle until the thread woke
+		if e.obs != nil {
+			e.obs.Idle(c.id, gap)
+		}
 	}
 	th.state = Running
 	th.sliceEnd = c.clock + e.cfg.SkewQuantum
@@ -322,6 +347,11 @@ func (th *Thread) Tick(cycles uint64) {
 	c.clock += cycles
 	c.busy += cycles
 	th.cpu += cycles
+	if cycles > 0 {
+		if o := th.eng.obs; o != nil {
+			o.Busy(c.id, th.id, cycles)
+		}
+	}
 	if th.pollPending && th.poll != nil {
 		th.pollPending = false
 		th.poll(th)

@@ -1,0 +1,220 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// JobUpdate is one progress observation from an experiment pool, shaped
+// after expt.Event but defined here so telemetry does not import expt.
+type JobUpdate struct {
+	Key       string  `json:"key"`
+	Workload  string  `json:"workload"`
+	Condition string  `json:"condition"`
+	Seed      int64   `json:"seed"`
+	Status    string  `json:"status"` // ran | cached | retry | failed
+	Attempts  int     `json:"attempts"`
+	Err       string  `json:"err,omitempty"`
+	HostMS    float64 `json:"host_ms"`
+	Done      int     `json:"done"`
+	Total     int     `json:"total"`
+}
+
+// liveEvent is a JobUpdate stamped with host receive order/time.
+type liveEvent struct {
+	Seq  int       `json:"seq"`
+	At   time.Time `json:"at"`
+	Job  JobUpdate `json:"job"`
+}
+
+// maxRecentEvents bounds the /events ring.
+const maxRecentEvents = 256
+
+// Live is the introspection HTTP server mounted by cmd/sweep and
+// cmd/chaos under -http. It serves:
+//
+//	/           human-readable status summary
+//	/metrics    OpenMetrics: host-side campaign progress counters, plus
+//	            the merged simulated-metric families when a source is set
+//	/jobs       JSON: last known status of every observed job
+//	/events     JSON: the most recent progress events (ring of 256)
+//	/healthz    "ok"
+//
+// Live runs on the host side and is the one telemetry component that is
+// genuinely concurrent: Observe is called from pool worker goroutines
+// while HTTP handlers read, so all state is mutex-guarded.
+type Live struct {
+	tool  string
+	start time.Time
+
+	mu      sync.Mutex
+	updates map[string]JobUpdate
+	order   []string
+	recent  []liveEvent
+	seq     int
+	done    int
+	total   int
+	byStat  map[string]int
+	source  func() *Snapshot
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewLive creates a server for the named tool ("sweep", "chaos").
+func NewLive(tool string) *Live {
+	return &Live{
+		tool:    tool,
+		start:   time.Now(),
+		updates: map[string]JobUpdate{},
+		byStat:  map[string]int{},
+	}
+}
+
+// Observe records a progress event. Chain it into the pool's Progress
+// callback; safe for concurrent use.
+func (l *Live) Observe(u JobUpdate) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, seen := l.updates[u.Key]; !seen {
+		l.order = append(l.order, u.Key)
+	}
+	l.updates[u.Key] = u
+	l.byStat[u.Status]++
+	if u.Done > 0 {
+		l.done = u.Done
+	}
+	if u.Total > l.total {
+		l.total = u.Total
+	}
+	l.seq++
+	l.recent = append(l.recent, liveEvent{Seq: l.seq, At: time.Now(), Job: u})
+	if len(l.recent) > maxRecentEvents {
+		l.recent = l.recent[len(l.recent)-maxRecentEvents:]
+	}
+}
+
+// SetMetricsSource installs a provider of merged simulated metrics,
+// appended to /metrics after the host-side progress families. The
+// function is called per scrape and must be safe for concurrent use.
+func (l *Live) SetMetricsSource(fn func() *Snapshot) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.source = fn
+	l.mu.Unlock()
+}
+
+// Handler returns the HTTP mux.
+func (l *Live) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", l.handleRoot)
+	mux.HandleFunc("/metrics", l.handleMetrics)
+	mux.HandleFunc("/jobs", l.handleJobs)
+	mux.HandleFunc("/events", l.handleEvents)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Start listens on addr (":0" for ephemeral) and serves in a background
+// goroutine, returning the bound address.
+func (l *Live) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	l.ln = ln
+	l.srv = &http.Server{Handler: l.Handler()}
+	go func() { _ = l.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close shuts the listener down.
+func (l *Live) Close() error {
+	if l == nil || l.srv == nil {
+		return nil
+	}
+	return l.srv.Close()
+}
+
+func (l *Live) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(w, "%s: %d/%d jobs done, up %s\n", l.tool, l.done, l.total,
+		time.Since(l.start).Round(time.Second))
+	stats := make([]string, 0, len(l.byStat))
+	for s := range l.byStat {
+		stats = append(stats, s)
+	}
+	sort.Strings(stats)
+	for _, s := range stats {
+		fmt.Fprintf(w, "  %-8s %d\n", s, l.byStat[s])
+	}
+	fmt.Fprintln(w, "endpoints: /metrics /jobs /events /healthz")
+}
+
+func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	done, total := l.done, l.total
+	byStat := map[string]int{}
+	for k, v := range l.byStat {
+		byStat[k] = v
+	}
+	source := l.source
+	l.mu.Unlock()
+
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	fmt.Fprintf(w, "# HELP %s_jobs_total jobs in the campaign grid\n# TYPE %s_jobs_total gauge\n%s_jobs_total %d\n",
+		l.tool, l.tool, l.tool, total)
+	fmt.Fprintf(w, "# HELP %s_jobs_done jobs completed (ran or cached)\n# TYPE %s_jobs_done gauge\n%s_jobs_done %d\n",
+		l.tool, l.tool, l.tool, done)
+	fmt.Fprintf(w, "# HELP %s_job_events_total progress events by status\n# TYPE %s_job_events_total counter\n",
+		l.tool, l.tool)
+	for _, s := range []string{"ran", "cached", "retry", "failed"} {
+		fmt.Fprintf(w, "%s_job_events_total{status=\"%s\"} %d\n", l.tool, s, byStat[s])
+	}
+	if source != nil {
+		if snap := source(); snap != nil {
+			_ = snap.WriteOpenMetrics(w, false)
+		}
+	}
+	fmt.Fprintln(w, "# EOF")
+}
+
+func (l *Live) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	jobs := make([]JobUpdate, 0, len(l.order))
+	for _, k := range l.order {
+		jobs = append(jobs, l.updates[k])
+	}
+	l.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(jobs)
+}
+
+func (l *Live) handleEvents(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	evs := append([]liveEvent(nil), l.recent...)
+	l.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(evs)
+}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func liveGet(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestLiveEndpoints(t *testing.T) {
+	l := NewLive("sweep")
+	l.Observe(JobUpdate{Key: "k1", Workload: "astar", Condition: "Reloaded", Status: "ran", Attempts: 1, Done: 1, Total: 3})
+	l.Observe(JobUpdate{Key: "k2", Workload: "hmmer", Condition: "Baseline", Status: "retry", Attempts: 1, Err: "timeout"})
+	l.Observe(JobUpdate{Key: "k2", Workload: "hmmer", Condition: "Baseline", Status: "ran", Attempts: 2, Done: 2, Total: 3})
+	l.SetMetricsSource(func() *Snapshot { return synthSnap(5) })
+
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	if code, body := liveGet(t, srv, "/healthz"); code != 200 || strings.TrimSpace(body) != "ok" {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+
+	code, body := liveGet(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"sweep_jobs_total 3",
+		"sweep_jobs_done 2",
+		`sweep_job_events_total{status="ran"} 2`,
+		`sweep_job_events_total{status="retry"} 1`,
+		"shootdowns_total 5", // merged simulated families follow
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(body), "# EOF") {
+		t.Errorf("/metrics not EOF-terminated:\n%s", body)
+	}
+	if strings.Count(body, "# EOF") != 1 {
+		t.Errorf("/metrics has multiple EOF markers:\n%s", body)
+	}
+
+	code, body = liveGet(t, srv, "/jobs")
+	if code != 200 {
+		t.Fatalf("/jobs = %d", code)
+	}
+	var jobs []JobUpdate
+	if err := json.Unmarshal([]byte(body), &jobs); err != nil {
+		t.Fatalf("/jobs is not JSON: %v", err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("/jobs has %d entries, want 2 (latest state per key)", len(jobs))
+	}
+	if jobs[1].Key != "k2" || jobs[1].Status != "ran" || jobs[1].Attempts != 2 {
+		t.Fatalf("k2 state not updated in place: %+v", jobs[1])
+	}
+
+	code, body = liveGet(t, srv, "/events")
+	if code != 200 {
+		t.Fatalf("/events = %d", code)
+	}
+	var evs []struct {
+		Seq int       `json:"seq"`
+		Job JobUpdate `json:"job"`
+	}
+	if err := json.Unmarshal([]byte(body), &evs); err != nil {
+		t.Fatalf("/events is not JSON: %v", err)
+	}
+	if len(evs) != 3 {
+		t.Fatalf("/events has %d entries, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != i+1 {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+	}
+
+	if code, body := liveGet(t, srv, "/"); code != 200 || !strings.Contains(body, "2/3 jobs done") {
+		t.Fatalf("/ = %d %q", code, body)
+	}
+	if code, _ := liveGet(t, srv, "/nope"); code != 404 {
+		t.Fatalf("unknown path = %d, want 404", code)
+	}
+}
+
+// TestLiveConcurrentObserve hammers Observe from many goroutines while
+// scraping; run with -race to catch lock violations.
+func TestLiveConcurrentObserve(t *testing.T) {
+	l := NewLive("chaos")
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				l.Observe(JobUpdate{Key: "k", Status: "ran", Done: i, Total: 400})
+			}
+		}(g)
+	}
+	for i := 0; i < 10; i++ {
+		if code, _ := liveGet(t, srv, "/metrics"); code != 200 {
+			t.Fatalf("/metrics = %d mid-campaign", code)
+		}
+	}
+	wg.Wait()
+	if code, body := liveGet(t, srv, "/metrics"); code != 200 || !strings.Contains(body, "chaos_jobs_total 400") {
+		t.Fatalf("final /metrics = %d %q", code, body)
+	}
+}
+
+func TestLiveStartAndClose(t *testing.T) {
+	l := NewLive("sweep")
+	addr, err := l.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET bound addr: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz over real listener = %d", resp.StatusCode)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilLive *Live
+	nilLive.Observe(JobUpdate{})
+	nilLive.SetMetricsSource(nil)
+	if err := nilLive.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

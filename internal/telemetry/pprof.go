@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePprof emits the profile as a gzipped pprof profile.proto, readable
+// by `go tool pprof` and speedscope. The encoder hand-rolls the protobuf
+// wire format — the profile schema is small and stable, and the repo
+// deliberately takes no dependencies. Output is deterministic: samples
+// are sorted, the string table is interned in first-use order, and the
+// gzip header carries no timestamp.
+//
+// Schema subset (profile.proto field numbers):
+//
+//	Profile:  sample_type=1 sample=2 location=4 function=5
+//	          string_table=6 period_type=11 period=12
+//	ValueType: type=1 unit=2
+//	Sample:    location_id=1 value=2
+//	Location:  id=1 line=4
+//	Line:      function_id=1
+//	Function:  id=1 name=2
+func (s *Snapshot) WritePprof(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(s.marshalPprof()); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// pbuf is a minimal protobuf writer.
+type pbuf struct{ b []byte }
+
+func (p *pbuf) varint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *pbuf) tag(field, wire int) { p.varint(uint64(field<<3 | wire)) }
+
+func (p *pbuf) uint64Field(field int, v uint64) {
+	if v == 0 {
+		return
+	}
+	p.tag(field, 0)
+	p.varint(v)
+}
+
+func (p *pbuf) bytesField(field int, b []byte) {
+	p.tag(field, 2)
+	p.varint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+func (p *pbuf) stringField(field int, s string) {
+	p.tag(field, 2)
+	p.varint(uint64(len(s)))
+	p.b = append(p.b, s...)
+}
+
+// packedField writes a packed repeated varint field.
+func (p *pbuf) packedField(field int, vs []uint64) {
+	if len(vs) == 0 {
+		return
+	}
+	var inner pbuf
+	for _, v := range vs {
+		inner.varint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+func (s *Snapshot) marshalPprof() []byte {
+	strs := []string{""} // index 0 must be the empty string
+	strIdx := map[string]uint64{"": 0}
+	intern := func(str string) uint64 {
+		if i, ok := strIdx[str]; ok {
+			return i
+		}
+		strs = append(strs, str)
+		strIdx[str] = uint64(len(strs) - 1)
+		return uint64(len(strs) - 1)
+	}
+
+	// One function+location per unique frame name, in sorted order for
+	// deterministic ids.
+	frameSet := map[string]bool{}
+	addFrames := func(stack string, core int) {
+		frameSet[fmt.Sprintf("core%d", core)] = true
+		start := 0
+		for i := 0; i <= len(stack); i++ {
+			if i == len(stack) || stack[i] == ';' {
+				frameSet[stack[start:i]] = true
+				start = i + 1
+			}
+		}
+	}
+	for _, st := range s.Stacks {
+		addFrames(st.Stack, st.Core)
+	}
+	for c, idle := range s.Idle {
+		if idle > 0 {
+			addFrames(idleFrame, c)
+		}
+	}
+	frames := make([]string, 0, len(frameSet))
+	for f := range frameSet {
+		frames = append(frames, f)
+	}
+	sort.Strings(frames)
+	locID := map[string]uint64{}
+	for i, f := range frames {
+		locID[f] = uint64(i + 1)
+	}
+
+	var out pbuf
+
+	// sample_type: one dimension, cycles/cycles.
+	cyclesIdx := intern("cycles")
+	var vt pbuf
+	vt.uint64Field(1, cyclesIdx)
+	vt.uint64Field(2, cyclesIdx)
+	out.bytesField(1, vt.b)
+
+	// samples: leaf-first location ids; root frame is the core.
+	emit := func(core int, stack string, cycles uint64) {
+		var ids []uint64
+		start := 0
+		var parts []string
+		for i := 0; i <= len(stack); i++ {
+			if i == len(stack) || stack[i] == ';' {
+				parts = append(parts, stack[start:i])
+				start = i + 1
+			}
+		}
+		for i := len(parts) - 1; i >= 0; i-- {
+			ids = append(ids, locID[parts[i]])
+		}
+		ids = append(ids, locID[fmt.Sprintf("core%d", core)])
+		var sm pbuf
+		sm.packedField(1, ids)
+		sm.packedField(2, []uint64{cycles})
+		out.bytesField(2, sm.b)
+	}
+	for _, st := range s.Stacks {
+		emit(st.Core, st.Stack, st.Cycles)
+	}
+	for c, idle := range s.Idle {
+		if idle > 0 {
+			emit(c, idleFrame, idle)
+		}
+	}
+
+	// locations and functions.
+	for _, f := range frames {
+		id := locID[f]
+		var ln pbuf
+		ln.uint64Field(1, id) // function_id == location id
+		var loc pbuf
+		loc.uint64Field(1, id)
+		loc.bytesField(4, ln.b)
+		out.bytesField(4, loc.b)
+	}
+	for _, f := range frames {
+		var fn pbuf
+		fn.uint64Field(1, locID[f])
+		fn.uint64Field(2, intern(f))
+		out.bytesField(5, fn.b)
+	}
+
+	// String table last: interning above decided the contents.
+	var strOut pbuf
+	for _, str := range strs {
+		strOut.stringField(6, str)
+	}
+
+	// period_type + period: 1 cycle.
+	var pt pbuf
+	pt.uint64Field(1, cyclesIdx)
+	pt.uint64Field(2, cyclesIdx)
+	out.bytesField(11, pt.b)
+	out.uint64Field(12, 1)
+
+	return append(out.b, strOut.b...)
+}

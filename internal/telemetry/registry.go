@@ -1,0 +1,195 @@
+package telemetry
+
+// The time-series metrics registry. Series are fixed at construction (the
+// StdID table below), in a fixed order, so exports are byte-identical for
+// identical runs regardless of host scheduling or worker count. Counters
+// and gauges are function-backed — bound with Telemetry.Source, evaluated
+// only at sample boundaries — or accumulator-backed via Telemetry.Add;
+// histograms take explicit Observe calls at emit sites.
+
+// StdID indexes the standard series every recorder carries.
+type StdID int
+
+// Standard series, in export order.
+const (
+	// StdEpochCounter is the process revocation-epoch counter (odd while
+	// a pass is in flight) — the paper's epoch-progress signal.
+	StdEpochCounter StdID = iota
+	// StdEpochsTotal counts completed revocation passes.
+	StdEpochsTotal
+	// StdQuarBytes is current quarantine occupancy (§2.2.3 mrs shim).
+	StdQuarBytes
+	// StdQuarBlocksTotal counts allocations that blocked on a pass.
+	StdQuarBlocksTotal
+	// StdCDBitSetsTotal counts capability-dirty PTE bit transitions —
+	// the CD-bit set rate underlying Cornucopia's page filter.
+	StdCDBitSetsTotal
+	// StdGenFaultsTotal counts load-barrier generation faults (§4.3).
+	StdGenFaultsTotal
+	// StdGenFaultCyclesTotal is cycles spent in gen-fault handlers.
+	StdGenFaultCyclesTotal
+	// StdCapLoadsTotal / StdCapStoresTotal count capability memory ops.
+	StdCapLoadsTotal
+	StdCapStoresTotal
+	// StdTLBRefillsTotal counts TLB miss refills.
+	StdTLBRefillsTotal
+	// StdHeapLiveBytes / heap op counters come from the allocator.
+	StdHeapLiveBytes
+	StdHeapAllocsTotal
+	StdHeapFreesTotal
+	// StdMappedPages is the address space's mapped-page count.
+	StdMappedPages
+	// StdFramesAllocated is physical frames in use (tmem).
+	StdFramesAllocated
+	// StdShootdownsTotal counts TLB shootdown broadcasts.
+	StdShootdownsTotal
+	// StdSweptPagesTotal / StdRevokedCapsTotal accumulate sweep output.
+	StdSweptPagesTotal
+	StdRevokedCapsTotal
+	// StdRecoveryActionsTotal counts epoch abort-and-retry recoveries.
+	StdRecoveryActionsTotal
+	// StdShootdownLatencyCycles is broadcast-to-verified-complete time,
+	// including fault-induced retries.
+	StdShootdownLatencyCycles
+	// StdSTWCycles and StdEpochCycles are per-epoch phase durations.
+	StdSTWCycles
+	StdEpochCycles
+	// StdQuarBlockCycles is per-block malloc stall time.
+	StdQuarBlockCycles
+
+	numStd
+)
+
+type seriesKind uint8
+
+const (
+	kindCounter seriesKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k seriesKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// cycleBounds are the histogram bucket upper bounds (cycles), a 1-3-10
+// ladder from 1k cycles (400 ns) to 1G cycles (0.4 s).
+var cycleBounds = []float64{
+	1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7, 3e7, 1e8, 3e8, 1e9,
+}
+
+type series struct {
+	name string
+	help string
+	kind seriesKind
+
+	fn  func() float64 // counter/gauge source
+	acc float64        // accumulator for sourceless counters
+
+	bounds []float64 // histogram: upper bounds; +Inf bucket implicit
+	counts []uint64  // histogram: len(bounds)+1
+	sum    float64
+	count  uint64
+}
+
+func (s *series) value() float64 {
+	if s.fn != nil {
+		return s.fn()
+	}
+	return s.acc
+}
+
+func (s *series) observe(v float64) {
+	i := 0
+	for i < len(s.bounds) && v > s.bounds[i] {
+		i++
+	}
+	s.counts[i]++
+	s.sum += v
+	s.count++
+}
+
+// stdDefs declares every standard series, in export order.
+var stdDefs = [numStd]struct {
+	name, help string
+	kind       seriesKind
+}{
+	StdEpochCounter:           {"epoch", "process revocation-epoch counter (odd = pass in flight)", kindGauge},
+	StdEpochsTotal:            {"epochs_total", "completed revocation passes", kindCounter},
+	StdQuarBytes:              {"quarantine_bytes", "current quarantine occupancy", kindGauge},
+	StdQuarBlocksTotal:        {"quarantine_blocks_total", "allocations that blocked on a revocation pass", kindCounter},
+	StdCDBitSetsTotal:         {"cd_bit_sets_total", "capability-dirty PTE bit set transitions", kindCounter},
+	StdGenFaultsTotal:         {"gen_faults_total", "load-barrier generation faults", kindCounter},
+	StdGenFaultCyclesTotal:    {"gen_fault_cycles_total", "cycles spent in generation-fault handlers", kindCounter},
+	StdCapLoadsTotal:          {"cap_loads_total", "capability loads", kindCounter},
+	StdCapStoresTotal:         {"cap_stores_total", "capability stores", kindCounter},
+	StdTLBRefillsTotal:        {"tlb_refills_total", "TLB miss refills", kindCounter},
+	StdHeapLiveBytes:          {"heap_live_bytes", "live heap bytes", kindGauge},
+	StdHeapAllocsTotal:        {"heap_allocs_total", "heap allocations", kindCounter},
+	StdHeapFreesTotal:         {"heap_frees_total", "heap frees", kindCounter},
+	StdMappedPages:            {"mapped_pages", "pages mapped in the address space", kindGauge},
+	StdFramesAllocated:        {"frames_allocated", "physical frames in use", kindGauge},
+	StdShootdownsTotal:        {"shootdowns_total", "TLB shootdown broadcasts", kindCounter},
+	StdSweptPagesTotal:        {"swept_pages_total", "pages visited by revocation sweeps", kindCounter},
+	StdRevokedCapsTotal:       {"revoked_caps_total", "capabilities revoked by sweeps", kindCounter},
+	StdRecoveryActionsTotal:   {"recovery_actions_total", "epoch abort-and-retry recovery actions", kindCounter},
+	StdShootdownLatencyCycles: {"shootdown_latency_cycles", "shootdown broadcast to verified-complete latency", kindHistogram},
+	StdSTWCycles:              {"stw_cycles", "stop-the-world pause per revocation pass", kindHistogram},
+	StdEpochCycles:            {"epoch_cycles", "total duration per revocation pass", kindHistogram},
+	StdQuarBlockCycles:        {"quarantine_block_cycles", "malloc stall while waiting on a pass", kindHistogram},
+}
+
+type row struct {
+	cycle  uint64
+	values []float64
+}
+
+type registry struct {
+	series [numStd]*series
+	rows   []row
+}
+
+func newRegistry() *registry {
+	r := &registry{}
+	for id := StdID(0); id < numStd; id++ {
+		d := stdDefs[id]
+		s := &series{name: d.name, help: d.help, kind: d.kind}
+		if d.kind == kindHistogram {
+			s.bounds = cycleBounds
+			s.counts = make([]uint64, len(cycleBounds)+1)
+		}
+		r.series[id] = s
+	}
+	return r
+}
+
+// sample captures one time-series row at the given simulated cycle.
+// Histograms contribute their cumulative observation count.
+func (r *registry) sample(cycle uint64) {
+	vals := make([]float64, numStd)
+	for i, s := range r.series {
+		if s.kind == kindHistogram {
+			vals[i] = float64(s.count)
+		} else {
+			vals[i] = s.value()
+		}
+	}
+	r.rows = append(r.rows, row{cycle: cycle, values: vals})
+}
+
+// downsample drops rows not aligned to the widened interval.
+func (r *registry) downsample(every uint64) {
+	kept := r.rows[:0]
+	for _, rw := range r.rows {
+		if rw.cycle%every == 0 {
+			kept = append(kept, rw)
+		}
+	}
+	r.rows = kept
+}

@@ -6,9 +6,11 @@
 package trace
 
 import (
+	"encoding/csv"
 	"encoding/json"
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/bus"
 )
@@ -197,19 +199,56 @@ func (t *Tracer) WriteChrome(w io.Writer, hzGHz float64) error {
 	})
 }
 
-// WriteCSV renders the retained events as CSV, one event per row, in
-// emission order: cycle,phase,kind,core,agent,epoch,arg,arg2.
+// Detail renders the event's kind-specific arguments as a human-readable
+// "name=value, name=value" string (addresses in hex). It is the CSV
+// detail column; the embedded commas are why the exporter quotes per
+// RFC 4180.
+func (ev Event) Detail() string {
+	n1, n2 := argNames(ev.Kind)
+	if n1 == "" {
+		return ""
+	}
+	var s string
+	if hexArg(ev.Kind) {
+		s = fmt.Sprintf("%s=0x%x", n1, ev.Arg)
+	} else {
+		s = fmt.Sprintf("%s=%d", n1, ev.Arg)
+	}
+	if n2 != "" {
+		s += fmt.Sprintf(", %s=%d", n2, ev.Arg2)
+	}
+	return s
+}
+
+// csvHeader is the column layout of WriteCSV output.
+var csvHeader = []string{"cycle", "phase", "kind", "core", "agent", "epoch", "arg", "arg2", "detail"}
+
+// WriteCSV renders the retained events as RFC 4180 CSV (encoding/csv
+// quoting), one event per row in emission order:
+// cycle,phase,kind,core,agent,epoch,arg,arg2,detail. The detail column
+// repeats arg/arg2 with their kind-specific names and hex rendering for
+// addresses; it contains commas and is quoted accordingly.
 func (t *Tracer) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "cycle,phase,kind,core,agent,epoch,arg,arg2"); err != nil {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
 	for _, ev := range t.Events() {
-		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%s,%d,%d,%d\n",
-			ev.Cycle, ev.Phase, ev.Kind, ev.Core,
-			bus.Agent(ev.Agent), ev.Epoch, ev.Arg, ev.Arg2)
-		if err != nil {
+		rec := []string{
+			strconv.FormatUint(ev.Cycle, 10),
+			ev.Phase.String(),
+			ev.Kind.String(),
+			strconv.Itoa(int(ev.Core)),
+			bus.Agent(ev.Agent).String(),
+			strconv.FormatUint(ev.Epoch, 10),
+			strconv.FormatUint(ev.Arg, 10),
+			strconv.FormatUint(ev.Arg2, 10),
+			ev.Detail(),
+		}
+		if err := cw.Write(rec); err != nil {
 			return err
 		}
 	}
-	return nil
+	cw.Flush()
+	return cw.Error()
 }

@@ -2,7 +2,9 @@ package trace
 
 import (
 	"bytes"
+	"encoding/csv"
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -130,15 +132,90 @@ func TestWriteCSV(t *testing.T) {
 	if len(lines) != 4 {
 		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(lines), buf.String())
 	}
-	if lines[0] != "cycle,phase,kind,core,agent,epoch,arg,arg2" {
+	if lines[0] != "cycle,phase,kind,core,agent,epoch,arg,arg2,detail" {
 		t.Fatalf("bad header: %q", lines[0])
 	}
-	if lines[1] != "10,B,sweep,2,revoker,2,1,8" {
+	// The detail column holds "worker=1, pages=8" — an embedded comma, so
+	// RFC 4180 requires the field be quoted.
+	if lines[1] != `10,B,sweep,2,revoker,2,1,8,"worker=1, pages=8"` {
 		t.Fatalf("bad row: %q", lines[1])
 	}
-	if lines[3] != "60,i,tlb-shootdown,-1,kernel,3,0,0" {
+	if lines[3] != "60,i,tlb-shootdown,-1,kernel,3,0,0," {
 		t.Fatalf("bad machine-wide row: %q", lines[3])
 	}
+}
+
+// TestWriteCSVRoundTrip parses the exporter's output with encoding/csv
+// and checks every field survives, including quoted detail strings with
+// embedded commas and hex-rendered addresses.
+func TestWriteCSVRoundTrip(t *testing.T) {
+	tr := New(1024)
+	evs := []Event{
+		{Cycle: 10, Phase: PhaseBegin, Kind: KindSweep, Core: 2, Agent: uint8(bus.AgentRevoker), Epoch: 2, Arg: 1, Arg2: 8},
+		{Cycle: 25, Phase: PhaseInstant, Kind: KindFault, Core: 3, Agent: uint8(bus.AgentKernel), Epoch: 2, Arg: 0xdead_beef, Arg2: 1},
+		{Cycle: 60, Phase: PhaseInstant, Kind: KindShootdown, Core: -1, Agent: uint8(bus.AgentKernel), Epoch: 3},
+	}
+	for _, ev := range evs {
+		tr.Emit(ev)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid RFC 4180 CSV: %v", err)
+	}
+	if len(recs) != len(evs)+1 {
+		t.Fatalf("got %d records, want %d", len(recs), len(evs)+1)
+	}
+	for i, ev := range evs {
+		rec := recs[i+1]
+		got := Event{
+			Cycle: parseU(t, rec[0]),
+			Epoch: parseU(t, rec[5]),
+			Arg:   parseU(t, rec[6]),
+			Arg2:  parseU(t, rec[7]),
+			Core:  int16(parseI(t, rec[3])),
+			Agent: ev.Agent, // agent round-trips by name, checked below
+			Kind:  ev.Kind,
+			Phase: ev.Phase,
+		}
+		if got != ev {
+			t.Errorf("row %d round-tripped to %+v, want %+v", i, got, ev)
+		}
+		if rec[1] != ev.Phase.String() || rec[2] != ev.Kind.String() {
+			t.Errorf("row %d phase/kind = %q/%q", i, rec[1], rec[2])
+		}
+		if rec[4] != bus.Agent(ev.Agent).String() {
+			t.Errorf("row %d agent = %q, want %q", i, rec[4], bus.Agent(ev.Agent))
+		}
+		if rec[8] != ev.Detail() {
+			t.Errorf("row %d detail = %q, want %q", i, rec[8], ev.Detail())
+		}
+	}
+	// The fault row's detail must render the VA in hex.
+	if want := "va=0xdeadbeef, concurrentVisit=1"; recs[2][8] != want {
+		t.Errorf("fault detail = %q, want %q", recs[2][8], want)
+	}
+}
+
+func parseU(t *testing.T, s string) uint64 {
+	t.Helper()
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("ParseUint(%q): %v", s, err)
+	}
+	return v
+}
+
+func parseI(t *testing.T, s string) int64 {
+	t.Helper()
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		t.Fatalf("ParseInt(%q): %v", s, err)
+	}
+	return v
 }
 
 func TestKindStringsDistinct(t *testing.T) {

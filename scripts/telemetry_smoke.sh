@@ -1,0 +1,76 @@
+#!/bin/sh
+# telemetry_smoke.sh: end-to-end observability check (make telemetry-smoke).
+#
+# Runs a small telemetry-armed sweep with the live introspection server on
+# an ephemeral port, scrapes /metrics while the server is up, and asserts
+# every export (folded stacks, pprof, OpenMetrics, series CSV) lands
+# non-empty. Artifacts are left under the output directory (default
+# telemetry-smoke/) so CI can upload the folded stacks.
+set -eu
+
+OUT=${1:-telemetry-smoke}
+mkdir -p "$OUT"
+LOG=$OUT/sweep.log
+: >"$LOG"
+
+go run ./cmd/sweep -figures fig5 -workers 2 -reps 1 \
+    -txs 300 -measure-ms 100 -warmup-ms 10 \
+    -http 127.0.0.1:0 -http-linger 10s \
+    -prof-folded "$OUT/profile.folded" \
+    -prof-pprof "$OUT/profile.pb.gz" \
+    -metrics-out "$OUT/metrics.om" \
+    -series-csv "$OUT/series.csv" \
+    -sample-every 200000 \
+    -progress 2>"$LOG" &
+SWEEP_PID=$!
+
+fail() {
+    echo "telemetry-smoke: $1" >&2
+    sed 's/^/  sweep: /' "$LOG" >&2 || true
+    kill "$SWEEP_PID" 2>/dev/null || true
+    exit 1
+}
+
+# The sweep prints the bound address once the server is listening.
+ADDR=
+i=0
+while [ $i -lt 100 ]; do
+    ADDR=$(sed -n 's#.*live introspection on http://\([^/]*\)/.*#\1#p' "$LOG" | head -n 1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$SWEEP_PID" 2>/dev/null || fail "sweep exited before serving"
+    sleep 0.2
+    i=$((i + 1))
+done
+[ -n "$ADDR" ] || fail "live server address never appeared in the log"
+echo "telemetry-smoke: scraping http://$ADDR/metrics"
+
+# Scrape while the campaign runs (or lingers). Retry: the first jobs may
+# still be warming up when the listener comes up.
+SCRAPE=$OUT/scrape.om
+ok=0
+i=0
+while [ $i -lt 50 ]; do
+    if curl -fsS "http://$ADDR/metrics" -o "$SCRAPE" 2>/dev/null &&
+        grep -q '^sweep_jobs_total ' "$SCRAPE" &&
+        grep -q '^# EOF$' "$SCRAPE"; then
+        ok=1
+        break
+    fi
+    sleep 0.2
+    i=$((i + 1))
+done
+[ "$ok" = 1 ] || fail "/metrics never served a valid OpenMetrics body"
+
+curl -fsS "http://$ADDR/healthz" >/dev/null || fail "/healthz failed"
+curl -fsS "http://$ADDR/jobs" >"$OUT/jobs.json" || fail "/jobs failed"
+
+wait "$SWEEP_PID" || fail "sweep exited non-zero"
+
+for f in profile.folded profile.pb.gz metrics.om series.csv; do
+    [ -s "$OUT/$f" ] || fail "export $f is missing or empty"
+done
+grep -q ';app ' "$OUT/profile.folded" || fail "folded stacks carry no app frames"
+grep -q '^# EOF$' "$OUT/metrics.om" || fail "metrics.om is not EOF-terminated"
+head -n 1 "$OUT/series.csv" | grep -q '^job,cycle,' || fail "series.csv header malformed"
+
+echo "telemetry-smoke: OK ($(wc -l <"$OUT/profile.folded") folded stacks, $(wc -l <"$OUT/series.csv") series rows)"
