@@ -8,7 +8,8 @@ RACE_PKGS = ./internal/bus ./internal/ca ./internal/fault ./internal/metrics \
             ./internal/oracle ./internal/shadow ./internal/telemetry \
             ./internal/tmem ./internal/trace ./internal/vm
 
-.PHONY: all build vet test race verify chaos sweep-bench telemetry-smoke
+.PHONY: all build vet test race verify chaos sweep-bench telemetry-smoke \
+        hostbench hostbench-smoke
 
 all: verify
 
@@ -44,6 +45,23 @@ chaos:
 # non-empty (folded stacks under telemetry-smoke/).
 telemetry-smoke:
 	./scripts/telemetry_smoke.sh
+
+# BENCH_host.json: the host-performance rig (internal/hostbench) — where
+# the simulator spends real CPU, complementing the simulated-cycle
+# documents. Runs every microbenchmark and campaign through cmd/hostbench
+# and enforces the word kernel's speedup floors (sweep_kernel >= 3x,
+# campaign >= 1.5x).
+hostbench: BENCH_host.json
+BENCH_host.json: FORCE
+	$(GO) run ./cmd/hostbench -check -out $@
+
+# hostbench-smoke: CI liveness for the rig — every benchmark body runs
+# once, and the kernel-equivalence differential suite pins that the word
+# and granule kernels still produce identical simulated results.
+hostbench-smoke:
+	$(GO) test ./internal/hostbench -bench . -benchtime=1x -count=1
+	$(GO) test ./internal/revoke -run TestWordKernelMatchesGranule -count=1
+	$(GO) test ./internal/expt -run TestDocumentIdenticalAcrossKernels -count=1
 
 # BENCH_sweep.json: one reduced-rep pass over every figure and table,
 # emitted as the machine-readable cornucopia-sweep/v1 document for

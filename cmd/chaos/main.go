@@ -197,6 +197,13 @@ func main() {
 		return
 	}
 
+	// Host-side profiling (-cpuprofile/-memprofile): where the campaign
+	// spends real time, not simulated cycles.
+	stopProf, err := shared.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	var strats []revoke.Strategy
 	if *strategies == "all" {
 		strats = revoke.Strategies()
@@ -376,6 +383,9 @@ func main() {
 		fmt.Printf("chaos: wrote %s (schema %s)\n", *out, Schema)
 	}
 
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
+	}
 	shared.Finish(live)
 	if len(rep.StrictFailures) > 0 {
 		for _, f := range rep.StrictFailures {

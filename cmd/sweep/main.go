@@ -11,9 +11,18 @@
 //	sweep [-figures all|fig1,table2,...] [-workers N] [-timeout D] [-retries N]
 //	      [-resume FILE] [-out results.json] [-progress]
 //	      [-http ADDR] [-http-linger D]
+//	      [-sweepkernel word|granule] [-cpuprofile FILE] [-memprofile FILE]
 //	      [-prof-folded FILE] [-prof-pprof FILE] [-metrics-out FILE]
 //	      [-series-csv FILE] [-sample-every N]
 //	      [-reps N] [-scale N] [-txs N] [-measure-ms N] [-warmup-ms N] [-seed N]
+//
+// -sweepkernel selects the page-sweep implementation: the default batch
+// word-wise kernel or the per-granule differential oracle. Both produce
+// identical simulated results (and therefore identical documents and
+// manifest entries); granule exists to cross-check the word kernel and to
+// measure its host-side speedup. -cpuprofile/-memprofile write host pprof
+// profiles — real time and allocations, complementing the simulated-cycle
+// telemetry exports below.
 //
 // -resume FILE attaches an on-disk manifest keyed by job content hash:
 // completed jobs are recorded as they finish, and a re-invoked sweep
@@ -79,6 +88,13 @@ func main() {
 			fmt.Printf("%-8s %s\n", f.ID, f.Title)
 		}
 		return
+	}
+
+	// Host-side profiling (-cpuprofile/-memprofile): where the simulator
+	// spends real time, as opposed to the simulated-cycle profiler below.
+	stopProf, err := shared.StartProfiles()
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	o := expt.DefaultOptions()
@@ -216,6 +232,9 @@ func main() {
 		}
 	}
 
+	if err := stopProf(); err != nil {
+		log.Fatal(err)
+	}
 	shared.Finish(live)
 	if failed {
 		os.Exit(1)

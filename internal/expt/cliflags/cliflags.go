@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/expt"
+	"repro/internal/kernel"
 	"repro/internal/telemetry"
 )
 
@@ -30,6 +32,14 @@ type Flags struct {
 	// HTTPLinger keeps the -http server up this long after the run
 	// completes, so scrapers (and CI smoke tests) can still reach it.
 	HTTPLinger time.Duration
+	// SweepKernel names the page-sweep implementation ("word" or
+	// "granule"); resolve it with ParseSweepKernel.
+	SweepKernel string
+	// CPUProfile/MemProfile, when non-empty, write host-side pprof
+	// profiles — the complement of the simulated-cycle profiler
+	// (internal/telemetry), which attributes virtual time, not host time.
+	CPUProfile string
+	MemProfile string
 }
 
 // Register installs the shared flags on the process flag set with the
@@ -43,7 +53,53 @@ func Register() *Flags {
 	flag.BoolVar(&f.Progress, "progress", false, "print per-job progress lines")
 	flag.StringVar(&f.HTTPAddr, "http", "", "serve live introspection (/metrics, /jobs, /events) on this address (\":0\" = ephemeral)")
 	flag.DurationVar(&f.HTTPLinger, "http-linger", 0, "keep the -http server up this long after the run completes")
+	flag.StringVar(&f.SweepKernel, "sweepkernel", "word", "page-sweep implementation: word (batch kernel) or granule (per-granule differential oracle)")
+	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a host CPU profile (pprof) to this file")
+	flag.StringVar(&f.MemProfile, "memprofile", "", "write a host heap profile (pprof) to this file at exit")
 	return f
+}
+
+// ParseSweepKernel resolves the -sweepkernel flag value.
+func (f *Flags) ParseSweepKernel() (kernel.SweepKernel, error) {
+	return kernel.ParseSweepKernel(f.SweepKernel)
+}
+
+// StartProfiles begins host CPU profiling if -cpuprofile was given. The
+// returned stop function flushes the CPU profile and, if -memprofile was
+// given, writes a post-GC heap profile; call it (once) before exit.
+func (f *Flags) StartProfiles() (stop func() error, err error) {
+	var cpu *os.File
+	if f.CPUProfile != "" {
+		cpu, err = os.Create(f.CPUProfile)
+		if err != nil {
+			return nil, fmt.Errorf("cliflags: -cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cliflags: -cpuprofile: %w", err)
+		}
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return fmt.Errorf("cliflags: -cpuprofile: %w", err)
+			}
+		}
+		if f.MemProfile != "" {
+			mf, err := os.Create(f.MemProfile)
+			if err != nil {
+				return fmt.Errorf("cliflags: -memprofile: %w", err)
+			}
+			runtime.GC() // materialize reachable-heap truth before the snapshot
+			if err := pprof.WriteHeapProfile(mf); err != nil {
+				mf.Close()
+				return fmt.Errorf("cliflags: -memprofile: %w", err)
+			}
+			return mf.Close()
+		}
+		return nil
+	}, nil
 }
 
 // Manifest opens the -resume manifest for the given tool and grid
@@ -61,11 +117,16 @@ func (f *Flags) Manifest(tool, grid string) (*expt.Manifest, error) {
 // pass it to Finish when the run completes. Callers may further adjust
 // the returned config (e.g. set Telemetry) before expt.NewPool.
 func (f *Flags) PoolConfig(tool string, manifest *expt.Manifest) (expt.PoolConfig, *telemetry.Live, error) {
+	sk, err := f.ParseSweepKernel()
+	if err != nil {
+		return expt.PoolConfig{}, nil, err
+	}
 	cfg := expt.PoolConfig{
-		Workers:  f.Workers,
-		Timeout:  f.Timeout,
-		Retries:  f.Retries,
-		Manifest: manifest,
+		Workers:     f.Workers,
+		Timeout:     f.Timeout,
+		Retries:     f.Retries,
+		Manifest:    manifest,
+		SweepKernel: sk,
 	}
 	var live *telemetry.Live
 	if f.HTTPAddr != "" {

@@ -6,25 +6,37 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 )
 
 // Manifest is a content-hash-keyed, append-only record of completed jobs
-// on disk: one JSON line per job, `{"key": "...", "result": {...}}`. A
-// pool with a manifest attached serves previously-completed jobs from it
-// and appends every newly-completed one, so an interrupted or re-invoked
-// sweep resumes where it left off. A line truncated by an interruption
-// mid-write is skipped on load (and rewritten when its job re-runs).
+// on disk: one JSON line per job, `{"key": "...", "host_ms": ..,
+// "result": {...}}`. A pool with a manifest attached serves
+// previously-completed jobs from it and appends every newly-completed
+// one, so an interrupted or re-invoked sweep resumes where it left off. A
+// line truncated by an interruption mid-write is skipped on load (and
+// rewritten when its job re-runs).
+//
+// host_ms records what the job cost the host when it actually ran, so
+// slow grid cells stay visible — in the manifest itself, in resumed
+// documents, and on the /jobs endpoint — without profiling a rerun.
 type Manifest struct {
 	path string
 
 	mu   sync.Mutex
-	done map[string]*JobResult
+	done map[string]manifestEntry
 	meta *ManifestMeta
 	f    *os.File
 }
 
+type manifestEntry struct {
+	res  *JobResult
+	host time.Duration
+}
+
 type manifestLine struct {
 	Key    string        `json:"key,omitempty"`
+	HostMS float64       `json:"host_ms,omitempty"`
 	Result *JobResult    `json:"result,omitempty"`
 	Meta   *ManifestMeta `json:"meta,omitempty"`
 }
@@ -99,7 +111,7 @@ func OpenManifestFor(path string, meta ManifestMeta) (*Manifest, error) {
 }
 
 func openManifest(path string) (*Manifest, *ManifestMeta, error) {
-	m := &Manifest{path: path, done: map[string]*JobResult{}}
+	m := &Manifest{path: path, done: map[string]manifestEntry{}}
 	if f, err := os.Open(path); err == nil {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 1<<20), maxManifestLine)
@@ -115,7 +127,10 @@ func openManifest(path string) (*Manifest, *ManifestMeta, error) {
 			if line.Key == "" || line.Result == nil {
 				continue
 			}
-			m.done[line.Key] = line.Result
+			m.done[line.Key] = manifestEntry{
+				res:  line.Result,
+				host: time.Duration(line.HostMS * float64(time.Millisecond)),
+			}
 		}
 		closeErr := f.Close()
 		if err := sc.Err(); err != nil {
@@ -142,19 +157,26 @@ func (m *Manifest) Meta() *ManifestMeta {
 	return m.meta
 }
 
-// Lookup returns the recorded result for key, if any.
-func (m *Manifest) Lookup(key string) (*JobResult, bool) {
+// Lookup returns the recorded result for key, if any, along with the host
+// wall-clock time the job cost when it originally ran (zero for entries
+// written before host times were recorded).
+func (m *Manifest) Lookup(key string) (r *JobResult, host time.Duration, ok bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	r, ok := m.done[key]
-	return r, ok
+	e, ok := m.done[key]
+	return e.res, e.host, ok
 }
 
-// Record appends a completed job. Each line is written atomically with
-// respect to other Record calls; durability against a crash mid-line is
-// handled by the torn-tail skip on load.
-func (m *Manifest) Record(key string, r *JobResult) error {
-	b, err := json.Marshal(manifestLine{Key: key, Result: r})
+// Record appends a completed job and the host wall-clock time its final
+// attempt took. Each line is written atomically with respect to other
+// Record calls; durability against a crash mid-line is handled by the
+// torn-tail skip on load.
+func (m *Manifest) Record(key string, r *JobResult, host time.Duration) error {
+	b, err := json.Marshal(manifestLine{
+		Key:    key,
+		HostMS: float64(host.Microseconds()) / 1e3,
+		Result: r,
+	})
 	if err != nil {
 		return err
 	}
@@ -164,7 +186,7 @@ func (m *Manifest) Record(key string, r *JobResult) error {
 	if _, err := m.f.Write(b); err != nil {
 		return fmt.Errorf("expt: appending to manifest %s: %w", m.path, err)
 	}
-	m.done[key] = r
+	m.done[key] = manifestEntry{res: r, host: host}
 	return nil
 }
 

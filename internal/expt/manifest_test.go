@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestManifestRoundTrip(t *testing.T) {
@@ -17,7 +18,7 @@ func TestManifestRoundTrip(t *testing.T) {
 	j := fakeJob("omnetpp", 7)
 	want := fakeResult(j)
 	want.LatCycles = []float64{1.5, 2.25, 1e9 + 0.125}
-	if err := m.Record(j.Key(), want); err != nil {
+	if err := m.Record(j.Key(), want, 1500*time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
 	if err := m.Close(); err != nil {
@@ -32,9 +33,12 @@ func TestManifestRoundTrip(t *testing.T) {
 	if m2.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", m2.Len())
 	}
-	got, ok := m2.Lookup(j.Key())
+	got, host, ok := m2.Lookup(j.Key())
 	if !ok {
 		t.Fatal("recorded job missing after reload")
+	}
+	if host != 1500*time.Millisecond {
+		t.Fatalf("host = %v after reload, want 1.5s (host_ms must round-trip)", host)
 	}
 	if got.Workload != want.Workload || got.Seed != want.Seed || got.WallCycles != want.WallCycles {
 		t.Fatalf("got %+v, want %+v", got, want)
@@ -53,7 +57,7 @@ func TestManifestSkipsTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	j := fakeJob("astar", 1)
-	if err := m.Record(j.Key(), fakeResult(j)); err != nil {
+	if err := m.Record(j.Key(), fakeResult(j), time.Second); err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
@@ -73,10 +77,10 @@ func TestManifestSkipsTornTail(t *testing.T) {
 	if m2.Len() != 1 {
 		t.Fatalf("Len = %d after torn tail, want 1", m2.Len())
 	}
-	if _, ok := m2.Lookup(j.Key()); !ok {
+	if _, _, ok := m2.Lookup(j.Key()); !ok {
 		t.Fatal("intact line lost")
 	}
-	if _, ok := m2.Lookup("deadbeef"); ok {
+	if _, _, ok := m2.Lookup("deadbeef"); ok {
 		t.Fatal("torn line surfaced as a result")
 	}
 }
@@ -142,6 +146,56 @@ func TestPoolResumesFromManifest(t *testing.T) {
 	}
 }
 
+// TestPoolCachedJobsCarryRecordedHost pins the host-cost plumbing for
+// manifest hits: a job served from the manifest must surface the original
+// run's recorded wall time — in Results() and in the "cached" progress
+// event feeding /jobs — instead of the ~0 it cost to look up.
+func TestPoolCachedJobsCarryRecordedHost(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	j := fakeJob("astar", 1)
+	const recorded = 2500 * time.Millisecond
+	m, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record(j.Key(), fakeResult(j), recorded); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	m2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	var events []Event
+	p := NewPool(PoolConfig{
+		Workers:  1,
+		Manifest: m2,
+		Progress: func(ev Event) { events = append(events, ev) },
+	})
+	p.run = func(Job) (*JobResult, error) {
+		t.Fatal("cached job executed")
+		return nil, nil
+	}
+	if _, err := p.Get(j); err != nil {
+		t.Fatal(err)
+	}
+	rs := p.Results()
+	if len(rs) != 1 || !rs[0].Cached {
+		t.Fatalf("Results() = %+v, want one cached completion", rs)
+	}
+	if rs[0].Host != recorded {
+		t.Fatalf("cached Completed.Host = %v, want %v", rs[0].Host, recorded)
+	}
+	if len(events) != 1 || events[0].Status != "cached" {
+		t.Fatalf("events = %+v, want one cached event", events)
+	}
+	if events[0].Host != recorded {
+		t.Fatalf("cached event Host = %v, want %v", events[0].Host, recorded)
+	}
+}
+
 func TestManifestMetaAdoptAndMatch(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "m.jsonl")
 	meta := ManifestMeta{Tool: "sweep", Grid: "fig1,fig2 reps=3 seed=1"}
@@ -149,7 +203,7 @@ func TestManifestMetaAdoptAndMatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Record("k1", &JobResult{Workload: "w", Seed: 1}); err != nil {
+	if err := m.Record("k1", &JobResult{Workload: "w", Seed: 1}, 0); err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
@@ -159,7 +213,7 @@ func TestManifestMetaAdoptAndMatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := m.Lookup("k1"); !ok {
+	if _, _, ok := m.Lookup("k1"); !ok {
 		t.Fatal("matching reopen lost the cached result")
 	}
 	if got := m.Meta(); got == nil || got.Grid != meta.Grid || got.Schema != ManifestSchema {
@@ -187,7 +241,7 @@ func TestManifestMetaRejectsLegacy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := m.Record("k1", &JobResult{Workload: "w"}); err != nil {
+	if err := m.Record("k1", &JobResult{Workload: "w"}, 0); err != nil {
 		t.Fatal(err)
 	}
 	m.Close()
@@ -201,7 +255,7 @@ func TestManifestMetaRejectsLegacy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, ok := m.Lookup("k1"); !ok {
+	if _, _, ok := m.Lookup("k1"); !ok {
 		t.Fatal("legacy reopen lost the result")
 	}
 	m.Close()

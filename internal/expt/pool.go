@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/kernel"
 	"repro/internal/telemetry"
 	"repro/internal/workload/qps"
 )
@@ -36,7 +37,9 @@ type Event struct {
 	// "timeout", "panic: <first line>", or "error: <message>". Empty on
 	// success.
 	Err string
-	// Host is the host wall-clock time the final attempt took.
+	// Host is the host wall-clock time the final attempt took; for
+	// "cached" events it is the recorded cost of the original run (zero
+	// if the manifest predates host-time recording).
 	Host time.Duration
 	// Done and Total count completed and submitted jobs at event time.
 	// Zero on "retry" events, which do not complete the job.
@@ -80,6 +83,11 @@ type PoolConfig struct {
 	// JobResult.Telem. Job keys are unaffected — telemetry never changes
 	// what a run computes.
 	Telemetry *telemetry.Options
+	// SweepKernel selects the page-sweep implementation for every
+	// executed job (zero value = the word-wise kernel). Both kernels are
+	// simulated-identical, so — like Telemetry — the choice leaves job
+	// keys untouched and manifest entries are kernel-agnostic.
+	SweepKernel kernel.SweepKernel
 }
 
 // Pool executes jobs on a bounded set of host goroutines, memoizing by job
@@ -117,20 +125,21 @@ func NewPool(cfg PoolConfig) *Pool {
 		sem:     make(chan struct{}, cfg.Workers),
 		entries: map[string]*entry{},
 	}
-	p.run = func(j Job) (*JobResult, error) { return runJob(j, cfg.Telemetry) }
+	p.run = func(j Job) (*JobResult, error) { return runJob(j, cfg.Telemetry, cfg.SweepKernel) }
 	return p
 }
 
 // runJob executes one job for real: instantiate the workload, cold-boot a
 // machine, run, flatten. With telem set, the run is profiled and the
 // snapshot must conserve cycles.
-func runJob(j Job, telem *telemetry.Options) (*JobResult, error) {
+func runJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel) (*JobResult, error) {
 	w, err := j.Workload.Instantiate()
 	if err != nil {
 		return nil, err
 	}
 	cfg := j.Cfg
 	cfg.Trace = nil
+	cfg.SweepKernel = sk
 	if telem != nil {
 		cfg.Telem = telemetry.New(*telem)
 	}
@@ -218,10 +227,12 @@ func (p *Pool) submit(j Job) *entry {
 	p.entries[key] = e
 	p.stats.Submitted++
 
-	// Manifest hits complete immediately, without occupying a worker.
+	// Manifest hits complete immediately, without occupying a worker. The
+	// recorded host time of the original run rides along, so slow cells
+	// stay visible in resumed documents and on /jobs.
 	if p.cfg.Manifest != nil {
-		if r, ok := p.cfg.Manifest.Lookup(key); ok {
-			e.res, e.cached = r, true
+		if r, host, ok := p.cfg.Manifest.Lookup(key); ok {
+			e.res, e.cached, e.host = r, true, host
 			p.stats.Cached++
 			p.finishLocked(e, "cached")
 			p.mu.Unlock()
@@ -295,7 +306,7 @@ func (p *Pool) execute(e *entry) {
 			// is slow): once Get observes completion, the job is durably
 			// on the manifest.
 			if p.cfg.Manifest != nil {
-				if rerr := p.cfg.Manifest.Record(e.key, res); rerr != nil {
+				if rerr := p.cfg.Manifest.Record(e.key, res, host); rerr != nil {
 					// The run succeeded; a manifest write failure only
 					// costs resumability. Surface it via progress, under
 					// p.mu like every other emission — callbacks must

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/harness"
+	"repro/internal/kernel"
 )
 
 func TestDocumentRoundTrip(t *testing.T) {
@@ -86,7 +87,7 @@ func TestJobResultHarnessRoundTrip(t *testing.T) {
 		Cond:     harness.StandardConditions()[1],
 		Cfg:      harness.PgbenchConfig(),
 	}
-	jr, err := runJob(j, nil)
+	jr, err := runJob(j, nil, kernel.SweepKernelWord)
 	if err != nil {
 		t.Fatal(err)
 	}

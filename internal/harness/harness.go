@@ -156,6 +156,12 @@ type Config struct {
 	// returns. Excluded from JSON so experiment job keys stay stable —
 	// enabling telemetry never changes what a run computes.
 	Telem *telemetry.Telemetry `json:"-"`
+	// SweepKernel selects the page-sweep implementation (zero value =
+	// word-wise). Both kernels produce identical simulated results —
+	// pinned by the kernel-equivalence tests — so, like Telem, the choice
+	// is excluded from JSON: job keys stay stable and a manifest entry
+	// computed under either kernel satisfies the other.
+	SweepKernel kernel.SweepKernel `json:"-"`
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -182,6 +188,7 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 	m := kernel.NewMachine(cfg.Machine)
 	m.Trace = cfg.Trace // before NewProcess: wires the MMU shootdown hook
 	m.Telem = cfg.Telem
+	m.Sweep = cfg.SweepKernel
 	cfg.Telem.Bind(m.Eng)
 	p := m.NewProcess(cfg.Seed)
 	h := alloc.NewHeap(p)

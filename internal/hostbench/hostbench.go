@@ -1,0 +1,439 @@
+// Package hostbench holds the host-performance benchmark bodies behind
+// `make hostbench`: microbenchmarks of the two sweep kernels' inner loops
+// (tmem.SweepTags vs SweepTagsWords, shadow.Test vs shadow.PaintedWord),
+// the per-granule tag accessors, and an end-to-end sweep-heavy campaign
+// timed under each -sweepkernel setting.
+//
+// The bodies are ordinary func(*testing.B) values listed in Benchmarks,
+// so the same code runs two ways: hostbench_test.go wraps each as a
+// standard Benchmark* for `go test -bench` (CI's hostbench-smoke), and
+// cmd/hostbench drives them through testing.Benchmark to emit the
+// committed BENCH_host.json without parsing test output.
+//
+// These benchmarks measure host wall time — where the simulator itself
+// spends real CPU — and are the complement of the simulated-cycle
+// telemetry: the word kernel's whole point is that simulated results are
+// bit-identical while host cost drops.
+package hostbench
+
+import (
+	"math/bits"
+	"testing"
+
+	"repro/internal/ca"
+	"repro/internal/harness"
+	"repro/internal/kernel"
+	"repro/internal/quarantine"
+	"repro/internal/revoke"
+	"repro/internal/shadow"
+	"repro/internal/tmem"
+	"repro/internal/workload"
+)
+
+// Benchmark names the ratio computations in cmd/hostbench key on.
+const (
+	NameSweepTags          = "SweepTags"
+	NameSweepTagsWords     = "SweepTagsWords"
+	NameShadowTest         = "ShadowTest"
+	NameShadowPainted      = "ShadowPaintedWord"
+	NameTmemLoadCap        = "TmemLoadCap"
+	NameTmemTagSet         = "TmemTagSet"
+	NameTmemClearTag       = "TmemClearTagStoreCap"
+	NameCampaignWord       = "CampaignWord"
+	NameCampaignGranule    = "CampaignGranule"
+	NameSimCampaignWord    = "SimCampaignWord"
+	NameSimCampaignGranule = "SimCampaignGranule"
+	NameCampaignOpsField   = "sweepstorm" // workload name inside the sim campaign
+)
+
+// Benchmarks is the full rig in display order.
+var Benchmarks = []struct {
+	Name string
+	F    func(*testing.B)
+}{
+	{NameSweepTags, SweepTags},
+	{NameSweepTagsWords, SweepTagsWords},
+	{NameShadowTest, ShadowTest},
+	{NameShadowPainted, ShadowPaintedWord},
+	{NameTmemLoadCap, TmemLoadCap},
+	{NameTmemTagSet, TmemTagSet},
+	{NameTmemClearTag, TmemClearTagStoreCap},
+	{NameCampaignWord, CampaignWord},
+	{NameCampaignGranule, CampaignGranule},
+	{NameSimCampaignWord, SimCampaignWord},
+	{NameSimCampaignGranule, SimCampaignGranule},
+}
+
+// heapBase places the microbenchmark "heap" away from zero, like real
+// allocations.
+const heapBase = 0x2000_0000
+
+// sink defeats dead-code elimination of the benchmark loops.
+var sink int
+
+// densePage builds the microbenchmark fixture: one frame with every
+// granule tagged — the dense-tag page the acceptance ratio is defined on
+// — whose capabilities point at a contiguous heap span, of which every
+// eighth granule is painted. Dense tags with a sparse intersection is the
+// sweep's steady state: most of the heap is live, a fraction is in
+// quarantine.
+func densePage() (*tmem.Phys, tmem.FrameID, *shadow.Bitmap) {
+	p := tmem.NewPhys(1)
+	f, err := p.AllocFrame()
+	if err != nil {
+		panic(err)
+	}
+	sh := shadow.New()
+	auth := ca.NewRoot(heapBase, tmem.PageSize, ca.PermsData|ca.PermPaint)
+	for g := 0; g < tmem.GranulesPerPage; g++ {
+		base := uint64(heapBase + g*ca.GranuleSize)
+		p.StoreCap(f, g, ca.NewRoot(base, ca.GranuleSize, ca.PermsData))
+		if g%8 == 0 {
+			if err := sh.Paint(auth, base, ca.GranuleSize); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return p, f, sh
+}
+
+// SweepTags is the per-granule kernel's inner loop: one callback per
+// tagged granule, one shadow chunk-map lookup per probe.
+func SweepTags(b *testing.B) {
+	p, f, sh := densePage()
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SweepTags(f, func(g int, c ca.Capability) bool {
+			if sh.Test(c.Base()) {
+				hits++
+			}
+			return false
+		})
+	}
+	sink = hits
+}
+
+// SweepTagsWords is the word-wise kernel's inner loop over the same page:
+// one callback per nonzero tag word, intersected against the matching
+// 64-granule shadow word, descending only to intersection bits.
+func SweepTagsWords(b *testing.B) {
+	p, f, sh := densePage()
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.SweepTagsWords(f, func(cur *tmem.SweepCursor, w int, mask uint64, caps *[tmem.GranulesPerPage]ca.Capability) {
+			wordBase := uint64(heapBase + w*64*ca.GranuleSize)
+			for m := mask & sh.PaintedWord(wordBase); m != 0; m &= m - 1 {
+				hits++
+			}
+		})
+	}
+	sink = hits
+}
+
+// ShadowTest probes one address per granule of a painted span through the
+// per-granule entry point.
+func ShadowTest(b *testing.B) {
+	_, _, sh := densePage()
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < tmem.GranulesPerPage; g++ {
+			if sh.Test(uint64(heapBase + g*ca.GranuleSize)) {
+				hits++
+			}
+		}
+	}
+	sink = hits
+}
+
+// ShadowPaintedWord covers the same span in 64-granule strides through
+// the word entry point and its chunk cache.
+func ShadowPaintedWord(b *testing.B) {
+	_, _, sh := densePage()
+	hits := 0
+	wordSpan := 64 * ca.GranuleSize
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for a := uint64(heapBase); a < heapBase+tmem.PageSize; a += uint64(wordSpan) {
+			for m := sh.PaintedWord(a); m != 0; m &= m - 1 {
+				hits++
+			}
+		}
+	}
+	sink = hits
+}
+
+// TmemLoadCap, TmemTagSet and TmemClearTagStoreCap time the per-granule
+// tag accessors whose index computation the shared loc helper hoists; the
+// recorded trajectories guard against regressions on revocation's most
+// frequent operations.
+func TmemLoadCap(b *testing.B) {
+	p, f, _ := densePage()
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < tmem.GranulesPerPage; g++ {
+			if p.LoadCap(f, g).Tag() {
+				hits++
+			}
+		}
+	}
+	sink = hits
+}
+
+func TmemTagSet(b *testing.B) {
+	p, f, _ := densePage()
+	hits := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < tmem.GranulesPerPage; g++ {
+			if p.TagSet(f, g) {
+				hits++
+			}
+		}
+	}
+	sink = hits
+}
+
+func TmemClearTagStoreCap(b *testing.B) {
+	p, f, _ := densePage()
+	c := ca.NewRoot(heapBase, ca.GranuleSize, ca.PermsData)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for g := 0; g < tmem.GranulesPerPage; g++ {
+			p.ClearTag(f, g)
+			p.StoreCap(f, g, c)
+		}
+	}
+}
+
+// The heap-scale campaign: a multi-megabyte tagged heap swept epoch after
+// epoch, with a rotating stripe of frames in quarantine. Unlike the
+// SimCampaign benchmarks below, this path runs the two kernels at their
+// own natural host recipes — the granule kernel probing shadow.Test per
+// tagged granule, the word kernel intersecting tag words against
+// PaintedWord — so it measures the kernels' end-to-end sweep throughput
+// over realistic heap geometry (many frames, many shadow chunks, sparse
+// quarantine) rather than the simulator's fixed per-granule cost model.
+const (
+	campFrames      = 2048 // 8 MiB heap
+	campTagStride   = 4    // every 4th granule holds a capability
+	campPaintStride = 8    // 1/8 of the frames quarantined per epoch
+)
+
+type campaignHeap struct {
+	p    *tmem.Phys
+	ids  []tmem.FrameID
+	sh   *shadow.Bitmap
+	auth ca.Capability
+}
+
+func (h *campaignHeap) frameVA(i int) uint64 {
+	return heapBase + uint64(i)*tmem.PageSize
+}
+
+// newCampaignHeap builds the resident heap: campFrames frames whose tagged
+// granules hold self-pointing capabilities, the pointer locality a real
+// allocator produces and the regime the shadow chunk cache targets.
+func newCampaignHeap() *campaignHeap {
+	h := &campaignHeap{
+		p:    tmem.NewPhys(campFrames),
+		sh:   shadow.New(),
+		auth: ca.NewRoot(heapBase, campFrames*tmem.PageSize, ca.PermsData|ca.PermPaint),
+	}
+	for i := 0; i < campFrames; i++ {
+		f, err := h.p.AllocFrame()
+		if err != nil {
+			panic(err)
+		}
+		h.ids = append(h.ids, f)
+		for g := 0; g < tmem.GranulesPerPage; g += campTagStride {
+			base := h.frameVA(i) + uint64(g*ca.GranuleSize)
+			h.p.StoreCap(f, g, ca.NewRoot(base, ca.GranuleSize, ca.PermsData))
+		}
+	}
+	return h
+}
+
+// paintEpoch quarantines epoch e's stripe of frames.
+func (h *campaignHeap) paintEpoch(e int) {
+	for i := e % campPaintStride; i < campFrames; i += campPaintStride {
+		if err := h.sh.Paint(h.auth, h.frameVA(i), tmem.PageSize); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// restoreEpoch releases the stripe and re-tags the revoked granules, so
+// every epoch sweeps an identical heap.
+func (h *campaignHeap) restoreEpoch(e int) {
+	for i := e % campPaintStride; i < campFrames; i += campPaintStride {
+		if err := h.sh.Unpaint(h.auth, h.frameVA(i), tmem.PageSize); err != nil {
+			panic(err)
+		}
+		for g := 0; g < tmem.GranulesPerPage; g += campTagStride {
+			base := h.frameVA(i) + uint64(g*ca.GranuleSize)
+			h.p.StoreCap(h.ids[i], g, ca.NewRoot(base, ca.GranuleSize, ca.PermsData))
+		}
+	}
+}
+
+// sweepGranule is one whole-heap revocation pass through the per-granule
+// kernel: callback dispatch and a shadow chunk-map lookup per tagged
+// granule.
+func (h *campaignHeap) sweepGranule() (visited, revoked int) {
+	for _, id := range h.ids {
+		v, r := h.p.SweepTags(id, func(g int, c ca.Capability) bool {
+			return h.sh.Test(c.Base())
+		})
+		visited += v
+		revoked += r
+	}
+	return visited, revoked
+}
+
+// sweepWord is the same pass through the word-wise kernel: tag words
+// intersected against shadow words, descending only to intersection bits.
+func (h *campaignHeap) sweepWord() (visited, revoked int) {
+	for i, id := range h.ids {
+		base := h.frameVA(i)
+		v, r := h.p.SweepTagsWords(id, func(cur *tmem.SweepCursor, w int, mask uint64, _ *[tmem.GranulesPerPage]ca.Capability) {
+			for m := mask & h.sh.PaintedWord(base+uint64(w*64*ca.GranuleSize)); m != 0; m &= m - 1 {
+				cur.Revoke(w*64 + bits.TrailingZeros64(m))
+			}
+		})
+		visited += v
+		revoked += r
+	}
+	return visited, revoked
+}
+
+// campaignEpochs times quarantine paint → whole-heap sweep → release and
+// refill, the full revocation epoch loop, under the chosen kernel.
+func campaignEpochs(b *testing.B, word bool) {
+	h := newCampaignHeap()
+	var visited, revoked int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := i % campPaintStride
+		h.paintEpoch(e)
+		if word {
+			visited, revoked = h.sweepWord()
+		} else {
+			visited, revoked = h.sweepGranule()
+		}
+		h.restoreEpoch(e)
+	}
+	if revoked == 0 {
+		b.Fatal("campaign revoked nothing — not a sweep benchmark")
+	}
+	b.ReportMetric(float64(visited), "caps-visited")
+	b.ReportMetric(float64(revoked), "caps-revoked")
+}
+
+// CampaignWord times the heap-scale campaign under the word-wise kernel.
+func CampaignWord(b *testing.B) { campaignEpochs(b, true) }
+
+// CampaignGranule times the identical campaign under the per-granule
+// kernel.
+func CampaignGranule(b *testing.B) { campaignEpochs(b, false) }
+
+// storm is the simulated campaign workload: a large resident pool of
+// pointer-dense objects (one self-capability per object, so every object
+// contributes a tagged granule) churned just hard enough to keep epochs
+// coming. Nearly all simulated work is the revoker's sweep over the
+// resident tags, which is the regime the word kernel exists for — and the
+// regime where a host-time difference between kernels is measurable
+// rather than drowned in application simulation.
+type storm struct {
+	objs  int
+	churn int
+	size  uint64
+}
+
+func (s storm) Name() string { return NameCampaignOpsField }
+
+func (s storm) Body(rig *workload.Rig, th *kernel.Thread) {
+	alloc := func() ca.Capability {
+		c, err := rig.Mem.Malloc(th, s.size)
+		if err != nil {
+			panic(err)
+		}
+		if err := th.StoreCap(c, 0, c); err != nil {
+			panic(err)
+		}
+		return c
+	}
+	caps := make([]ca.Capability, s.objs)
+	for i := range caps {
+		caps[i] = alloc()
+	}
+	k := 0
+	for i := 0; i < s.churn; i++ {
+		if err := rig.Mem.Free(th, caps[k]); err != nil {
+			panic(err)
+		}
+		caps[k] = alloc()
+		k = (k + 1) % len(caps)
+	}
+	for _, c := range caps {
+		if err := rig.Mem.Free(th, c); err != nil {
+			panic(err)
+		}
+	}
+	if shim, ok := rig.Mem.(*quarantine.Shim); ok {
+		shim.Flush(th)
+	}
+	rig.Join(th)
+}
+
+// simCampaignRun is the sweep-heavy harness setup both SimCampaign
+// benchmarks share: CHERIvoke (every epoch sweeps the whole heap, no
+// dirty-page filtering) with a small quarantine floor, so the resident
+// pool is re-swept constantly.
+//
+// Because the word kernel is required to be simulation-invisible, it must
+// replay the granule kernel's exact bus-access and tick sequence for every
+// visited granule; that shared accounting dominates host time, so the two
+// SimCampaign timings are expected to sit near 1×. They are kept as the
+// full-stack timer — a regression in either kernel's plumbing shows up
+// here — while the Campaign benchmarks above carry the kernels' actual
+// throughput difference.
+func simCampaignRun(b *testing.B, sk kernel.SweepKernel) {
+	cond := harness.Condition{
+		Name: "CHERIvoke", Shimmed: true, Strategy: revoke.CHERIvoke,
+		RevokerCores: []int{2},
+		// An explicit policy with a tiny floor and no blocking backoff:
+		// the default scaled policy triggers off live-heap fraction, which
+		// a large resident pool satisfies after only a couple of epochs.
+		Policy: quarantine.Policy{HeapFraction: 0.001, MinBytes: 8 << 10, BlockFactor: 1000},
+	}
+	cfg := harness.DefaultConfig()
+	cfg.SweepKernel = sk
+	w := storm{objs: 1 << 15, churn: 4096, size: 64}
+	visited := uint64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Run(w, cond, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		visited = 0
+		for _, e := range r.Epochs {
+			visited += e.CapsVisited
+		}
+		if visited == 0 {
+			b.Fatal("campaign swept nothing — not a sweep benchmark")
+		}
+	}
+	b.ReportMetric(float64(visited), "caps-visited")
+}
+
+// SimCampaignWord times the simulated campaign under the word-wise kernel.
+func SimCampaignWord(b *testing.B) { simCampaignRun(b, kernel.SweepKernelWord) }
+
+// SimCampaignGranule times the identical simulated campaign under the
+// per-granule differential oracle.
+func SimCampaignGranule(b *testing.B) { simCampaignRun(b, kernel.SweepKernelGranule) }

@@ -108,6 +108,12 @@ type Machine struct {
 	// recorder; set it (and Bind it to Eng) before creating processes.
 	Telem *telemetry.Telemetry
 
+	// Sweep selects the page-sweep implementation (see SweepKernel). The
+	// zero value is the word-wise kernel; both kernels produce identical
+	// simulated results, so the selection — like Trace and Telem — never
+	// changes what a run computes, only what it costs the host.
+	Sweep SweepKernel
+
 	procs []*Process
 }
 

@@ -1,0 +1,114 @@
+package kernel
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ca"
+	"repro/internal/shadow"
+	"repro/internal/tmem"
+	"repro/internal/vm"
+)
+
+// SweepKernel selects the implementation of the page-sweep primitive.
+//
+// Both kernels execute the same simulated recipe — the same sequence of
+// bus accesses and ticks, the same visit order, the same revocations — so
+// every simulated-cycle count and report byte is identical between them.
+// The word kernel is the default; the granule kernel is retained as a
+// differential oracle (see the kernel-equivalence tests) and as the
+// -sweepkernel=granule escape hatch on cmd/sweep.
+type SweepKernel int
+
+const (
+	// SweepKernelWord batches work by 64-granule tag word: tmem hands the
+	// sweep whole nonzero tag words (frame summaries skip empty words and
+	// frames in O(1)) and shadow probes go through PaintedWord's chunk
+	// cache instead of a map lookup per capability.
+	SweepKernelWord SweepKernel = iota
+	// SweepKernelGranule is the original per-granule callback path.
+	SweepKernelGranule
+)
+
+func (k SweepKernel) String() string {
+	switch k {
+	case SweepKernelWord:
+		return "word"
+	case SweepKernelGranule:
+		return "granule"
+	}
+	return fmt.Sprintf("sweepkernel(%d)", int(k))
+}
+
+// ParseSweepKernel parses a -sweepkernel flag value.
+func ParseSweepKernel(s string) (SweepKernel, error) {
+	switch s {
+	case "", "word":
+		return SweepKernelWord, nil
+	case "granule":
+		return SweepKernelGranule, nil
+	}
+	return 0, fmt.Errorf("kernel: unknown sweep kernel %q (want word or granule)", s)
+}
+
+// sweepPageWords is the word-wise sweep: it mirrors sweepPageGranule's
+// cost recipe exactly (the bus cache is stateful, so even the order of
+// accesses matters) while removing the per-granule host overheads — the
+// closure call per tagged granule and the chunk-map lookup per shadow
+// probe.
+func (t *Thread) sweepPageWords(vpn uint64, pte *vm.PTE) (visited, revoked int) {
+	core := t.Sim.CoreID()
+	b := t.P.M.Bus
+	sh := t.P.Shadow
+	opCost := t.P.M.Costs.Op
+	if pte.Bits&vm.PTECOW != 0 {
+		// Read-only pre-scan before breaking copy-on-write sharing; see
+		// sweepPageGranule for the footnote-20 rationale.
+		needsWrite := false
+		t.Sim.Tick(b.AccessRange(core, tagTableBase+vpn*tagBytesPerPage, tagBytesPerPage, t.Agent, false))
+		v, _ := t.P.M.Phys.SweepTagsWords(pte.Frame, func(_ *tmem.SweepCursor, w int, mask uint64, caps *[tmem.GranulesPerPage]ca.Capability) {
+			wordVA := vm.TagWordVA(vpn, w)
+			for m := mask; m != 0; {
+				bit := bits.TrailingZeros64(m)
+				m &^= 1 << uint(bit)
+				c := caps[w*64+bit]
+				t.Sim.Tick(b.Access(core, wordVA+uint64(bit)*ca.GranuleSize, t.Agent, false))
+				t.Sim.Tick(opCost + b.Access(core, shadow.VAOf(c.Base()), t.Agent, false))
+				if sh.PaintedWord(c.Base())&(1<<(c.Base()/ca.GranuleSize%64)) != 0 {
+					needsWrite = true
+				}
+			}
+		})
+		visited = v
+		pte.Bits &^= vm.PTECapDirty
+		if !needsWrite {
+			return visited, 0
+		}
+		visited = 0
+		if err := t.resolveCOW(vpn<<vm.PageShift, pte); err != nil {
+			panic(fmt.Sprintf("kernel: sweep COW upgrade: %v", err))
+		}
+	}
+	// Capability-dirty must drop before the first granule is read, exactly
+	// as in the granule kernel: a store landing mid-scan re-marks the page.
+	pte.Bits &^= vm.PTECapDirty
+	t.Sim.Tick(b.AccessRange(core, tagTableBase+vpn*tagBytesPerPage, tagBytesPerPage, t.Agent, false))
+	v, rev := t.P.M.Phys.SweepTagsWords(pte.Frame, func(cur *tmem.SweepCursor, w int, mask uint64, caps *[tmem.GranulesPerPage]ca.Capability) {
+		wordVA := vm.TagWordVA(vpn, w)
+		for m := mask; m != 0; {
+			bit := bits.TrailingZeros64(m)
+			m &^= 1 << uint(bit)
+			g := w*64 + bit
+			c := caps[g]
+			t.Sim.Tick(b.Access(core, wordVA+uint64(bit)*ca.GranuleSize, t.Agent, false))
+			t.Sim.Tick(opCost + b.Access(core, shadow.VAOf(c.Base()), t.Agent, false))
+			if sh.PaintedWord(c.Base())&(1<<(c.Base()/ca.GranuleSize%64)) != 0 {
+				// Clearing the tag dirties the line we already hold.
+				t.Sim.Tick(b.Access(core, wordVA+uint64(bit)*ca.GranuleSize, t.Agent, true))
+				cur.Revoke(g)
+			}
+		}
+	})
+	visited += v
+	return visited, rev
+}

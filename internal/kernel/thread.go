@@ -560,7 +560,21 @@ const tagBytesPerPage = 32
 // cleared. Reading the page and probing the bitmap are charged to this
 // thread at its agent attribution. Returns (capabilities inspected,
 // capabilities revoked). The page's capability-dirty bit is cleared.
+//
+// The scan dispatches on the machine's sweep-kernel selection: the default
+// word-wise kernel (sweep.go) and the per-granule kernel below produce
+// identical simulated behavior — same bus accesses, same tick boundaries,
+// same visit order and revocations — and differ only in host cost. The
+// granule kernel survives as the word kernel's differential oracle.
 func (t *Thread) SweepPage(vpn uint64, pte *vm.PTE) (visited, revoked int) {
+	if t.P.M.Sweep == SweepKernelGranule {
+		return t.sweepPageGranule(vpn, pte)
+	}
+	return t.sweepPageWords(vpn, pte)
+}
+
+// sweepPageGranule is the original one-callback-per-granule sweep.
+func (t *Thread) sweepPageGranule(vpn uint64, pte *vm.PTE) (visited, revoked int) {
 	core := t.Sim.CoreID()
 	b := t.P.M.Bus
 	if pte.Bits&vm.PTECOW != 0 {

@@ -1,0 +1,161 @@
+// Kernel-equivalence tests: the word-wise sweep kernel must be
+// simulation-invisible. Every run here executes twice — once per
+// -sweepkernel setting — and requires bit-identical results: virtual
+// clocks, DRAM traffic, per-epoch sweep counters, recovery actions, fault
+// and oracle reports, and the full structured trace, byte for byte. The
+// package is revoke_test (not revoke) because the campaigns run through
+// the harness, which imports revoke.
+package revoke_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/kernel"
+	"repro/internal/revoke"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/workload/chaos"
+	"repro/internal/workload/pgbench"
+)
+
+// runKernel executes one campaign under the named sweep kernel with
+// tracing armed.
+func runKernel(t *testing.T, w workload.Workload, cond harness.Condition,
+	cfg harness.Config, sk kernel.SweepKernel) *harness.Result {
+	t.Helper()
+	cfg.SweepKernel = sk
+	cfg.Trace = trace.New(1 << 18)
+	r, err := harness.Run(w, cond, cfg)
+	if err != nil {
+		t.Fatalf("%s under %s (%v kernel): %v", w.Name(), cond.Name, sk, err)
+	}
+	return r
+}
+
+// requireIdentical compares everything a run measures. wr is the word-
+// kernel result, gr the granule oracle's.
+func requireIdentical(t *testing.T, name string, wr, gr *harness.Result) {
+	t.Helper()
+	if wr.WallCycles != gr.WallCycles || wr.CPUCycles != gr.CPUCycles || wr.AppCPUCycles != gr.AppCPUCycles {
+		t.Errorf("%s: clocks diverged: wall %d vs %d, cpu %d vs %d, app %d vs %d",
+			name, wr.WallCycles, gr.WallCycles, wr.CPUCycles, gr.CPUCycles,
+			wr.AppCPUCycles, gr.AppCPUCycles)
+	}
+	if wr.DRAMTotal != gr.DRAMTotal || !reflect.DeepEqual(wr.DRAMByAgent, gr.DRAMByAgent) ||
+		!reflect.DeepEqual(wr.DRAMByCore, gr.DRAMByCore) {
+		t.Errorf("%s: DRAM traffic diverged: total %d vs %d, by agent %v vs %v",
+			name, wr.DRAMTotal, gr.DRAMTotal, wr.DRAMByAgent, gr.DRAMByAgent)
+	}
+	if wr.PeakRSSPages != gr.PeakRSSPages {
+		t.Errorf("%s: peak RSS %d vs %d pages", name, wr.PeakRSSPages, gr.PeakRSSPages)
+	}
+	if wr.Proc != gr.Proc {
+		t.Errorf("%s: process stats diverged:\n%+v\n%+v", name, wr.Proc, gr.Proc)
+	}
+	if wr.Heap != gr.Heap || wr.Quar != gr.Quar {
+		t.Errorf("%s: heap/quarantine stats diverged", name)
+	}
+	if len(wr.Epochs) != len(gr.Epochs) {
+		t.Fatalf("%s: epoch counts diverged: %d vs %d", name, len(wr.Epochs), len(gr.Epochs))
+	}
+	for i := range wr.Epochs {
+		if wr.Epochs[i] != gr.Epochs[i] {
+			t.Errorf("%s: epoch %d diverged (visited/revoked/phase timings):\n%+v\n%+v",
+				name, i, wr.Epochs[i], gr.Epochs[i])
+		}
+	}
+	if wr.Recovery != gr.Recovery {
+		t.Errorf("%s: recovery stats diverged: %+v vs %+v", name, wr.Recovery, gr.Recovery)
+	}
+	if !reflect.DeepEqual(wr.Fault, gr.Fault) {
+		t.Errorf("%s: fault reports diverged:\n%+v\n%+v", name, wr.Fault, gr.Fault)
+	}
+	if !reflect.DeepEqual(wr.Oracle, gr.Oracle) {
+		t.Errorf("%s: oracle reports diverged:\n%+v\n%+v", name, wr.Oracle, gr.Oracle)
+	}
+	var wb, gb bytes.Buffer
+	if err := wr.Trace.WriteCSV(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.Trace.WriteCSV(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb.Bytes(), gb.Bytes()) {
+		t.Errorf("%s: structured traces diverged (%d vs %d bytes of CSV)",
+			name, wb.Len(), gb.Len())
+	}
+}
+
+// TestWordKernelMatchesGranule is the headline differential: every
+// sweeping strategy — including parallel workers and the §7.6 always-trap
+// disposition — runs a seeded pgbench campaign under both kernels and
+// must agree on every measured quantity and every trace event.
+func TestWordKernelMatchesGranule(t *testing.T) {
+	conds := harness.SweepConditions()
+	conds = append(conds,
+		harness.Condition{Name: "Reloaded-w2", Shimmed: true, Strategy: revoke.Reloaded,
+			RevokerCores: []int{2}, Workers: 2},
+		harness.Condition{Name: "Reloaded-AT", Shimmed: true, Strategy: revoke.Reloaded,
+			RevokerCores: []int{2}, AlwaysTrap: true},
+	)
+	for _, cond := range conds {
+		cond := cond
+		t.Run(cond.Name, func(t *testing.T) {
+			cfg := harness.DefaultConfig()
+			cfg.Scale = 256
+			wr := runKernel(t, pgbench.New(400), cond, cfg, kernel.SweepKernelWord)
+			gr := runKernel(t, pgbench.New(400), cond, cfg, kernel.SweepKernelGranule)
+			if len(wr.Epochs) == 0 {
+				t.Fatal("campaign produced no revocation epochs — nothing swept")
+			}
+			var visited, revoked uint64
+			for _, e := range wr.Epochs {
+				visited += e.CapsVisited
+				revoked += e.CapsRevoked
+			}
+			if visited == 0 || revoked == 0 {
+				t.Fatalf("word kernel visited %d / revoked %d capabilities — campaign too idle to differentiate kernels",
+					visited, revoked)
+			}
+			requireIdentical(t, cond.Name, wr, gr)
+		})
+	}
+}
+
+// TestWordKernelMatchesGranuleUnderFaults pins the SweepFilter fallback
+// end to end: a tag-stale-read campaign arms Phys.SweepFilter, whose
+// decisions hash the simulated cycle each granule is reached at, so any
+// batching difference between the kernels would change which injections
+// fire. The oracle and fault reports — and everything else — must still
+// be identical. A second all-classes campaign stresses the recovery paths
+// (worker crashes mid-slice, epoch retries) on top.
+func TestWordKernelMatchesGranuleUnderFaults(t *testing.T) {
+	cond := harness.Condition{Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded, Workers: 3}
+	cases := []struct {
+		name string
+		spec *fault.Spec
+	}{
+		{"tag-stale-read", &fault.Spec{Seed: 7, Classes: []string{"tag-stale-read"}, MaxPerClass: 8}},
+		{"all-classes", &fault.Spec{Seed: 11, Rate: 0.5, DelayCycles: 50_000}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := harness.DefaultConfig()
+			cfg.Machine.Sim.SkewQuantum = 2_000
+			cfg.QuarantineMin = 8 << 10
+			cfg.Oracle = true
+			cfg.Fault = tc.spec
+			wr := runKernel(t, chaos.New(3000), cond, cfg, kernel.SweepKernelWord)
+			gr := runKernel(t, chaos.New(3000), cond, cfg, kernel.SweepKernelGranule)
+			if wr.Fault.Injections == 0 {
+				t.Fatalf("%s: no injections fired — campaign does not exercise the fallback", tc.name)
+			}
+			requireIdentical(t, tc.name, wr, gr)
+		})
+	}
+}

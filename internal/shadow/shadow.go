@@ -32,9 +32,22 @@ const chunkWords = chunkGranules / 64
 const Base = 0x4000_0000_0000
 
 // Bitmap is a process's revocation bitmap.
+//
+// A single-entry chunk cache accelerates the sweep's probe sequence: a
+// revocation sweep probes capability bases in allocation-address order, so
+// consecutive probes overwhelmingly land in the same 512 KiB chunk and the
+// chunk-map lookup amortizes away. The cache also remembers misses (a nil
+// chunk), since huge unpainted spans are the common case. Reads populate
+// the cache, so Bitmap methods — like the rest of the simulated machine —
+// are not safe for concurrent host access; the engine's
+// one-thread-at-a-time execution provides the exclusion.
 type Bitmap struct {
 	chunks  map[uint64]*[chunkWords]uint64
 	painted uint64 // currently-set bits
+
+	cacheKey   uint64
+	cacheChunk *[chunkWords]uint64 // nil = chunk absent (negative entry)
+	cacheOK    bool
 }
 
 // New creates an empty bitmap.
@@ -103,6 +116,9 @@ func (b *Bitmap) Unpaint(auth ca.Capability, addr, length uint64) error {
 }
 
 func (b *Bitmap) set(addr, length uint64, v bool) {
+	// Paints can materialize chunks, invalidating a negative cache entry;
+	// drop the cache rather than track which case applies.
+	b.cacheOK = false
 	for g := addr / ca.GranuleSize; g < (addr+length)/ca.GranuleSize; g++ {
 		chunk, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
 		c := b.chunks[chunk]
@@ -140,8 +156,10 @@ func (b *Bitmap) Clone() *Bitmap {
 	return c
 }
 
-// Test reports whether addr's granule is painted. Revocation probes this
-// for the base of every capability it inspects.
+// Test reports whether addr's granule is painted. Revocation's per-granule
+// sweep kernel probes this for the base of every capability it inspects;
+// each call pays a chunk-map lookup, which is exactly the host cost
+// PaintedWord amortizes for the word-wise kernel.
 func (b *Bitmap) Test(addr uint64) bool {
 	chunk, word, bit := coords(addr)
 	c := b.chunks[chunk]
@@ -149,6 +167,27 @@ func (b *Bitmap) Test(addr uint64) bool {
 		return false
 	}
 	return c[word]&(1<<bit) != 0
+}
+
+// PaintedWord returns the 64-granule painted mask containing addr: bit i
+// covers the granule at (addr &^ wordSpan-1) + i*GranuleSize, where
+// wordSpan = 64*GranuleSize = 1 KiB. The alignment matches tmem's tag
+// words — word w of a page's tag bitmap corresponds to PaintedWord of the
+// page address + w KiB — so a word-wise sweep can intersect tag and shadow
+// words directly. Lookups go through the single-entry chunk cache; a
+// 64-granule word never spans chunks (chunkGranules is a multiple of 64).
+func (b *Bitmap) PaintedWord(addr uint64) uint64 {
+	g := addr / ca.GranuleSize
+	chunk, word := g/chunkGranules, int(g%chunkGranules)/64
+	if !b.cacheOK || b.cacheKey != chunk {
+		b.cacheKey = chunk
+		b.cacheChunk = b.chunks[chunk]
+		b.cacheOK = true
+	}
+	if b.cacheChunk == nil {
+		return 0
+	}
+	return b.cacheChunk[word]
 }
 
 // PaintedGranules returns the number of currently painted granules.

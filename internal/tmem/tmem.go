@@ -36,12 +36,32 @@ const NoFrame FrameID = ^FrameID(0)
 // lazily: most frames never hold a capability. refs counts the address
 // spaces sharing the frame (copy-on-write fork); it is 1 for private
 // frames.
+//
+// summary is a one-bit-per-tag-word digest of tags: bit w is set iff
+// tags[w] != 0. Every tag mutation maintains it (via setTag/clearTag), so
+// HasTags and sweep scans skip empty words and empty frames in O(1).
 type frame struct {
-	tags   [tagWords]uint64
-	caps   *[GranulesPerPage]ca.Capability
-	colors *[GranulesPerPage]uint8
-	refs   int32
-	inUse  bool
+	tags    [tagWords]uint64
+	summary uint8
+	caps    *[GranulesPerPage]ca.Capability
+	colors  *[GranulesPerPage]uint8
+	refs    int32
+	inUse   bool
+}
+
+// setTag and clearTag are the only writers of the tag bitmap: they keep the
+// nonzero-word summary in lockstep with tags, which every fast path
+// (HasTags, TagCount, the word-wise sweep kernel) relies on.
+func (f *frame) setTag(w int, m uint64) {
+	f.tags[w] |= m
+	f.summary |= 1 << uint(w)
+}
+
+func (f *frame) clearTag(w int, m uint64) {
+	f.tags[w] &^= m
+	if f.tags[w] == 0 {
+		f.summary &^= 1 << uint(w)
+	}
 }
 
 // Phys is a bank of tagged physical memory frames. Frames are stored by
@@ -85,6 +105,7 @@ func (p *Phys) AllocFrame() (FrameID, error) {
 	}
 	f := p.frames[id]
 	f.tags = [tagWords]uint64{}
+	f.summary = 0
 	f.caps = nil
 	f.colors = nil
 	f.refs = 1
@@ -110,6 +131,7 @@ func (p *Phys) FreeFrame(id FrameID) {
 	}
 	f.inUse = false
 	f.tags = [tagWords]uint64{}
+	f.summary = 0
 	f.caps = nil
 	f.colors = nil
 	f.refs = 0
@@ -154,20 +176,28 @@ func checkGranule(g int) {
 	}
 }
 
+// loc is the shared coordinate computation of every per-granule tag
+// accessor: bounds check, frame lookup, and the granule's tag-word index
+// and bit mask. Kept small so it inlines into LoadCap/StoreCap/TagSet/
+// ClearTag and costs no more than the computation it replaced.
+func (p *Phys) loc(id FrameID, g int) (f *frame, w int, m uint64) {
+	checkGranule(g)
+	return p.frame(id), g >> 6, 1 << (uint(g) & 63)
+}
+
 // StoreCap stores a capability-width value to granule g of frame id. If c
 // is tagged the granule's tag is set; storing untagged data clears it, as
 // any overwrite does in hardware.
 func (p *Phys) StoreCap(id FrameID, g int, c ca.Capability) {
-	checkGranule(g)
-	f := p.frame(id)
+	f, w, m := p.loc(id, g)
 	if c.Tag() {
 		if f.caps == nil {
 			f.caps = new([GranulesPerPage]ca.Capability)
 		}
 		f.caps[g] = c
-		f.tags[g/64] |= 1 << (g % 64)
+		f.setTag(w, m)
 	} else {
-		f.tags[g/64] &^= 1 << (g % 64)
+		f.clearTag(w, m)
 	}
 }
 
@@ -181,16 +211,15 @@ func (p *Phys) StoreData(id FrameID, g, n int) {
 	checkGranule(g + n - 1)
 	f := p.frame(id)
 	for i := g; i < g+n; i++ {
-		f.tags[i/64] &^= 1 << (i % 64)
+		f.clearTag(i>>6, 1<<(uint(i)&63))
 	}
 }
 
 // LoadCap loads a capability-width value from granule g. Untagged granules
 // read as untagged (null-derived) data.
 func (p *Phys) LoadCap(id FrameID, g int) ca.Capability {
-	checkGranule(g)
-	f := p.frame(id)
-	if f.tags[g/64]&(1<<(g%64)) == 0 || f.caps == nil {
+	f, w, m := p.loc(id, g)
+	if f.tags[w]&m == 0 || f.caps == nil {
 		return ca.Null(0)
 	}
 	return f.caps[g]
@@ -198,36 +227,32 @@ func (p *Phys) LoadCap(id FrameID, g int) ca.Capability {
 
 // TagSet reports whether granule g holds a valid capability.
 func (p *Phys) TagSet(id FrameID, g int) bool {
-	checkGranule(g)
-	f := p.frame(id)
-	return f.tags[g/64]&(1<<(g%64)) != 0
+	f, w, m := p.loc(id, g)
+	return f.tags[w]&m != 0
 }
 
 // ClearTag invalidates the capability at granule g, leaving its bits as
 // untagged data. This is revocation's fundamental write.
 func (p *Phys) ClearTag(id FrameID, g int) {
-	checkGranule(g)
-	f := p.frame(id)
-	f.tags[g/64] &^= 1 << (g % 64)
+	f, w, m := p.loc(id, g)
+	f.clearTag(w, m)
 }
 
 // HasTags reports whether any granule of the frame holds a capability.
+// O(1): it reads the frame's nonzero-word summary.
 func (p *Phys) HasTags(id FrameID) bool {
-	f := p.frame(id)
-	for _, w := range f.tags {
-		if w != 0 {
-			return true
-		}
-	}
-	return false
+	return p.frame(id).summary != 0
 }
 
-// TagCount returns the number of tagged granules in the frame.
+// TagCount returns the number of tagged granules in the frame, popcounting
+// only the words the summary marks nonzero.
 func (p *Phys) TagCount(id FrameID) int {
 	f := p.frame(id)
 	n := 0
-	for _, w := range f.tags {
-		n += bits.OnesCount64(w)
+	for s := f.summary; s != 0; {
+		w := bits.TrailingZeros8(s)
+		s &^= 1 << uint(w)
+		n += bits.OnesCount64(f.tags[w])
 	}
 	return n
 }
@@ -239,10 +264,13 @@ func (p *Phys) TagCount(id FrameID) int {
 // revocation sweep.
 func (p *Phys) SweepTags(id FrameID, fn func(g int, c ca.Capability) bool) (visited, revoked int) {
 	f := p.frame(id)
-	if f.caps == nil {
+	if f.caps == nil || f.summary == 0 {
 		return 0, 0
 	}
 	for w := 0; w < tagWords; w++ {
+		if f.summary&(1<<uint(w)) == 0 {
+			continue
+		}
 		word := f.tags[w]
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
@@ -253,12 +281,73 @@ func (p *Phys) SweepTags(id FrameID, fn func(g int, c ca.Capability) bool) (visi
 			}
 			visited++
 			if fn(g, f.caps[g]) {
-				f.tags[w] &^= 1 << b
+				f.clearTag(w, 1<<uint(b))
 				revoked++
 			}
 		}
 	}
 	return visited, revoked
+}
+
+// SweepCursor is the revocation handle passed to a SweepTagsWords callback.
+// Revoke applies a tag clear immediately, granule by granule: mid-word
+// virtual-time yields let application threads observe tag state, so clears
+// deferred to the end of a word would open a divergence window against the
+// per-granule kernel.
+type SweepCursor struct {
+	f       *frame
+	revoked int
+}
+
+// Revoke clears granule g's tag — revocation's fundamental write — and
+// counts it against the sweep's revoked total.
+func (cur *SweepCursor) Revoke(g int) {
+	cur.f.clearTag(g>>6, 1<<(uint(g)&63))
+	cur.revoked++
+}
+
+// SweepWordFn processes one nonzero tag word of a word-wise sweep: w is
+// the word index within the frame, mask the tag bits snapshotted when the
+// word was reached, and caps the frame's capability array (granule index
+// w*64+bit). The callback must handle every set bit of mask, in ascending
+// bit order, revoking through cur.
+type SweepWordFn func(cur *SweepCursor, w int, mask uint64, caps *[GranulesPerPage]ca.Capability)
+
+// SweepTagsWords is the batch sweep kernel: instead of one callback per
+// tagged granule it hands fn whole nonzero tag words (guided by the frame
+// summary, so empty words and empty frames cost O(1)), letting the caller
+// intersect each word against the revocation bitmap's matching word
+// (shadow.PaintedWord) and descend only to set bits. Semantics are
+// identical to SweepTags — same ascending visit order, same
+// snapshot-at-word-arrival view, same immediate tag clears — only the
+// callback granularity differs.
+//
+// When a SweepFilter is armed the sweep falls back to the per-granule path
+// and invokes fn with single-bit masks: filter decisions may depend on the
+// simulated cycle at which each granule is reached, so pre-masking a whole
+// word would change what the filter observes.
+func (p *Phys) SweepTagsWords(id FrameID, fn SweepWordFn) (visited, revoked int) {
+	f := p.frame(id)
+	if f.caps == nil || f.summary == 0 {
+		return 0, 0
+	}
+	cur := SweepCursor{f: f}
+	if p.SweepFilter != nil {
+		v, _ := p.SweepTags(id, func(g int, _ ca.Capability) bool {
+			fn(&cur, g>>6, 1<<(uint(g)&63), f.caps)
+			return false // revocations land through cur.Revoke
+		})
+		return v, cur.revoked
+	}
+	for w := 0; w < tagWords; w++ {
+		if f.summary&(1<<uint(w)) == 0 {
+			continue
+		}
+		mask := f.tags[w]
+		visited += bits.OnesCount64(mask)
+		fn(&cur, w, mask, f.caps)
+	}
+	return visited, cur.revoked
 }
 
 // ForEachTag visits every tagged granule of the frame in ascending order,
@@ -267,10 +356,13 @@ func (p *Phys) SweepTags(id FrameID, fn func(g int, c ca.Capability) bool) (visi
 // truth.
 func (p *Phys) ForEachTag(id FrameID, fn func(g int, c ca.Capability)) {
 	f := p.frame(id)
-	if f.caps == nil {
+	if f.caps == nil || f.summary == 0 {
 		return
 	}
 	for w := 0; w < tagWords; w++ {
+		if f.summary&(1<<uint(w)) == 0 {
+			continue
+		}
 		word := f.tags[w]
 		for word != 0 {
 			b := bits.TrailingZeros64(word)
@@ -286,6 +378,7 @@ func (p *Phys) ForEachTag(id FrameID, fn func(g int, c ca.Capability)) {
 func (p *Phys) CopyFrame(dst, src FrameID) {
 	d, sf := p.frame(dst), p.frame(src)
 	d.tags = sf.tags
+	d.summary = sf.summary
 	if sf.caps != nil {
 		caps := *sf.caps
 		d.caps = &caps

@@ -555,3 +555,23 @@ func (as *AddressSpace) Clone() (*AddressSpace, error) {
 func GranuleOf(va uint64) (vpn uint64, g int) {
 	return va >> PageShift, int(va%PageSize) / ca.GranuleSize
 }
+
+// TagWordSpan is the address-space span covered by one 64-bit tag word: 64
+// capability granules, i.e. 1 KiB. Tag words and shadow-bitmap words tile
+// the address space at this alignment, which is what lets a word-wise
+// sweep intersect them directly.
+const TagWordSpan = 64 * ca.GranuleSize
+
+// TagWordVA returns the VA of the first granule covered by tag word w of
+// page vpn — the inverse of GranuleWordOf for a word's base.
+func TagWordVA(vpn uint64, w int) uint64 {
+	return vpn<<PageShift + uint64(w)*TagWordSpan
+}
+
+// GranuleWordOf converts a VA to its (vpn, tag word, bit) coordinates: the
+// page, the 64-bit tag word within the page's tag bitmap, and the
+// granule's bit within that word.
+func GranuleWordOf(va uint64) (vpn uint64, w int, bit uint) {
+	vpn, g := GranuleOf(va)
+	return vpn, g >> 6, uint(g) & 63
+}
