@@ -1,12 +1,16 @@
 GO ?= go
 
-# Packages with no host concurrency (pure data structures and encoders):
-# cheap enough to run under the race detector on every verify. The
-# simulator packages (sim, kernel, revoke, …) hand off between goroutines
-# one-at-a-time and are exercised by the plain `test` target.
+# Packages cheap enough to run under the race detector on every verify:
+# pure data structures and encoders, plus internal/sim — real goroutine +
+# channel code whose fast engine hands execution between thread
+# goroutines, so its handoff protocol is exactly what the race detector
+# should watch. The heavier simulator packages (kernel, revoke, …) run
+# one thread at a time on top of sim and are exercised by the plain
+# `test` target.
 RACE_PKGS = ./internal/bus ./internal/ca ./internal/fault ./internal/metrics \
-            ./internal/oracle ./internal/shadow ./internal/telemetry \
-            ./internal/tmem ./internal/trace ./internal/vm
+            ./internal/oracle ./internal/shadow ./internal/sim \
+            ./internal/telemetry ./internal/tmem ./internal/trace \
+            ./internal/vm
 
 .PHONY: all build vet test race verify chaos sweep-bench telemetry-smoke \
         hostbench hostbench-smoke
@@ -50,18 +54,21 @@ telemetry-smoke:
 # the simulator spends real CPU, complementing the simulated-cycle
 # documents. Runs every microbenchmark and campaign through cmd/hostbench
 # and enforces the word kernel's speedup floors (sweep_kernel >= 3x,
-# campaign >= 1.5x).
+# campaign >= 1.5x) and the fast sim engine's (sim_campaign >= 3x).
 hostbench: BENCH_host.json
 BENCH_host.json: FORCE
 	$(GO) run ./cmd/hostbench -check -out $@
 
 # hostbench-smoke: CI liveness for the rig — every benchmark body runs
-# once, and the kernel-equivalence differential suite pins that the word
-# and granule kernels still produce identical simulated results.
+# once, and the differential suites pin that the word and granule kernels
+# — and the fast and classic sim engines — still produce identical
+# simulated results.
 hostbench-smoke:
 	$(GO) test ./internal/hostbench -bench . -benchtime=1x -count=1
 	$(GO) test ./internal/revoke -run TestWordKernelMatchesGranule -count=1
+	$(GO) test ./internal/revoke -run TestFastEngineMatchesClassic -count=1
 	$(GO) test ./internal/expt -run TestDocumentIdenticalAcrossKernels -count=1
+	$(GO) test ./internal/expt -run TestDocumentIdenticalAcrossEngines -count=1
 
 # BENCH_sweep.json: one reduced-rep pass over every figure and table,
 # emitted as the machine-readable cornucopia-sweep/v1 document for

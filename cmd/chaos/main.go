@@ -21,7 +21,9 @@
 //
 // The campaign report (-out) contains only simulation-derived quantities —
 // no host timing — so the same invocation produces a byte-identical report
-// at any -workers count.
+// at any -workers count, under either -sweepkernel, and under either
+// -simengine (the fast and classic engines make bit-identical scheduling
+// decisions; see internal/sim).
 //
 // Usage:
 //
@@ -29,6 +31,7 @@
 //	      [-seeds N] [-seed BASE] [-rate R] [-max N] [-delay CYCLES] [-ops N]
 //	      [-workers N] [-timeout D] [-retries N] [-resume FILE]
 //	      [-http ADDR] [-http-linger D]
+//	      [-sweepkernel word|granule] [-simengine fast|classic]
 //	      [-out report.json] [-progress] [-strict] [-list-classes]
 package main
 

@@ -11,7 +11,8 @@
 //	sweep [-figures all|fig1,table2,...] [-workers N] [-timeout D] [-retries N]
 //	      [-resume FILE] [-out results.json] [-progress]
 //	      [-http ADDR] [-http-linger D]
-//	      [-sweepkernel word|granule] [-cpuprofile FILE] [-memprofile FILE]
+//	      [-sweepkernel word|granule] [-simengine fast|classic]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //	      [-prof-folded FILE] [-prof-pprof FILE] [-metrics-out FILE]
 //	      [-series-csv FILE] [-sample-every N]
 //	      [-reps N] [-scale N] [-txs N] [-measure-ms N] [-warmup-ms N] [-seed N]
@@ -20,7 +21,11 @@
 // word-wise kernel or the per-granule differential oracle. Both produce
 // identical simulated results (and therefore identical documents and
 // manifest entries); granule exists to cross-check the word kernel and to
-// measure its host-side speedup. -cpuprofile/-memprofile write host pprof
+// measure its host-side speedup. -simengine likewise selects the sim
+// execution engine: the default fast engine (inline scheduling, batched
+// observer delivery) or the classic channel-per-slice engine it is
+// bit-identical to — documents and manifest entries are engine-agnostic.
+// -cpuprofile/-memprofile write host pprof
 // profiles — real time and allocations, complementing the simulated-cycle
 // telemetry exports below.
 //

@@ -1,7 +1,8 @@
 // Package cliflags centralizes the experiment-runner flag plumbing that
 // cmd/sweep and cmd/chaos share: the pool sizing flags (-workers,
 // -timeout, -retries), manifest resume (-resume), per-job progress lines
-// (-progress), and the live introspection server (-http, -http-linger).
+// (-progress), the live introspection server (-http, -http-linger), and
+// the simulation implementation seams (-sweepkernel, -simengine).
 // Both commands register the same flags with the same defaults and get
 // the same progress formatting, so the tools stay drop-in consistent.
 package cliflags
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/expt"
 	"repro/internal/kernel"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
@@ -35,6 +37,9 @@ type Flags struct {
 	// SweepKernel names the page-sweep implementation ("word" or
 	// "granule"); resolve it with ParseSweepKernel.
 	SweepKernel string
+	// SimEngine names the sim execution engine ("fast" or "classic");
+	// resolve it with ParseSimEngine.
+	SimEngine string
 	// CPUProfile/MemProfile, when non-empty, write host-side pprof
 	// profiles — the complement of the simulated-cycle profiler
 	// (internal/telemetry), which attributes virtual time, not host time.
@@ -54,6 +59,7 @@ func Register() *Flags {
 	flag.StringVar(&f.HTTPAddr, "http", "", "serve live introspection (/metrics, /jobs, /events) on this address (\":0\" = ephemeral)")
 	flag.DurationVar(&f.HTTPLinger, "http-linger", 0, "keep the -http server up this long after the run completes")
 	flag.StringVar(&f.SweepKernel, "sweepkernel", "word", "page-sweep implementation: word (batch kernel) or granule (per-granule differential oracle)")
+	flag.StringVar(&f.SimEngine, "simengine", "fast", "sim execution engine: fast (inline scheduler) or classic (channel-per-slice differential oracle)")
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a host CPU profile (pprof) to this file")
 	flag.StringVar(&f.MemProfile, "memprofile", "", "write a host heap profile (pprof) to this file at exit")
 	return f
@@ -62,6 +68,11 @@ func Register() *Flags {
 // ParseSweepKernel resolves the -sweepkernel flag value.
 func (f *Flags) ParseSweepKernel() (kernel.SweepKernel, error) {
 	return kernel.ParseSweepKernel(f.SweepKernel)
+}
+
+// ParseSimEngine resolves the -simengine flag value.
+func (f *Flags) ParseSimEngine() (sim.EngineKind, error) {
+	return sim.ParseEngineKind(f.SimEngine)
 }
 
 // StartProfiles begins host CPU profiling if -cpuprofile was given. The
@@ -121,12 +132,17 @@ func (f *Flags) PoolConfig(tool string, manifest *expt.Manifest) (expt.PoolConfi
 	if err != nil {
 		return expt.PoolConfig{}, nil, err
 	}
+	ek, err := f.ParseSimEngine()
+	if err != nil {
+		return expt.PoolConfig{}, nil, err
+	}
 	cfg := expt.PoolConfig{
 		Workers:     f.Workers,
 		Timeout:     f.Timeout,
 		Retries:     f.Retries,
 		Manifest:    manifest,
 		SweepKernel: sk,
+		SimEngine:   ek,
 	}
 	var live *telemetry.Live
 	if f.HTTPAddr != "" {

@@ -1,0 +1,77 @@
+package expt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/sim"
+)
+
+// TestDocumentIdenticalAcrossEnginesAndWorkers is the orchestrator-level
+// acceptance check for the fast sim engine: the same grid, run through
+// pools at -workers 1 and 8 under each -simengine, must emit
+// byte-identical cornucopia-sweep/v1 documents. Host wall-time is the one
+// legitimately nondeterministic field, so it is zeroed before comparison;
+// everything else — job keys, headline cycles, aggregates, pool stats —
+// must match exactly.
+func TestDocumentIdenticalAcrossEnginesAndWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	var jobs []Job
+	for _, cond := range harness.SweepConditions()[:2] {
+		for _, seed := range []int64{1, 1000004} {
+			cfg := harness.DefaultConfig()
+			cfg.Scale = 256
+			cfg.Seed = seed
+			jobs = append(jobs, Job{Workload: PgbenchWorkload(200), Cond: cond, Cfg: cfg})
+		}
+	}
+
+	build := func(workers int, ek sim.EngineKind) []byte {
+		p := NewPool(PoolConfig{Workers: workers, SimEngine: ek})
+		p.Prefetch(jobs)
+		for _, j := range jobs {
+			if _, err := p.Get(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Workers/reps/scale are invocation metadata, passed identically so
+		// only computed content can differ between variants.
+		doc := BuildDocument(p, nil, 1, 1, 256)
+		for i := range doc.Jobs {
+			doc.Jobs[i].HostMillis = 0
+		}
+		var buf bytes.Buffer
+		if err := doc.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	ref := build(1, sim.EngineFast)
+	for _, v := range []struct {
+		name    string
+		workers int
+		ek      sim.EngineKind
+	}{
+		{"classic-w1", 1, sim.EngineClassic},
+		{"fast-w8", 8, sim.EngineFast},
+		{"classic-w8", 8, sim.EngineClassic},
+	} {
+		if got := build(v.workers, v.ek); !bytes.Equal(ref, got) {
+			t.Errorf("%s: document differs from fast-w1 reference (%d vs %d bytes)",
+				v.name, len(got), len(ref))
+		}
+	}
+
+	// The engine choice must also be invisible to job identity: a manifest
+	// entry computed under either engine has to satisfy the other.
+	k := jobs[0].Key()
+	j2 := jobs[0]
+	j2.Cfg.SimEngine = sim.EngineClassic
+	if j2.Key() != k {
+		t.Fatal("SimEngine leaked into the job content hash")
+	}
+}

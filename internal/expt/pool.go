@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/kernel"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/workload/qps"
 )
@@ -88,6 +89,11 @@ type PoolConfig struct {
 	// simulated-identical, so — like Telemetry — the choice leaves job
 	// keys untouched and manifest entries are kernel-agnostic.
 	SweepKernel kernel.SweepKernel
+	// SimEngine selects the sim execution engine for every executed job
+	// (zero value = the fast engine). Engines are simulated-identical —
+	// pinned by the engine-equivalence tests — so the choice leaves job
+	// keys untouched and manifest entries are engine-agnostic.
+	SimEngine sim.EngineKind
 }
 
 // Pool executes jobs on a bounded set of host goroutines, memoizing by job
@@ -125,14 +131,14 @@ func NewPool(cfg PoolConfig) *Pool {
 		sem:     make(chan struct{}, cfg.Workers),
 		entries: map[string]*entry{},
 	}
-	p.run = func(j Job) (*JobResult, error) { return runJob(j, cfg.Telemetry, cfg.SweepKernel) }
+	p.run = func(j Job) (*JobResult, error) { return runJob(j, cfg.Telemetry, cfg.SweepKernel, cfg.SimEngine) }
 	return p
 }
 
 // runJob executes one job for real: instantiate the workload, cold-boot a
 // machine, run, flatten. With telem set, the run is profiled and the
 // snapshot must conserve cycles.
-func runJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel) (*JobResult, error) {
+func runJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel, ek sim.EngineKind) (*JobResult, error) {
 	w, err := j.Workload.Instantiate()
 	if err != nil {
 		return nil, err
@@ -140,6 +146,7 @@ func runJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel) (*JobResult,
 	cfg := j.Cfg
 	cfg.Trace = nil
 	cfg.SweepKernel = sk
+	cfg.SimEngine = ek
 	if telem != nil {
 		cfg.Telem = telemetry.New(*telem)
 	}

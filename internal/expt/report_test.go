@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/kernel"
+	"repro/internal/sim"
 )
 
 func TestDocumentRoundTrip(t *testing.T) {
@@ -87,7 +88,7 @@ func TestJobResultHarnessRoundTrip(t *testing.T) {
 		Cond:     harness.StandardConditions()[1],
 		Cfg:      harness.PgbenchConfig(),
 	}
-	jr, err := runJob(j, nil, kernel.SweepKernelWord)
+	jr, err := runJob(j, nil, kernel.SweepKernelWord, sim.EngineFast)
 	if err != nil {
 		t.Fatal(err)
 	}

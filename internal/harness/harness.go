@@ -19,6 +19,7 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/quarantine"
 	"repro/internal/revoke"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -162,6 +163,11 @@ type Config struct {
 	// is excluded from JSON: job keys stay stable and a manifest entry
 	// computed under either kernel satisfies the other.
 	SweepKernel kernel.SweepKernel `json:"-"`
+	// SimEngine selects the sim execution engine (zero value = fast).
+	// Both engines make bit-identical scheduling decisions — pinned by
+	// the engine-equivalence tests — so, like SweepKernel, the choice is
+	// excluded from JSON and job keys stay stable.
+	SimEngine sim.EngineKind `json:"-"`
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -185,6 +191,7 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 	if cfg.Machine.MaxFrames == 0 {
 		cfg.Machine = kernel.DefaultMachineConfig()
 	}
+	cfg.Machine.Sim.Engine = cfg.SimEngine
 	m := kernel.NewMachine(cfg.Machine)
 	m.Trace = cfg.Trace // before NewProcess: wires the MMU shootdown hook
 	m.Telem = cfg.Telem

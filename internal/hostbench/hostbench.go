@@ -26,8 +26,10 @@ import (
 	"repro/internal/quarantine"
 	"repro/internal/revoke"
 	"repro/internal/shadow"
+	"repro/internal/sim"
 	"repro/internal/tmem"
 	"repro/internal/workload"
+	"repro/internal/workload/fleet"
 )
 
 // Benchmark names the ratio computations in cmd/hostbench key on.
@@ -43,6 +45,8 @@ const (
 	NameCampaignGranule    = "CampaignGranule"
 	NameSimCampaignWord    = "SimCampaignWord"
 	NameSimCampaignGranule = "SimCampaignGranule"
+	NameSimCampaignFast    = "SimCampaignFast"
+	NameSimCampaignClassic = "SimCampaignClassic"
 	NameCampaignOpsField   = "sweepstorm" // workload name inside the sim campaign
 )
 
@@ -62,6 +66,8 @@ var Benchmarks = []struct {
 	{NameCampaignGranule, CampaignGranule},
 	{NameSimCampaignWord, SimCampaignWord},
 	{NameSimCampaignGranule, SimCampaignGranule},
+	{NameSimCampaignFast, SimCampaignFast},
+	{NameSimCampaignClassic, SimCampaignClassic},
 }
 
 // heapBase places the microbenchmark "heap" away from zero, like real
@@ -437,3 +443,45 @@ func SimCampaignWord(b *testing.B) { simCampaignRun(b, kernel.SweepKernelWord) }
 // SimCampaignGranule times the identical simulated campaign under the
 // per-granule differential oracle.
 func SimCampaignGranule(b *testing.B) { simCampaignRun(b, kernel.SweepKernelGranule) }
+
+// simFleetRun is the scheduler-heavy campaign both sim-engine benchmarks
+// share: a Reloaded revocation campaign over an open-loop connection
+// fleet (internal/workload/fleet) in which almost every thread is asleep
+// at any instant. Per-request compute is tiny, so host time concentrates
+// in the simulator's dispatch machinery — the classic engine's two
+// channel crossings per slice and O(threads) sleeper scan per dispatch
+// against the fast engine's inline scheduling and sleeper heap. This is
+// the pair `make hostbench` enforces the sim_campaign ≥3× floor on; both
+// engines compute bit-identical campaigns (TestSimFleetEnginesAgree).
+func simFleetRun(b *testing.B, ek sim.EngineKind) {
+	cond := harness.Condition{
+		Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded,
+		RevokerCores: []int{2},
+		// A small quarantine floor keeps epochs coming even though the
+		// fleet's live session state is deliberately tiny.
+		Policy: quarantine.Policy{HeapFraction: 0.001, MinBytes: 1 << 20, BlockFactor: 1000},
+	}
+	cfg := harness.DefaultConfig()
+	cfg.SimEngine = ek
+	cfg.AppCores = []int{0, 1, 3}
+	w := fleet.New(8192, 48)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Run(w, cond, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Epochs) == 0 || w.Messages == 0 {
+			b.Fatalf("campaign degenerate: %d epochs, %d messages", len(r.Epochs), w.Messages)
+		}
+	}
+	b.ReportMetric(float64(w.Messages), "messages")
+}
+
+// SimCampaignFast times the connection-fleet campaign under the fast
+// (inline-scheduling) engine.
+func SimCampaignFast(b *testing.B) { simFleetRun(b, sim.EngineFast) }
+
+// SimCampaignClassic times the identical campaign under the classic
+// channel-per-slice engine, the differential oracle.
+func SimCampaignClassic(b *testing.B) { simFleetRun(b, sim.EngineClassic) }

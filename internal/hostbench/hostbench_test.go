@@ -5,8 +5,11 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/kernel"
+	"repro/internal/quarantine"
 	"repro/internal/revoke"
+	"repro/internal/sim"
 	"repro/internal/tmem"
+	"repro/internal/workload/fleet"
 )
 
 // Standard Benchmark* wrappers over the shared bodies, so the whole rig
@@ -25,6 +28,8 @@ func BenchmarkCampaignWord(b *testing.B)         { CampaignWord(b) }
 func BenchmarkCampaignGranule(b *testing.B)      { CampaignGranule(b) }
 func BenchmarkSimCampaignWord(b *testing.B)      { SimCampaignWord(b) }
 func BenchmarkSimCampaignGranule(b *testing.B)   { SimCampaignGranule(b) }
+func BenchmarkSimCampaignFast(b *testing.B)      { SimCampaignFast(b) }
+func BenchmarkSimCampaignClassic(b *testing.B)   { SimCampaignClassic(b) }
 
 // TestCampaignKernelsAgree sweeps the heap-scale campaign fixture once
 // under each kernel and requires identical visited/revoked counts and an
@@ -91,5 +96,44 @@ func TestSimCampaignKernelsAgree(t *testing.T) {
 	}
 	if wv == 0 {
 		t.Fatal("campaign visited no capabilities")
+	}
+}
+
+// TestSimFleetEnginesAgree reruns a scaled-down connection-fleet campaign
+// under both sim engines and requires identical simulated results, so the
+// SimCampaignFast/Classic benchmarks can never drift into timing unequal
+// work. (The exhaustive engine-equivalence suites live in internal/sim,
+// internal/revoke and internal/expt; this pins the benchmark fixture.)
+func TestSimFleetEnginesAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	run := func(ek sim.EngineKind) (wall, visited, msgs uint64, epochs int) {
+		cond := harness.Condition{
+			Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded,
+			RevokerCores: []int{2},
+			Policy:       quarantine.Policy{HeapFraction: 0.001, MinBytes: 8 << 10, BlockFactor: 1000},
+		}
+		cfg := harness.DefaultConfig()
+		cfg.SimEngine = ek
+		cfg.AppCores = []int{0, 1, 3}
+		w := fleet.New(64, 32)
+		r, err := harness.Run(w, cond, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range r.Epochs {
+			visited += e.CapsVisited
+		}
+		return r.WallCycles, visited, w.Messages, len(r.Epochs)
+	}
+	fw, fv, fm, fe := run(sim.EngineFast)
+	cw, cv, cm, ce := run(sim.EngineClassic)
+	if fw != cw || fv != cv || fm != cm || fe != ce {
+		t.Fatalf("campaign diverged between engines: wall %d vs %d, visited %d vs %d, messages %d vs %d, epochs %d vs %d",
+			fw, cw, fv, cv, fm, cm, fe, ce)
+	}
+	if fe == 0 || fm == 0 {
+		t.Fatalf("campaign degenerate: %d epochs, %d messages", fe, fm)
 	}
 }

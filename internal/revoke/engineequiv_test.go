@@ -1,0 +1,97 @@
+// Engine-equivalence tests: the fast sim engine must make bit-identical
+// scheduling decisions to the classic channel-per-slice engine. Every
+// campaign here executes twice — once per -simengine setting — and
+// requires identical results: virtual clocks, DRAM traffic, per-epoch
+// sweep counters, recovery actions, fault and oracle reports, and the
+// full structured trace, byte for byte. The comparisons reuse
+// requireIdentical from the kernel-equivalence suite: the invariant is
+// the same, only the seam under test differs.
+package revoke_test
+
+import (
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/harness"
+	"repro/internal/revoke"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+	"repro/internal/workload/chaos"
+	"repro/internal/workload/pgbench"
+)
+
+// runEngine executes one campaign under the named sim engine with
+// tracing armed.
+func runEngine(t *testing.T, w workload.Workload, cond harness.Condition,
+	cfg harness.Config, ek sim.EngineKind) *harness.Result {
+	t.Helper()
+	cfg.SimEngine = ek
+	cfg.Trace = trace.New(1 << 18)
+	r, err := harness.Run(w, cond, cfg)
+	if err != nil {
+		t.Fatalf("%s under %s (%v engine): %v", w.Name(), cond.Name, ek, err)
+	}
+	return r
+}
+
+// TestFastEngineMatchesClassic is the headline differential: every
+// sweeping strategy — including parallel workers and the §7.6 always-trap
+// disposition — runs a seeded pgbench campaign under both engines and
+// must agree on every measured quantity and every trace event.
+func TestFastEngineMatchesClassic(t *testing.T) {
+	conds := harness.SweepConditions()
+	conds = append(conds,
+		harness.Condition{Name: "Reloaded-w2", Shimmed: true, Strategy: revoke.Reloaded,
+			RevokerCores: []int{2}, Workers: 2},
+		harness.Condition{Name: "Reloaded-AT", Shimmed: true, Strategy: revoke.Reloaded,
+			RevokerCores: []int{2}, AlwaysTrap: true},
+	)
+	for _, cond := range conds {
+		cond := cond
+		t.Run(cond.Name, func(t *testing.T) {
+			cfg := harness.DefaultConfig()
+			cfg.Scale = 256
+			fr := runEngine(t, pgbench.New(400), cond, cfg, sim.EngineFast)
+			cr := runEngine(t, pgbench.New(400), cond, cfg, sim.EngineClassic)
+			if len(fr.Epochs) == 0 {
+				t.Fatal("campaign produced no revocation epochs — nothing swept")
+			}
+			requireIdentical(t, cond.Name, fr, cr)
+		})
+	}
+}
+
+// TestFastEngineMatchesClassicUnderFaults stresses the scheduling-
+// sensitive paths: fault injections hash the simulated cycle at which
+// work happens, recovery aborts epochs mid-slice, and the oracle audits
+// the final machine — any divergence in dispatch order between the
+// engines would change which injections fire and how recovery unwinds.
+// A tight SkewQuantum maximizes slice expiries, the exact point the fast
+// engine's inline continuation replaces the classic channel round-trip.
+func TestFastEngineMatchesClassicUnderFaults(t *testing.T) {
+	cond := harness.Condition{Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded, Workers: 3}
+	cases := []struct {
+		name string
+		spec *fault.Spec
+	}{
+		{"tag-stale-read", &fault.Spec{Seed: 7, Classes: []string{"tag-stale-read"}, MaxPerClass: 8}},
+		{"all-classes", &fault.Spec{Seed: 11, Rate: 0.5, DelayCycles: 50_000}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := harness.DefaultConfig()
+			cfg.Machine.Sim.SkewQuantum = 2_000
+			cfg.QuarantineMin = 8 << 10
+			cfg.Oracle = true
+			cfg.Fault = tc.spec
+			fr := runEngine(t, chaos.New(3000), cond, cfg, sim.EngineFast)
+			cr := runEngine(t, chaos.New(3000), cond, cfg, sim.EngineClassic)
+			if fr.Fault.Injections == 0 {
+				t.Fatalf("%s: no injections fired — campaign does not stress recovery", tc.name)
+			}
+			requireIdentical(t, tc.name, fr, cr)
+		})
+	}
+}

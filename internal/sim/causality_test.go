@@ -74,3 +74,58 @@ func TestMonotoneAcrossMigration(t *testing.T) {
 		t.Fatal("observed time decreased across migration")
 	}
 }
+
+// TestRunQueueFIFOHeadOfLine pins nextEntity's intended FIFO semantics:
+// run queues honor arrival order, so a woken thread whose readyAt lies in
+// the core's future delays a thread queued behind it even when that
+// thread is ready sooner. The scenario: a waker running far ahead on
+// core 1 broadcasts, committing w to core 0's queue with readyAt
+// ~795_000 while core 0's clock is still 0; the waker's next slice
+// expiry then wakes sleeper z (ready at 781_000), which lands BEHIND w.
+// FIFO means z does not jump the queue: core 0 idles until w's readyAt
+// and z resumes only after w ran, not at its own wake time. Reordering
+// by readyAt would change the model and perturb every committed baseline
+// document, so both engines must exhibit exactly this behavior.
+func TestRunQueueFIFOHeadOfLine(t *testing.T) {
+	for _, kind := range []EngineKind{EngineFast, EngineClassic} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Cores = 2
+			cfg.Engine = kind
+			e := New(cfg)
+			ev := e.NewEvent()
+			var wResume, zResume uint64
+			e.Spawn("w", []int{0}, func(th *Thread) {
+				ev.Wait(th)
+				wResume = th.Now()
+				th.Tick(2_000)
+			})
+			e.Spawn("z", []int{0}, func(th *Thread) {
+				th.Tick(1_000)
+				th.Sleep(780_000) // wakes at 781_000, before w's readyAt
+				zResume = th.Now()
+			})
+			e.Spawn("waker", []int{1}, func(th *Thread) {
+				for th.Now() < 755_000 {
+					th.Tick(5_000)
+				}
+				th.Yield() // fresh engine slice: next expiry is ≥ 805_000
+				th.Tick(40_000)
+				ev.Broadcast(th) // w -> core 0 queue head, readyAt ~795_000
+				th.Tick(60_000)  // slice expiry: z (ready 781_000) woken behind w
+			})
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if wResume < 790_000 {
+				t.Fatalf("w resumed at %d, want >= 790000 (broadcast time)", wResume)
+			}
+			if zResume < wResume {
+				t.Fatalf("z (resumed %d) ran before queue head w (resumed %d): FIFO violated", zResume, wResume)
+			}
+			if zResume < 781_000+10_000 {
+				t.Fatalf("z resumed at %d, want head-of-line delay well past its 781000 wake", zResume)
+			}
+		})
+	}
+}

@@ -33,6 +33,58 @@ type Config struct {
 	OSQuantum uint64
 	// HzGHz is the clock rate used only for reporting (cycles → seconds).
 	HzGHz float64
+	// CtxSwitchCycles is the cost charged to a thread when the OS preempts
+	// it at the end of its OS slice (the rotate-and-migrate path). The
+	// default 0 charges nothing, preserving byte-identity of all documents
+	// committed before the knob existed; omitempty keeps experiment job
+	// keys for those configurations unchanged.
+	CtxSwitchCycles uint64 `json:",omitempty"`
+	// Engine selects the scheduler implementation (see EngineKind). Both
+	// engines produce bit-identical simulated results — pinned by the
+	// engine-equivalence suites — so the choice is excluded from JSON and
+	// experiment job keys, like harness.Config.SweepKernel.
+	Engine EngineKind `json:"-"`
+}
+
+// EngineKind selects the scheduling engine implementation. The simulated
+// results are bit-identical under either; only host cost differs.
+type EngineKind int
+
+// Engine kinds.
+const (
+	// EngineFast (the default) schedules inline on the running thread's
+	// goroutine: it skips the channel round-trips through the Run loop,
+	// continues the running thread without any handoff when it is still
+	// the globally-minimal entity, keeps sleepers in a min-heap instead
+	// of scanning every thread, and batches ClockObserver delivery
+	// between scheduling points (see fast.go).
+	EngineFast EngineKind = iota
+	// EngineClassic is the original two-round-trip channel scheduler,
+	// kept as the differential oracle the fast engine is verified
+	// against.
+	EngineClassic
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case EngineFast:
+		return "fast"
+	case EngineClassic:
+		return "classic"
+	}
+	return fmt.Sprintf("enginekind(%d)", int(k))
+}
+
+// ParseEngineKind resolves a -simengine flag value. The empty string
+// selects the default (fast) engine.
+func ParseEngineKind(s string) (EngineKind, error) {
+	switch s {
+	case "", "fast":
+		return EngineFast, nil
+	case "classic":
+		return EngineClassic, nil
+	}
+	return EngineFast, fmt.Errorf("sim: unknown engine %q (want fast or classic)", s)
 }
 
 // DefaultConfig models a four-core, 2.5 GHz Morello-like machine with a
@@ -114,6 +166,15 @@ type Thread struct {
 // cycles delivered to an observer sum exactly to that core's clock — the
 // invariant the telemetry profiler's conservation check rests on.
 //
+// Under the classic engine every Tick delivers its own Busy call. The
+// fast engine coalesces consecutive charges by the same thread into one
+// Busy call, flushed at every scheduling point, before every Idle, and
+// whenever Engine.FlushClock is called (telemetry flushes around
+// attribution changes): totals, per-(core,thread) attribution and the
+// conservation invariant are unaffected; only the call granularity — and
+// therefore the instant at which a time-series sample boundary is
+// noticed within a slice — differs.
+//
 // Callbacks run synchronously on the simulated thread's goroutine while it
 // holds the engine (exactly one runs at a time), so observers need no
 // locking and see a deterministic call order. They must not call back into
@@ -133,6 +194,15 @@ type Engine struct {
 	current *Thread
 	running bool
 	obs     ClockObserver
+
+	// fast-engine state (see fast.go). sleepers is the min-heap of
+	// Sleeping threads ordered by (wakeAt, id); pend* batch consecutive
+	// same-thread Busy deliveries between scheduling points.
+	fast       bool
+	sleepers   []*Thread
+	pendCore   int
+	pendThread int
+	pendBusy   uint64
 }
 
 // SetClockObserver installs the observer delivered every clock advance.
@@ -147,7 +217,10 @@ func New(cfg Config) *Engine {
 	if cfg.SkewQuantum == 0 || cfg.OSQuantum == 0 {
 		panic("sim: quanta must be positive")
 	}
-	e := &Engine{cfg: cfg, schedCh: make(chan *Thread)}
+	if cfg.Engine != EngineFast && cfg.Engine != EngineClassic {
+		panic(fmt.Sprintf("sim: unknown engine kind %d", cfg.Engine))
+	}
+	e := &Engine{cfg: cfg, schedCh: make(chan *Thread), fast: cfg.Engine == EngineFast}
 	e.cores = make([]core, cfg.Cores)
 	for i := range e.cores {
 		e.cores[i].id = i
@@ -186,12 +259,16 @@ func (e *Engine) Spawn(name string, affinity []int, fn func(*Thread)) *Thread {
 		th.readyAt = e.current.core.clock
 	}
 	e.threads = append(e.threads, th)
-	e.enqueue(th, false)
+	e.enqueue(th)
 	return th
 }
 
-// enqueue places a Ready thread on the min-clock core in its affinity set.
-func (e *Engine) enqueue(th *Thread, front bool) {
+// enqueue places a Ready thread at the tail of the min-clock core in its
+// affinity set. This is the single insertion path for threads entering a
+// run queue from outside (spawn, wake, OS-preemption rotate); a thread
+// that keeps its core across an engine slice re-enters at the head via
+// core.pushFront instead. Both engines share these two paths.
+func (e *Engine) enqueue(th *Thread) {
 	best := &e.cores[th.affinity[0]]
 	for _, ci := range th.affinity[1:] {
 		if e.cores[ci].clock < best.clock {
@@ -199,15 +276,33 @@ func (e *Engine) enqueue(th *Thread, front bool) {
 		}
 	}
 	th.core = best
-	if front {
-		best.runq = append([]*Thread{th}, best.runq...)
-	} else {
-		best.runq = append(best.runq, th)
-	}
+	best.runq = append(best.runq, th)
+}
+
+// pushFront reinserts th at the head of c's queue: its engine slice
+// expired but its OS slice continues, so it keeps the core and runs again
+// once it is the globally-minimal entity. The in-place shift reuses the
+// queue's backing array instead of allocating per slice expiry.
+func (c *core) pushFront(th *Thread) {
+	c.runq = append(c.runq, nil)
+	copy(c.runq[1:], c.runq[:len(c.runq)-1])
+	c.runq[0] = th
+	th.core = c
 }
 
 // nextEntity returns the runnable or sleeping thread with the smallest
 // effective virtual time, or nil if none exists.
+//
+// Only each core's queue HEAD is considered: run queues are strictly FIFO,
+// modeling an OS run queue with no priority reordering. A woken thread
+// whose readyAt lies in the core's future therefore delays threads queued
+// behind it even if they are ready sooner — its wake was already committed
+// to this core, and the core honors arrival order. This head-of-line
+// behavior is intended semantics (pinned by TestRunQueueFIFOHeadOfLine):
+// reordering by readyAt would both change the model and perturb every
+// committed baseline document. Ties on effective time go to the smaller
+// thread id, so selection is deterministic regardless of scan order. The
+// fast engine's pickNext (fast.go) must make the identical choice.
 func (e *Engine) nextEntity() *Thread {
 	var best *Thread
 	var bestT uint64
@@ -243,6 +338,9 @@ func (e *Engine) Run() error {
 	}
 	e.running = true
 	defer func() { e.running = false }()
+	if e.fast {
+		return e.runFast()
+	}
 	for {
 		th := e.nextEntity()
 		if th == nil {
@@ -254,7 +352,7 @@ func (e *Engine) Run() error {
 		if th.state == Sleeping {
 			th.state = Ready
 			th.readyAt = th.wakeAt
-			e.enqueue(th, false)
+			e.enqueue(th)
 			continue
 		}
 		e.dispatch(th)
@@ -281,10 +379,12 @@ func (e *Engine) deadlockError() error {
 	return fmt.Errorf("sim: deadlock: no runnable threads; waiting: %s", strings.Join(stuck, ", "))
 }
 
-// dispatch runs th until it yields (slice expiry, block, sleep or finish).
-func (e *Engine) dispatch(th *Thread) {
+// place pops th from the head of its core's queue and makes it the running
+// thread: the core's clock jumps over any idle gap to the thread's ready
+// time, and its engine/OS slices are refreshed. Both engines perform this
+// exact mutation sequence for every dispatch decision.
+func (e *Engine) place(th *Thread) {
 	c := th.core
-	// Pop from the head of its core's queue.
 	if len(c.runq) == 0 || c.runq[0] != th {
 		panic("sim: dispatch of thread not at queue head")
 	}
@@ -293,6 +393,7 @@ func (e *Engine) dispatch(th *Thread) {
 		gap := th.readyAt - c.clock
 		c.clock = th.readyAt // the core was idle until the thread woke
 		if e.obs != nil {
+			e.flushObs() // batched busy cycles precede the gap
 			e.obs.Idle(c.id, gap)
 		}
 	}
@@ -302,27 +403,47 @@ func (e *Engine) dispatch(th *Thread) {
 		th.osSliceEnd = c.clock + e.cfg.OSQuantum
 	}
 	e.current = th
-	if !th.started {
-		th.started = true
-		go func() {
-			<-th.resume
-			normal := false
-			defer func() {
-				if !normal {
-					// The thread function is exiting abnormally — a panic
-					// unwinding through us, or runtime.Goexit (testing's
-					// FailNow). Mark the thread finished and hand control
-					// back so the engine does not hang; a panic still
-					// propagates after the send.
-					th.state = Finished
-					th.eng.schedCh <- th
-				}
-			}()
-			th.fn(th)
-			normal = true
-			th.state = Finished
-			th.eng.schedCh <- th
+}
+
+// start launches th's goroutine, parked until its first resume. On return
+// (or abnormal exit: a panic unwinding through the frame, or
+// runtime.Goexit from testing's FailNow) the thread is marked finished and
+// control handed to the scheduler so the engine does not hang; a panic
+// still propagates after the handoff.
+func (e *Engine) start(th *Thread) {
+	th.started = true
+	go func() {
+		<-th.resume
+		normal := false
+		defer func() {
+			if !normal {
+				th.state = Finished
+				e.finish(th)
+			}
 		}()
+		th.fn(th)
+		normal = true
+		th.state = Finished
+		e.finish(th)
+	}()
+}
+
+// finish hands control onward after th's function returned: the classic
+// engine wakes the Run loop; the fast engine schedules the next entity
+// directly from the dying goroutine.
+func (e *Engine) finish(th *Thread) {
+	if e.fast {
+		e.finishFast(th)
+		return
+	}
+	e.schedCh <- th
+}
+
+// dispatch runs th until it yields (slice expiry, block, sleep or finish).
+func (e *Engine) dispatch(th *Thread) {
+	e.place(th)
+	if !th.started {
+		e.start(th)
 	}
 	th.resume <- struct{}{}
 	<-e.schedCh
@@ -331,6 +452,10 @@ func (e *Engine) dispatch(th *Thread) {
 
 // yield transfers control back to the scheduler and waits to be resumed.
 func (th *Thread) yield() {
+	if th.eng.fast {
+		th.yieldFast()
+		return
+	}
 	if c := th.core.clock; c > th.lastClock {
 		th.lastClock = c
 	}
@@ -343,21 +468,32 @@ func (th *Thread) yield() {
 // be rotated out; if it exhausts its OS slice and other threads are waiting
 // for the core, it is preempted to the back of the run queue.
 func (th *Thread) Tick(cycles uint64) {
+	th.charge(cycles)
+	if th.pollPending && th.poll != nil {
+		th.pollPending = false
+		th.poll(th)
+	}
+	if th.core.clock >= th.sliceEnd {
+		th.reschedule()
+	}
+}
+
+// charge is the one accounting path: cycles of work advance the core
+// clock, the core's busy counter, the thread's CPU counter, and reach the
+// observer (batched under the fast engine, immediate under classic).
+func (th *Thread) charge(cycles uint64) {
 	c := th.core
 	c.clock += cycles
 	c.busy += cycles
 	th.cpu += cycles
 	if cycles > 0 {
 		if o := th.eng.obs; o != nil {
-			o.Busy(c.id, th.id, cycles)
+			if th.eng.fast {
+				th.eng.accumBusy(c.id, th.id, cycles)
+			} else {
+				o.Busy(c.id, th.id, cycles)
+			}
 		}
-	}
-	if th.pollPending && th.poll != nil {
-		th.pollPending = false
-		th.poll(th)
-	}
-	if c.clock >= th.sliceEnd {
-		th.reschedule()
 	}
 }
 
@@ -369,13 +505,19 @@ func (th *Thread) reschedule() {
 	th.state = Ready
 	th.readyAt = c.clock
 	if c.clock >= th.osSliceEnd && len(c.runq) > 0 {
-		// OS preemption: rotate, pay a context-switch cost, allow migration.
+		// OS preemption: charge the context-switch cost on the core the
+		// thread is leaving, then rotate to the back of a run queue,
+		// allowing migration. Config.CtxSwitchCycles defaults to 0, which
+		// charges nothing (the pre-knob behavior).
+		if ctx := th.eng.cfg.CtxSwitchCycles; ctx != 0 {
+			th.charge(ctx)
+			th.readyAt = c.clock
+		}
 		th.osSliceEnd = 0
-		th.eng.enqueue(th, false)
+		th.eng.enqueue(th)
 	} else {
 		// Engine slice only: keep the core and the OS slice.
-		c.runq = append([]*Thread{th}, c.runq...)
-		th.core = c
+		c.pushFront(th)
 	}
 	th.yield()
 	th.state = Running
@@ -505,7 +647,7 @@ func (ev *Event) Broadcast(waker *Thread) {
 		if th.lastClock > now {
 			th.readyAt = th.lastClock
 		}
-		ev.eng.enqueue(th, false)
+		ev.eng.enqueue(th)
 	}
 }
 

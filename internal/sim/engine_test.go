@@ -294,34 +294,99 @@ func TestSecondsConversion(t *testing.T) {
 	}
 }
 
-func BenchmarkTickHot(b *testing.B) {
-	e := New(Config{Cores: 1, SkewQuantum: 1 << 40, OSQuantum: 1 << 40, HzGHz: 2.5})
-	e.Spawn("w", []int{0}, func(th *Thread) {
-		for i := 0; i < b.N; i++ {
-			th.Tick(1)
-		}
-	})
-	b.ResetTimer()
-	if err := e.Run(); err != nil {
-		b.Fatal(err)
+// benchEngines runs a benchmark body under both engines, so their host
+// cost is directly comparable in one -bench run.
+func benchEngines(b *testing.B, body func(b *testing.B, kind EngineKind)) {
+	for _, kind := range []EngineKind{EngineFast, EngineClassic} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) { body(b, kind) })
 	}
 }
 
-func BenchmarkHandoff(b *testing.B) {
-	c := DefaultConfig()
-	c.Cores = 2
-	c.SkewQuantum = 1
-	e := New(c)
-	for i := 0; i < 2; i++ {
-		i := i
-		e.Spawn("w", []int{i}, func(th *Thread) {
-			for j := 0; j < b.N/2; j++ {
+func BenchmarkTickHot(b *testing.B) {
+	benchEngines(b, func(b *testing.B, kind EngineKind) {
+		e := New(Config{Cores: 1, SkewQuantum: 1 << 40, OSQuantum: 1 << 40, HzGHz: 2.5, Engine: kind})
+		e.Spawn("w", []int{0}, func(th *Thread) {
+			for i := 0; i < b.N; i++ {
 				th.Tick(1)
 			}
 		})
-	}
-	b.ResetTimer()
-	if err := e.Run(); err != nil {
-		b.Fatal(err)
-	}
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+func BenchmarkHandoff(b *testing.B) {
+	benchEngines(b, func(b *testing.B, kind EngineKind) {
+		c := DefaultConfig()
+		c.Cores = 2
+		c.SkewQuantum = 1
+		c.Engine = kind
+		e := New(c)
+		for i := 0; i < 2; i++ {
+			i := i
+			e.Spawn("w", []int{i}, func(th *Thread) {
+				for j := 0; j < b.N/2; j++ {
+					th.Tick(1)
+				}
+			})
+		}
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkSliceExpiry is the solo-thread slice-expiry regime: every tick
+// ends an engine slice, but the thread is always still the minimal entity.
+// The fast engine continues inline with no goroutine handoff; the classic
+// engine pays two channel round-trips per slice.
+func BenchmarkSliceExpiry(b *testing.B) {
+	benchEngines(b, func(b *testing.B, kind EngineKind) {
+		c := DefaultConfig()
+		c.Cores = 1
+		c.SkewQuantum = 1
+		c.Engine = kind
+		e := New(c)
+		e.Spawn("w", []int{0}, func(th *Thread) {
+			for i := 0; i < b.N; i++ {
+				th.Tick(1)
+			}
+		})
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
+}
+
+// BenchmarkSleepFleet is the open-loop fleet regime: many threads, each
+// mostly asleep, waking briefly in an interleaved order. Dominated by
+// sleeper selection (classic: an all-threads scan per dispatch; fast: a
+// heap) and wake handoffs (classic: two round-trips; fast: one, direct).
+func BenchmarkSleepFleet(b *testing.B) {
+	benchEngines(b, func(b *testing.B, kind EngineKind) {
+		c := DefaultConfig()
+		c.Cores = 2
+		c.Engine = kind
+		e := New(c)
+		const fleet = 64
+		per := b.N/fleet + 1
+		for i := 0; i < fleet; i++ {
+			i := i
+			e.Spawn("conn", []int{i % 2}, func(th *Thread) {
+				for j := 0; j < per; j++ {
+					th.Tick(50)
+					th.Sleep(uint64(10_000 + i*37))
+				}
+			})
+		}
+		b.ResetTimer()
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	})
 }

@@ -1,0 +1,427 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// recObs records everything a ClockObserver can learn: per-(core,thread)
+// busy totals, per-core idle totals, and per-core delivered sums. The
+// fast engine batches Busy calls, so the call sequences differ between
+// engines by construction — but every total must match exactly, and per
+// core busy + idle must equal the core clock (the conservation invariant
+// telemetry rests on).
+type recObs struct {
+	busy map[[2]int]uint64
+	idle map[int]uint64
+}
+
+func newRecObs() *recObs {
+	return &recObs{busy: map[[2]int]uint64{}, idle: map[int]uint64{}}
+}
+
+func (o *recObs) Busy(core, thread int, cycles uint64) { o.busy[[2]int{core, thread}] += cycles }
+func (o *recObs) Idle(core int, cycles uint64)         { o.idle[core] += cycles }
+
+func (o *recObs) coreTotal(core int) uint64 {
+	t := o.idle[core]
+	for k, v := range o.busy {
+		if k[0] == core {
+			t += v
+		}
+	}
+	return t
+}
+
+// simOutcome is everything observable about a finished run.
+type simOutcome struct {
+	Err        string
+	Wall, CPU  uint64
+	CoreClocks []uint64
+	CoreBusy   []uint64
+	ThreadCPU  []uint64
+	Log        []string
+	Busy       map[[2]int]uint64
+	Idle       map[int]uint64
+}
+
+// runBoth executes build under both engines and fails on any observable
+// divergence. build spawns threads on e and may append to the shared log;
+// the log is part of the compared outcome, so any difference in execution
+// order or observed virtual times between engines fails the suite.
+func runBoth(t *testing.T, name string, cfg Config, build func(e *Engine, logf func(string, ...interface{}))) {
+	t.Helper()
+	run := func(kind EngineKind) simOutcome {
+		cfg := cfg
+		cfg.Engine = kind
+		e := New(cfg)
+		obs := newRecObs()
+		e.SetClockObserver(obs)
+		var log []string
+		logf := func(format string, args ...interface{}) {
+			log = append(log, fmt.Sprintf(format, args...))
+		}
+		build(e, logf)
+		err := e.Run()
+		out := simOutcome{
+			Wall: e.WallClock(), CPU: e.TotalCPU(),
+			Log: log, Busy: obs.busy, Idle: obs.idle,
+		}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		for i := 0; i < cfg.Cores; i++ {
+			out.CoreClocks = append(out.CoreClocks, e.CoreClock(i))
+			out.CoreBusy = append(out.CoreBusy, e.CoreBusy(i))
+			if got := obs.coreTotal(i); got != e.CoreClock(i) {
+				t.Errorf("%s/%s: core %d busy+idle = %d, clock = %d (conservation violated)",
+					name, kind, i, got, e.CoreClock(i))
+			}
+		}
+		for _, th := range e.Threads() {
+			out.ThreadCPU = append(out.ThreadCPU, th.CPU())
+		}
+		return out
+	}
+	fast := run(EngineFast)
+	classic := run(EngineClassic)
+	if !reflect.DeepEqual(fast, classic) {
+		t.Errorf("%s: engines diverge\n fast:    %+v\n classic: %+v", name, fast, classic)
+	}
+}
+
+// TestEngineEquivalence pins that the fast and classic engines make
+// bit-identical scheduling decisions across the package's behavioral
+// regimes: every virtual time observed by any thread, every final clock,
+// every observer total, and every error must match.
+func TestEngineEquivalence(t *testing.T) {
+	base := DefaultConfig()
+	base.Cores = 2
+
+	t.Run("hot-solo", func(t *testing.T) {
+		runBoth(t, "hot-solo", base, func(e *Engine, logf func(string, ...interface{})) {
+			e.Spawn("w", []int{0}, func(th *Thread) {
+				for i := 0; i < 5000; i++ {
+					th.Tick(uint64(1 + i%97))
+				}
+				logf("w done at %d", th.Now())
+			})
+		})
+	})
+
+	t.Run("core-sharing", func(t *testing.T) {
+		cfg := base
+		cfg.OSQuantum = 30_000
+		runBoth(t, "core-sharing", cfg, func(e *Engine, logf func(string, ...interface{})) {
+			for i := 0; i < 3; i++ {
+				i := i
+				e.Spawn("w", []int{0}, func(th *Thread) {
+					for j := 0; j < 2000; j++ {
+						th.Tick(uint64(100 + i*13))
+					}
+					logf("w%d done at %d cpu %d", i, th.Now(), th.CPU())
+				})
+			}
+		})
+	})
+
+	t.Run("sleep-fleet", func(t *testing.T) {
+		runBoth(t, "sleep-fleet", base, func(e *Engine, logf func(string, ...interface{})) {
+			for i := 0; i < 16; i++ {
+				i := i
+				e.Spawn("conn", []int{i % 2}, func(th *Thread) {
+					for j := 0; j < 50; j++ {
+						th.Tick(uint64(20 + (i*31+j*7)%111))
+						th.Sleep(uint64(5_000 + (i*997+j*131)%9_000))
+					}
+					logf("conn%d done at %d", i, th.Now())
+				})
+			}
+		})
+	})
+
+	t.Run("events", func(t *testing.T) {
+		runBoth(t, "events", base, func(e *Engine, logf func(string, ...interface{})) {
+			ev := e.NewEvent()
+			queued := 0
+			for i := 0; i < 4; i++ {
+				i := i
+				e.Spawn("consumer", nil, func(th *Thread) {
+					for k := 0; k < 20; k++ {
+						ev.WaitUntil(th, func() bool { return queued > 0 })
+						queued--
+						th.Tick(uint64(300 + i*17))
+						logf("consumer%d item %d at %d", i, k, th.Now())
+					}
+				})
+			}
+			e.Spawn("producer", []int{1}, func(th *Thread) {
+				for k := 0; k < 80; k++ {
+					th.Tick(1_000)
+					queued++
+					ev.Broadcast(th)
+				}
+				logf("producer done at %d", th.Now())
+			})
+		})
+	})
+
+	t.Run("spawn-tree", func(t *testing.T) {
+		runBoth(t, "spawn-tree", base, func(e *Engine, logf func(string, ...interface{})) {
+			e.Spawn("root", []int{0}, func(th *Thread) {
+				for i := 0; i < 4; i++ {
+					i := i
+					th.Tick(10_000)
+					e.Spawn("child", []int{(i + 1) % 2}, func(ch *Thread) {
+						logf("child%d starts at %d", i, ch.Now())
+						for j := 0; j < 100; j++ {
+							ch.Tick(uint64(50 + j))
+						}
+					})
+				}
+				th.Tick(100_000)
+				logf("root done at %d", th.Now())
+			})
+		})
+	})
+
+	t.Run("migration", func(t *testing.T) {
+		cfg := DefaultConfig()
+		cfg.Cores = 3
+		cfg.OSQuantum = 8_000
+		runBoth(t, "migration", cfg, func(e *Engine, logf func(string, ...interface{})) {
+			e.Spawn("hog", []int{0}, func(th *Thread) {
+				for i := 0; i < 3000; i++ {
+					th.Tick(900)
+				}
+			})
+			for i := 0; i < 2; i++ {
+				i := i
+				e.Spawn("migrant", []int{0, 1, 2}, func(th *Thread) {
+					for j := 0; j < 2000; j++ {
+						th.Tick(uint64(700 + i*101))
+						if j%500 == 0 {
+							logf("migrant%d on core %d at %d", i, th.CoreID(), th.Now())
+						}
+					}
+				})
+			}
+		})
+	})
+
+	t.Run("yield-poll", func(t *testing.T) {
+		runBoth(t, "yield-poll", base, func(e *Engine, logf func(string, ...interface{})) {
+			var target *Thread
+			target = e.Spawn("t", []int{0}, func(th *Thread) {
+				th.SetPoll(func(p *Thread) { logf("polled at %d", p.Now()) })
+				for i := 0; i < 300; i++ {
+					th.Tick(1_000)
+					if i%50 == 0 {
+						th.Yield()
+					}
+				}
+			})
+			e.Spawn("peer", []int{0}, func(th *Thread) {
+				for i := 0; i < 300; i++ {
+					th.Tick(1_000)
+				}
+			})
+			e.Spawn("irq", []int{1}, func(th *Thread) {
+				for i := 0; i < 5; i++ {
+					th.Tick(40_000)
+					target.Interrupt()
+				}
+			})
+		})
+	})
+
+	t.Run("ctx-switch", func(t *testing.T) {
+		cfg := base
+		cfg.OSQuantum = 20_000
+		cfg.CtxSwitchCycles = 700
+		runBoth(t, "ctx-switch", cfg, func(e *Engine, logf func(string, ...interface{})) {
+			for i := 0; i < 3; i++ {
+				i := i
+				e.Spawn("w", []int{0, 1}, func(th *Thread) {
+					for j := 0; j < 1500; j++ {
+						th.Tick(uint64(400 + i*29))
+					}
+					logf("w%d done at %d cpu %d", i, th.Now(), th.CPU())
+				})
+			}
+		})
+	})
+
+	t.Run("deadlock", func(t *testing.T) {
+		runBoth(t, "deadlock", base, func(e *Engine, logf func(string, ...interface{})) {
+			ev := e.NewEvent()
+			e.Spawn("stuck", []int{0}, func(th *Thread) {
+				th.Tick(100)
+				ev.Wait(th)
+			})
+			e.Spawn("other", []int{1}, func(th *Thread) {
+				th.Tick(5_000)
+				logf("other done at %d", th.Now())
+			})
+		})
+	})
+
+	t.Run("random-storm", func(t *testing.T) {
+		// A randomized mix of every primitive, deterministic by seed: the
+		// broadest single net for divergence between the engines.
+		cfg := DefaultConfig()
+		cfg.Cores = 4
+		cfg.OSQuantum = 25_000
+		runBoth(t, "random-storm", cfg, func(e *Engine, logf func(string, ...interface{})) {
+			ev := e.NewEvent()
+			pending := 0
+			for i := 0; i < 12; i++ {
+				i := i
+				rng := rand.New(rand.NewSource(int64(i)*7919 + 1))
+				aff := []int{i % 4}
+				if i%3 == 0 {
+					aff = nil // any core
+				}
+				e.Spawn("storm", aff, func(th *Thread) {
+					for j := 0; j < 400; j++ {
+						switch rng.Intn(6) {
+						case 0:
+							th.Tick(uint64(rng.Intn(3000)))
+						case 1:
+							th.Sleep(uint64(1 + rng.Intn(20_000)))
+						case 2:
+							th.Yield()
+						case 3:
+							pending++
+							ev.Broadcast(th)
+							th.Tick(50)
+						case 4:
+							if pending > 0 {
+								ev.WaitUntil(th, func() bool { return pending > 0 })
+								pending--
+							}
+							th.Tick(10)
+						default:
+							th.Tick(uint64(rng.Intn(200)))
+						}
+					}
+					pending++ // unblock any residual waiters' predicates
+					ev.Broadcast(th)
+					logf("storm%d done at %d cpu %d", i, th.Now(), th.CPU())
+				})
+			}
+		})
+	})
+}
+
+// TestCtxSwitchCycles pins the Config.CtxSwitchCycles satellite both
+// ways: the default 0 charges nothing (preserving every committed
+// baseline), and a nonzero setting charges exactly one context-switch
+// cost per OS-preemption rotation, visible in wall and CPU time.
+func TestCtxSwitchCycles(t *testing.T) {
+	run := func(kind EngineKind, ctx uint64) (wall, cpu uint64) {
+		cfg := DefaultConfig()
+		cfg.Cores = 1
+		cfg.OSQuantum = 50_000
+		cfg.CtxSwitchCycles = ctx
+		cfg.Engine = kind
+		e := New(cfg)
+		for i := 0; i < 2; i++ {
+			e.Spawn("w", []int{0}, func(th *Thread) {
+				for j := 0; j < 2000; j++ {
+					th.Tick(500)
+				}
+			})
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return e.WallClock(), e.TotalCPU()
+	}
+	for _, kind := range []EngineKind{EngineFast, EngineClassic} {
+		// Two threads share one core for 1M cycles of work each. With the
+		// 50k OS quantum they rotate exactly every 50k busy cycles; the
+		// baseline (ctx=0) wall is the pre-knob value, 2M.
+		wall0, cpu0 := run(kind, 0)
+		if wall0 != 2_000_000 || cpu0 != 2_000_000 {
+			t.Fatalf("%s: ctx=0 wall=%d cpu=%d, want 2000000/2000000 (baseline changed)", kind, wall0, cpu0)
+		}
+		wallC, cpuC := run(kind, 300)
+		if wallC <= wall0 || cpuC <= cpu0 {
+			t.Fatalf("%s: ctx=300 wall=%d cpu=%d — no context-switch cost charged", kind, wallC, cpuC)
+		}
+		// Each rotation charges exactly 300 cycles; the totals must agree.
+		if wallC != cpuC {
+			t.Fatalf("%s: ctx=300 wall=%d != cpu=%d on a single always-busy core", kind, wallC, cpuC)
+		}
+		if extra := cpuC - cpu0; extra%300 != 0 {
+			t.Fatalf("%s: extra cycles %d not a multiple of the 300-cycle switch cost", kind, extra)
+		}
+	}
+	// The two engines must agree on the charged schedule, too.
+	wf, cf := run(EngineFast, 300)
+	wc, cc := run(EngineClassic, 300)
+	if wf != wc || cf != cc {
+		t.Fatalf("engines diverge under ctx=300: fast=(%d,%d) classic=(%d,%d)", wf, cf, wc, cc)
+	}
+}
+
+// TestConservationUnderMigrationStress is the multi-core migration stress
+// of the test-coverage satellite: unpinned threads migrating across four
+// cores under a small OS quantum, with sleeps and wakes mixed in, must
+// deliver observer streams whose per-core busy + idle equals each core's
+// clock exactly — under both engines.
+func TestConservationUnderMigrationStress(t *testing.T) {
+	for _, kind := range []EngineKind{EngineFast, EngineClassic} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.Cores = 4
+			cfg.OSQuantum = 9_000
+			cfg.Engine = kind
+			e := New(cfg)
+			obs := newRecObs()
+			e.SetClockObserver(obs)
+			ev := e.NewEvent()
+			ready := 0
+			for i := 0; i < 10; i++ {
+				i := i
+				e.Spawn("mig", nil, func(th *Thread) {
+					for j := 0; j < 1200; j++ {
+						th.Tick(uint64(300 + (i*53+j*11)%700))
+						switch j % 97 {
+						case 13:
+							th.Sleep(uint64(2_000 + i*301))
+						case 41:
+							ready++
+							ev.Broadcast(th)
+						case 71:
+							ev.WaitUntil(th, func() bool { return ready > 0 })
+							ready--
+						}
+					}
+					ready += 1000 // release any waiters at exit
+					ev.Broadcast(th)
+				})
+			}
+			if err := e.Run(); err != nil {
+				t.Fatal(err)
+			}
+			var cpu uint64
+			for i := 0; i < cfg.Cores; i++ {
+				if got, want := obs.coreTotal(i), e.CoreClock(i); got != want {
+					t.Errorf("core %d: busy+idle = %d, clock = %d", i, got, want)
+				}
+			}
+			for k, v := range obs.busy {
+				_ = k
+				cpu += v
+			}
+			if cpu != e.TotalCPU() {
+				t.Errorf("observer busy sum %d != TotalCPU %d", cpu, e.TotalCPU())
+			}
+		})
+	}
+}

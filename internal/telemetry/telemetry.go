@@ -10,6 +10,13 @@
 // Instrumentation never advances virtual time — enabling telemetry cannot
 // change a run's results.
 //
+// The fast sim engine batches consecutive same-thread Busy deliveries
+// between scheduling points; SetBase/Enter/Exit call Engine.FlushClock
+// first so cycles ticked before an attribution change land under the old
+// frame. Totals, per-component attribution, and conservation are thus
+// identical under both engines — only the instants at which time-series
+// samples fire within a slice can shift by at most one batch.
+//
 // Like trace.Tracer, a nil *Telemetry is a valid disabled instance: every
 // method no-ops, so emit sites pay one branch when telemetry is off.
 package telemetry
@@ -211,6 +218,7 @@ func (t *Telemetry) SetBase(th *sim.Thread, c Component) {
 	if t == nil {
 		return
 	}
+	t.eng.FlushClock()
 	id := th.ID()
 	t.base[id] = c
 	if ts := t.threads[id]; ts != nil && ts.depth == 1 {
@@ -226,6 +234,7 @@ func (t *Telemetry) Enter(th *sim.Thread, c Component) {
 	if t == nil {
 		return
 	}
+	t.eng.FlushClock()
 	ts := t.state(th.ID())
 	ts.node = t.childOf(ts.node, c)
 	ts.depth++
@@ -236,6 +245,7 @@ func (t *Telemetry) Exit(th *sim.Thread) {
 	if t == nil {
 		return
 	}
+	t.eng.FlushClock()
 	ts := t.state(th.ID())
 	if ts.depth <= 1 {
 		panic("telemetry: Exit without matching Enter")
