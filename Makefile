@@ -13,7 +13,7 @@ RACE_PKGS = ./internal/bus ./internal/ca ./internal/fault ./internal/metrics \
             ./internal/vm
 
 .PHONY: all build vet test race verify chaos sweep-bench telemetry-smoke \
-        hostbench hostbench-smoke
+        hostbench hostbench-smoke dist-smoke
 
 all: verify
 
@@ -26,12 +26,13 @@ vet:
 test:
 	$(GO) test ./...
 
-# expt's pool is the one genuinely host-concurrent component; -short keeps
-# the race pass to its pool/manifest/report mechanics (injected run
-# functions), skipping the simulation-backed figure smoke tests.
+# expt's pool and dist's coordinator/worker are the genuinely
+# host-concurrent components; -short keeps the race pass to their
+# pool/manifest/protocol mechanics (injected run functions), skipping the
+# simulation-backed campaign tests.
 race:
 	$(GO) test -race $(RACE_PKGS)
-	$(GO) test -race -short ./internal/expt
+	$(GO) test -race -short ./internal/expt ./internal/dist
 
 # verify is the tier-1 gate: everything must pass before a change lands.
 verify: build vet test race
@@ -49,6 +50,13 @@ chaos:
 # non-empty (folded stacks under telemetry-smoke/).
 telemetry-smoke:
 	./scripts/telemetry_smoke.sh
+
+# dist-smoke: end-to-end distributed-execution check. Runs one grid on a
+# local pool and again through a cmd/sweep coordinator with two cmd/worker
+# processes (plus a kill-one-worker-mid-lease variant) and asserts the
+# canonical documents are byte-identical (artifacts under dist-smoke/).
+dist-smoke:
+	./scripts/dist_smoke.sh
 
 # BENCH_host.json: the host-performance rig (internal/hostbench) — where
 # the simulator spends real CPU, complementing the simulated-cycle

@@ -29,10 +29,17 @@
 //
 //	chaos [-strategies reloaded,cornucopia,... | all] [-classes all|c1,c2,...]
 //	      [-seeds N] [-seed BASE] [-rate R] [-max N] [-delay CYCLES] [-ops N]
-//	      [-workers N] [-timeout D] [-retries N] [-resume FILE]
+//	      [-workers N] [-timeout D] [-retries N] [-retry-backoff D]
+//	      [-resume FILE] [-compact]
+//	      [-exec local|net] [-listen ADDR] [-addr-file FILE] [-heartbeat D]
 //	      [-http ADDR] [-http-linger D]
 //	      [-sweepkernel word|granule] [-simengine fast|classic]
 //	      [-out report.json] [-progress] [-strict] [-list-classes]
+//
+// -exec=net makes this process the campaign coordinator (internal/dist):
+// cmd/worker processes connect to -listen and lease cells over the
+// cornucopia-dist/v1 protocol. The report needs no normalization to
+// compare against a local run — it already contains no host timing.
 package main
 
 import (
@@ -303,7 +310,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pool := expt.NewPool(pcfg)
+	pool, closeExec, err := shared.NewExecutor("chaos", grid, pcfg, live)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for _, k := range keys {
 		pool.Prefetch(jobs[k])
 	}
@@ -359,6 +369,11 @@ func main() {
 		counters.Add("injections:"+cell.Class, cell.Injections)
 		counters.Add("violations:"+cell.Strategy, cell.Violations)
 		counters.Add("recoveries:"+cell.Strategy, cell.Recoveries)
+	}
+	// Every Get has returned: drain the worker fleet (no-op under
+	// -exec=local) before reporting.
+	if err := closeExec(); err != nil {
+		log.Printf("closing executor: %v", err)
 	}
 	rep.Counters = counters.Snapshot()
 	if *strict {

@@ -9,13 +9,28 @@
 // Usage:
 //
 //	sweep [-figures all|fig1,table2,...] [-workers N] [-timeout D] [-retries N]
-//	      [-resume FILE] [-out results.json] [-progress]
+//	      [-retry-backoff D] [-resume FILE] [-compact] [-out results.json]
+//	      [-canonical] [-dry-run] [-progress]
+//	      [-exec local|net] [-listen ADDR] [-addr-file FILE] [-heartbeat D]
 //	      [-http ADDR] [-http-linger D]
 //	      [-sweepkernel word|granule] [-simengine fast|classic]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //	      [-prof-folded FILE] [-prof-pprof FILE] [-metrics-out FILE]
 //	      [-series-csv FILE] [-sample-every N]
 //	      [-reps N] [-scale N] [-txs N] [-measure-ms N] [-warmup-ms N] [-seed N]
+//
+// -dry-run resolves the selected figures' grids without executing
+// anything and prints every distinct job (content-hash key, workload,
+// condition, seed) plus a dedup summary — the exact cells a real
+// invocation would run or serve from a manifest.
+//
+// -exec=net runs the same campaign distributed: this process becomes the
+// coordinator (see internal/dist), listening on -listen for cmd/worker
+// processes and leasing grid cells to them over the cornucopia-dist/v1
+// protocol. Every document and manifest such a campaign writes is
+// byte-identical to a local run's (jobs are deterministic per seed;
+// -canonical strips the host-side execution metadata — per-job host_ms,
+// attempt counts, pool counters — that legitimately differs).
 //
 // -sweepkernel selects the page-sweep implementation: the default batch
 // word-wise kernel or the per-granule differential oracle. Both produce
@@ -75,6 +90,8 @@ func main() {
 	list := flag.Bool("list", false, "list figure ids and exit")
 	shared := cliflags.Register()
 	out := flag.String("out", "", "write machine-readable JSON results to this file")
+	canonical := flag.Bool("canonical", false, "strip host-execution metadata (host_ms, attempts, pool counters) from -out for byte-stable diffs")
+	dryRun := flag.Bool("dry-run", false, "resolve and print the job grid (keys, workloads, conditions, seeds) without executing")
 	profFolded := flag.String("prof-folded", "", "write the merged cycle profile as folded flame-graph stacks to this file")
 	profPprof := flag.String("prof-pprof", "", "write the merged cycle profile as a gzipped pprof proto to this file")
 	metricsOut := flag.String("metrics-out", "", "write the merged final metrics in OpenMetrics text format to this file")
@@ -135,6 +152,22 @@ func main() {
 		}
 	}
 
+	if *dryRun {
+		// Resolve the grids through a Planner: the figure builders run to
+		// completion against synthetic results, recording every cell they
+		// would request. Their tables are meaningless and are not shown.
+		planner := expt.NewPlanner()
+		for _, f := range selected {
+			if _, err := f.Build(o, planner); err != nil {
+				log.Fatalf("%s: dry-run: %v", f.ID, err)
+			}
+		}
+		if err := planner.WriteGrid(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	// Telemetry is armed by any consumer of it: an export file or the
 	// live server's merged-metrics families.
 	wantTelem := *profFolded != "" || *profPprof != "" || *metricsOut != "" ||
@@ -174,7 +207,10 @@ func main() {
 	if wantTelem {
 		pcfg.Telemetry = &telemetry.Options{SampleEvery: *sampleEvery}
 	}
-	pool := expt.NewPool(pcfg)
+	pool, closeExec, err := shared.NewExecutor("sweep", grid, pcfg, live)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if live != nil && wantTelem {
 		live.SetMetricsSource(func() *telemetry.Snapshot {
 			return telemetry.Merge(telemetrySnaps(pool))
@@ -210,12 +246,20 @@ func main() {
 		b.tb.Fprint(os.Stdout)
 		figResults = append(figResults, expt.NewFigureResult(f.ID, b.tb))
 	}
+	// Every Get has returned: drain the worker fleet (no-op under
+	// -exec=local) before reporting.
+	if err := closeExec(); err != nil {
+		log.Printf("closing executor: %v", err)
+	}
 	st := pool.Stats()
 	fmt.Printf("sweep: %d job(s) ran, %d from manifest, %d retried, %d failed; %d worker(s), %.1fs host wall clock\n",
 		st.Executed, st.Cached, st.Retries, st.Failed, shared.Workers, time.Since(start).Seconds())
 
 	if *out != "" {
 		doc := expt.BuildDocument(pool, figResults, shared.Workers, *reps, *scale)
+		if *canonical {
+			doc.Canonicalize()
+		}
 		f, err := os.Create(*out)
 		if err != nil {
 			log.Fatal(err)
@@ -249,7 +293,7 @@ func main() {
 // telemetrySnaps collects the completed jobs' telemetry snapshots keyed
 // by job hash. Jobs run without telemetry (e.g. served from an older
 // manifest) are skipped.
-func telemetrySnaps(pool *expt.Pool) []telemetry.Keyed {
+func telemetrySnaps(pool expt.Executor) []telemetry.Keyed {
 	var out []telemetry.Keyed
 	for _, c := range pool.Results() {
 		if c.Result.Telem != nil {
@@ -261,7 +305,7 @@ func telemetrySnaps(pool *expt.Pool) []telemetry.Keyed {
 
 // writeTelemetry emits the requested merged exports. Merge sorts by job
 // key, so every file is byte-identical at any -workers count.
-func writeTelemetry(pool *expt.Pool, folded, pprofOut, metricsOut, seriesCSV string) error {
+func writeTelemetry(pool expt.Executor, folded, pprofOut, metricsOut, seriesCSV string) error {
 	snaps := telemetrySnaps(pool)
 	if len(snaps) == 0 {
 		fmt.Fprintln(os.Stderr, "sweep: no telemetry recorded (all jobs served from a pre-telemetry manifest?)")

@@ -1,0 +1,74 @@
+// Command worker is the execution half of a distributed campaign: it
+// connects to a cmd/sweep or cmd/chaos coordinator (-exec=net), announces
+// its sweep-kernel and sim-engine capabilities, and serves leases — each
+// lease is one deterministic (workload, condition, seed) job, run through
+// the exact internal/expt.RunJob path a local pool uses, under the
+// kernel/engine/telemetry configuration the coordinator dictates. Results
+// (or failures, classified like local ones) are reported back with the
+// worker-side host cost; held leases are renewed by heartbeat so a killed
+// worker's jobs are reclaimed and re-issued elsewhere.
+//
+// Usage:
+//
+//	worker -connect HOST:PORT [-name LABEL] [-parallel N] [-max-jobs N]
+//	       [-hello-timeout D] [-crash-after-lease N]
+//
+// The worker exits 0 when the coordinator drains the campaign (or the
+// coordinator vanishes after the worker joined — the coordinator exits as
+// soon as its documents are written), and 1 on a protocol refusal or an
+// unreachable coordinator.
+//
+// -crash-after-lease N is fault injection for the reclaim path: the
+// worker dies (exit 2) immediately upon taking its Nth lease, without
+// running or reporting it — the CI smoke uses it to prove a campaign
+// survives losing a worker mid-lease.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/dist"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("worker: ")
+	connect := flag.String("connect", "", "coordinator address (required; host:port from sweep/chaos -exec=net)")
+	name := flag.String("name", "", "worker label in coordinator output (default host:pid)")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent leases to hold")
+	maxJobs := flag.Int("max-jobs", 0, "exit after reporting this many results (0 = run until drained)")
+	helloTimeout := flag.Duration("hello-timeout", 10*time.Second, "how long to retry the opening hello while the coordinator starts")
+	crashAfterLease := flag.Int("crash-after-lease", 0, "fault injection: die on taking the Nth lease, without reporting (0 = off)")
+	flag.Parse()
+
+	if *connect == "" {
+		log.Fatal("-connect is required (start a coordinator with sweep/chaos -exec=net)")
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	w := dist.NewWorker(dist.WorkerConfig{
+		Connect:         *connect,
+		Name:            *name,
+		Parallel:        *parallel,
+		MaxJobs:         *maxJobs,
+		HelloTimeout:    *helloTimeout,
+		CrashAfterLease: *crashAfterLease,
+		Logf: func(format string, args ...any) {
+			log.Printf(format, args...)
+		},
+	})
+	if err := w.Run(); err != nil {
+		if err == dist.ErrCrashed {
+			log.Print(err)
+			os.Exit(2)
+		}
+		log.Fatal(err)
+	}
+}

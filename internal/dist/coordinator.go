@@ -1,0 +1,466 @@
+package dist
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/telemetry"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// Tool and Grid identify the campaign ("sweep"/"chaos" plus the grid
+	// signature the manifest header pins); echoed to workers at hello.
+	Tool string
+	Grid string
+	// Pool configures the embedded expt.Pool: Workers bounds in-flight
+	// leases, Manifest/Retries/RetryBackoff/Progress work exactly as in a
+	// local run, and SweepKernel/SimEngine/Telemetry are forwarded to
+	// workers instead of being applied locally. Pool.Timeout is ignored —
+	// LeaseTimeout is its distributed equivalent, enforced by lease
+	// reclaim so the queue never double-issues a live attempt.
+	Pool expt.PoolConfig
+	// LeaseTimeout bounds one lease's lifetime regardless of heartbeats
+	// (a wedged worker heartbeats forever); 0 = unbounded.
+	LeaseTimeout time.Duration
+	// Heartbeat is the renewal interval advertised to workers (default
+	// 1s); a lease missing HeartbeatMiss consecutive intervals (default
+	// 4) is reclaimed and its job re-issued through the pool's bounded
+	// retry machinery.
+	Heartbeat     time.Duration
+	HeartbeatMiss int
+	// WaitMS is the poll delay suggested to idle workers (default 100).
+	WaitMS int64
+}
+
+// task is one pool attempt awaiting a worker.
+type task struct {
+	key  string
+	job  expt.Job
+	done chan taskOutcome // buffered 1; exactly one delivery
+}
+
+type taskOutcome struct {
+	res  *expt.JobResult
+	host time.Duration
+	err  error
+}
+
+// lease is a task checked out to a worker.
+type lease struct {
+	id       string
+	t        *task
+	worker   string // worker id
+	granted  time.Time
+	lastBeat time.Time
+}
+
+// workerState is the coordinator's per-worker accounting, surfaced on the
+// live introspection server.
+type workerState struct {
+	id, name string
+	inflight int
+	leases   uint64
+	results  uint64
+	failures uint64
+	reclaims uint64
+	lastSeen time.Time
+}
+
+// Coordinator owns a campaign's job grid and leases it out to network
+// workers. It is an expt.Executor: cmd/sweep and cmd/chaos drive it
+// exactly as they drive a local Pool, and the embedded Pool supplies
+// dedup, manifest resume, retry and progress — only the execution backend
+// differs, which is what keeps distributed documents identical to local
+// ones.
+type Coordinator struct {
+	cfg     Config
+	pool    *expt.Pool
+	hbEvery time.Duration
+	hbMiss  int
+	waitMS  int64
+
+	mu       sync.Mutex
+	queue    []*task
+	leases   map[string]*lease
+	workers  map[string]*workerState
+	seq      int
+	wseq     int
+	draining bool
+	closed   bool
+
+	srv      *http.Server
+	ln       net.Listener
+	reapStop chan struct{}
+	reapDone chan struct{}
+}
+
+var _ expt.Executor = (*Coordinator)(nil)
+
+// NewCoordinator builds a coordinator around cfg. Call Start before
+// submitting jobs.
+func NewCoordinator(cfg Config) *Coordinator {
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = time.Second
+	}
+	if cfg.HeartbeatMiss <= 0 {
+		cfg.HeartbeatMiss = 4
+	}
+	if cfg.WaitMS <= 0 {
+		cfg.WaitMS = 100
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		hbEvery:  cfg.Heartbeat,
+		hbMiss:   cfg.HeartbeatMiss,
+		waitMS:   cfg.WaitMS,
+		leases:   map[string]*lease{},
+		workers:  map[string]*workerState{},
+		reapStop: make(chan struct{}),
+		reapDone: make(chan struct{}),
+	}
+	pcfg := cfg.Pool
+	// Lease reclaim is the distributed timeout: it fails the attempt AND
+	// retires the queue entry, so the pool-level abandonment timeout must
+	// stay off or a slow lease would be double-issued.
+	pcfg.Timeout = 0
+	c.pool = expt.NewPool(pcfg)
+	c.pool.SetRun(c.runRemote)
+	return c
+}
+
+// Prefetch, Get, Results and Stats make the coordinator an expt.Executor.
+func (c *Coordinator) Prefetch(jobs []expt.Job) { c.pool.Prefetch(jobs) }
+
+// Get returns j's result, leasing it to a worker as one becomes free.
+func (c *Coordinator) Get(j expt.Job) (*expt.JobResult, error) { return c.pool.Get(j) }
+
+// Results returns every completed job, sorted by key.
+func (c *Coordinator) Results() []expt.Completed { return c.pool.Results() }
+
+// Stats snapshots the embedded pool's counters.
+func (c *Coordinator) Stats() expt.PoolStats { return c.pool.Stats() }
+
+// runRemote is the pool's execution backend: enqueue the attempt and wait
+// for a worker to lease, run, and report it (or for its lease to be
+// reclaimed, which surfaces as a retryable error).
+func (c *Coordinator) runRemote(j expt.Job) (*expt.JobResult, time.Duration, error) {
+	t := &task{key: j.Key(), job: j, done: make(chan taskOutcome, 1)}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, 0, fmt.Errorf("dist: coordinator closed before job %.12s could run", t.key)
+	}
+	c.queue = append(c.queue, t)
+	c.mu.Unlock()
+	o := <-t.done
+	return o.res, o.host, o.err
+}
+
+// Start listens on addr (":0" for ephemeral), serves the protocol in a
+// background goroutine, and begins lease reaping. Returns the bound
+// address for workers to -connect to.
+func (c *Coordinator) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	c.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathHello, c.handleHello)
+	mux.HandleFunc(PathLease, c.handleLease)
+	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc(PathResult, c.handleResult)
+	c.srv = &http.Server{Handler: mux}
+	go func() { _ = c.srv.Serve(ln) }()
+	go c.reap()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the bound address after Start.
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Drain marks the campaign complete: every subsequent lease request is
+// answered with StatusDrain so workers exit cleanly. Call once all Gets
+// have returned.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+}
+
+// Close drains, stops the reaper and the server, and fails any queued or
+// leased attempts so no pool goroutine is left waiting.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.draining = true
+	c.closed = true
+	queued := c.queue
+	c.queue = nil
+	for _, l := range c.leases {
+		l.t.done <- taskOutcome{err: fmt.Errorf("dist: coordinator closed with lease %s outstanding on worker %s", l.id, l.worker)}
+	}
+	c.leases = map[string]*lease{}
+	c.mu.Unlock()
+	for _, t := range queued {
+		t.done <- taskOutcome{err: fmt.Errorf("dist: coordinator closed before job %.12s was leased", t.key)}
+	}
+	close(c.reapStop)
+	<-c.reapDone
+	if c.srv != nil {
+		return c.srv.Close()
+	}
+	return nil
+}
+
+// Workers snapshots per-worker lease accounting for the live
+// introspection server, sorted by worker id.
+func (c *Coordinator) Workers() []telemetry.WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]telemetry.WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, telemetry.WorkerStatus{
+			ID:               w.id,
+			Name:             w.name,
+			Inflight:         w.inflight,
+			Leases:           w.leases,
+			Results:          w.results,
+			Failures:         w.failures,
+			Reclaims:         w.reclaims,
+			SecondsSinceSeen: time.Since(w.lastSeen).Seconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// reap reclaims dead leases: heartbeat silence for hbMiss intervals, or
+// total lease age beyond LeaseTimeout. The reclaimed attempt fails with a
+// "timed out" error, so expt.ErrClass files it with local timeouts and
+// the pool re-issues it (bounded by Retries, spaced by RetryBackoff).
+func (c *Coordinator) reap() {
+	defer close(c.reapDone)
+	tick := time.NewTicker(c.hbEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.reapStop:
+			return
+		case now := <-tick.C:
+			c.mu.Lock()
+			for id, l := range c.leases {
+				var err error
+				if silent := now.Sub(l.lastBeat); silent > time.Duration(c.hbMiss)*c.hbEvery {
+					err = fmt.Errorf("lease %s: worker %s heartbeat lost; lease timed out after %s silence (re-issuing)",
+						id, l.worker, silent.Round(time.Millisecond))
+				} else if c.cfg.LeaseTimeout > 0 && now.Sub(l.granted) > c.cfg.LeaseTimeout {
+					err = fmt.Errorf("lease %s: job %.12s on worker %s timed out after %s (lease abandoned)",
+						id, l.t.key, l.worker, c.cfg.LeaseTimeout)
+				}
+				if err == nil {
+					continue
+				}
+				delete(c.leases, id)
+				if w := c.workers[l.worker]; w != nil {
+					w.inflight--
+					w.reclaims++
+				}
+				l.t.done <- taskOutcome{err: err}
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// decode parses a JSON request body, answering 400 on malformed input.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleHello(w http.ResponseWriter, r *http.Request) {
+	var req Hello
+	if !decode(w, r, &req) {
+		return
+	}
+	if req.Proto != Proto {
+		reply(w, HelloReply{OK: false, Reason: fmt.Sprintf(
+			"protocol mismatch: worker speaks %q, coordinator %q", req.Proto, Proto)})
+		return
+	}
+	// Capability validation, in the spirit of the manifest grid header:
+	// refuse up front rather than let an incompatible worker compute
+	// results the campaign cannot use.
+	sk := c.cfg.Pool.SweepKernel.String()
+	ek := c.cfg.Pool.SimEngine.String()
+	if !contains(req.SweepKernels, sk) {
+		reply(w, HelloReply{OK: false, Reason: fmt.Sprintf(
+			"campaign requires sweep kernel %q; worker supports %v", sk, req.SweepKernels)})
+		return
+	}
+	if !contains(req.SimEngines, ek) {
+		reply(w, HelloReply{OK: false, Reason: fmt.Sprintf(
+			"campaign requires sim engine %q; worker supports %v", ek, req.SimEngines)})
+		return
+	}
+	name := req.Name
+	if name == "" {
+		name = "anonymous"
+	}
+	c.mu.Lock()
+	c.wseq++
+	id := fmt.Sprintf("w%03d", c.wseq)
+	c.workers[id] = &workerState{id: id, name: name, lastSeen: time.Now()}
+	c.mu.Unlock()
+	rep := HelloReply{
+		OK:          true,
+		WorkerID:    id,
+		Tool:        c.cfg.Tool,
+		Grid:        c.cfg.Grid,
+		SweepKernel: sk,
+		SimEngine:   ek,
+		HeartbeatMS: c.hbEvery.Milliseconds(),
+	}
+	if t := c.cfg.Pool.Telemetry; t != nil {
+		rep.Telemetry = &TelemetryOptions{SampleEvery: t.SampleEvery, MaxRows: t.MaxRows}
+	}
+	reply(w, rep)
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[req.WorkerID]
+	if ws == nil {
+		http.Error(w, "unknown worker (hello first)", http.StatusConflict)
+		return
+	}
+	ws.lastSeen = time.Now()
+	if len(c.queue) == 0 {
+		if c.draining {
+			reply(w, LeaseReply{Status: StatusDrain})
+			return
+		}
+		reply(w, LeaseReply{Status: StatusWait, WaitMS: c.waitMS})
+		return
+	}
+	t := c.queue[0]
+	c.queue = c.queue[1:]
+	c.seq++
+	l := &lease{
+		id:       fmt.Sprintf("lease-%06d", c.seq),
+		t:        t,
+		worker:   req.WorkerID,
+		granted:  time.Now(),
+		lastBeat: time.Now(),
+	}
+	c.leases[l.id] = l
+	ws.leases++
+	ws.inflight++
+	job := t.job
+	reply(w, LeaseReply{Status: StatusJob, LeaseID: l.id, Key: t.key, Job: &job})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ws := c.workers[req.WorkerID]; ws != nil {
+		ws.lastSeen = time.Now()
+	}
+	l := c.leases[req.LeaseID]
+	if l == nil || l.worker != req.WorkerID {
+		reply(w, HeartbeatReply{OK: false, Reason: "lease not held (reclaimed or resolved)"})
+		return
+	}
+	l.lastBeat = time.Now()
+	reply(w, HeartbeatReply{OK: true})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req ResultRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[req.WorkerID]
+	if ws != nil {
+		ws.lastSeen = time.Now()
+	}
+	l := c.leases[req.LeaseID]
+	if l == nil || l.worker != req.WorkerID {
+		// The lease was reclaimed (and possibly re-issued) before this
+		// result arrived; the late result is discarded so the campaign
+		// has exactly one authoritative execution per attempt.
+		reply(w, ResultReply{OK: false, Reason: "lease not held; result discarded"})
+		return
+	}
+	delete(c.leases, req.LeaseID)
+	if ws != nil {
+		ws.inflight--
+	}
+	name := req.WorkerID
+	if ws != nil {
+		name = fmt.Sprintf("%s (%s)", ws.name, ws.id)
+	}
+	o := taskOutcome{host: time.Duration(req.HostMS * float64(time.Millisecond))}
+	switch {
+	case req.Err != "":
+		o.err = fmt.Errorf("worker %s: %s", name, req.Err)
+	case req.Key != l.t.key:
+		o.err = fmt.Errorf("worker %s: result key %.12s does not match lease key %.12s (schema skew?)",
+			name, req.Key, l.t.key)
+	case req.Result == nil:
+		o.err = fmt.Errorf("worker %s: result missing from report", name)
+	default:
+		o.res = req.Result
+	}
+	if o.err != nil && ws != nil {
+		ws.failures++
+	} else if ws != nil {
+		ws.results++
+	}
+	l.t.done <- o
+	reply(w, ResultReply{OK: true})
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

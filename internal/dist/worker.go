@@ -1,0 +1,350 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/expt"
+	"repro/internal/kernel"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// ErrCrashed reports that the CrashAfterLease fault-injection hook fired:
+// the worker stopped dead mid-lease — no result, no further heartbeats —
+// exactly as a killed process would. Tests and the CI smoke use it to
+// prove lease reclaim re-issues the job elsewhere.
+var ErrCrashed = errors.New("dist: worker crashed by fault-injection hook")
+
+// WorkerConfig tunes one worker process.
+type WorkerConfig struct {
+	// Connect is the coordinator address (host:port, or a full http://
+	// base URL).
+	Connect string
+	// Name labels this worker in coordinator output ("host:pid" style);
+	// identity comes from the coordinator-assigned worker id.
+	Name string
+	// Parallel is how many leases to hold concurrently (default 1; the
+	// coordinator's pool width bounds the fleet-wide total anyway).
+	Parallel int
+	// MaxJobs stops the worker after reporting that many results
+	// (0 = run until drained).
+	MaxJobs int
+	// HelloTimeout bounds how long the worker retries its opening hello
+	// while the coordinator is still coming up (default 10s).
+	HelloTimeout time.Duration
+	// CrashAfterLease > 0 makes the worker die (see ErrCrashed) upon
+	// taking its Nth lease, before running or reporting it.
+	CrashAfterLease int
+	// Logf, when set, receives progress lines (cmd/worker wires stderr).
+	Logf func(format string, args ...any)
+}
+
+// Worker pulls leases from a coordinator and runs them through the same
+// expt.RunJob path a local pool uses, under the kernel/engine/telemetry
+// configuration the coordinator dictated at hello.
+type Worker struct {
+	cfg    WorkerConfig
+	base   string
+	client *http.Client
+
+	id    string
+	hb    time.Duration
+	telem *telemetry.Options
+	sk    kernel.SweepKernel
+	ek    sim.EngineKind
+
+	// run is the execution seam (tests inject fakes; default expt.RunJob).
+	run func(expt.Job) (*expt.JobResult, error)
+
+	leased   atomic.Int64
+	reported atomic.Int64
+	stopOnce sync.Once
+	stop     chan struct{}
+}
+
+// NewWorker builds a worker; call Run to serve.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Parallel <= 0 {
+		cfg.Parallel = 1
+	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 10 * time.Second
+	}
+	base := cfg.Connect
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	w := &Worker{
+		cfg:    cfg,
+		base:   strings.TrimRight(base, "/"),
+		client: &http.Client{Timeout: 30 * time.Second},
+		stop:   make(chan struct{}),
+	}
+	w.run = func(j expt.Job) (*expt.JobResult, error) {
+		return expt.RunJob(j, w.telem, w.sk, w.ek)
+	}
+	return w
+}
+
+// SetRun replaces the job execution seam (tests only).
+func (w *Worker) SetRun(run func(expt.Job) (*expt.JobResult, error)) { w.run = run }
+
+// Reported returns how many results this worker has delivered.
+func (w *Worker) Reported() int { return int(w.reported.Load()) }
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// post sends one protocol request and decodes the reply into out.
+func (w *Worker) post(path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("dist: encoding %s request: %w", path, err)
+	}
+	resp, err := w.client.Post(w.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("dist: %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dist: %s: coordinator answered %s", path, resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("dist: decoding %s reply: %w", path, err)
+	}
+	return nil
+}
+
+// hello announces the worker, retrying while the coordinator comes up,
+// and adopts the campaign configuration from the reply.
+func (w *Worker) hello() error {
+	req := Hello{
+		Proto: Proto,
+		Name:  w.cfg.Name,
+		SweepKernels: []string{
+			kernel.SweepKernelWord.String(), kernel.SweepKernelGranule.String(),
+		},
+		SimEngines: []string{
+			sim.EngineFast.String(), sim.EngineClassic.String(),
+		},
+	}
+	deadline := time.Now().Add(w.cfg.HelloTimeout)
+	for {
+		var rep HelloReply
+		err := w.post(PathHello, req, &rep)
+		if err == nil && !rep.OK {
+			return fmt.Errorf("dist: coordinator refused worker: %s", rep.Reason)
+		}
+		if err == nil {
+			w.id = rep.WorkerID
+			w.hb = time.Duration(rep.HeartbeatMS) * time.Millisecond
+			if w.hb <= 0 {
+				w.hb = time.Second
+			}
+			if rep.Telemetry != nil {
+				w.telem = &telemetry.Options{
+					SampleEvery: rep.Telemetry.SampleEvery, MaxRows: rep.Telemetry.MaxRows,
+				}
+			}
+			if w.sk, err = kernel.ParseSweepKernel(rep.SweepKernel); err != nil {
+				return fmt.Errorf("dist: coordinator sent unusable kernel: %w", err)
+			}
+			if w.ek, err = sim.ParseEngineKind(rep.SimEngine); err != nil {
+				return fmt.Errorf("dist: coordinator sent unusable engine: %w", err)
+			}
+			w.logf("worker %s joined %s campaign %q (kernel=%s engine=%s heartbeat=%s)",
+				w.id, rep.Tool, rep.Grid, w.sk, w.ek, w.hb)
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("dist: coordinator unreachable after %s: %w", w.cfg.HelloTimeout, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// Run serves leases until the coordinator drains the campaign, MaxJobs is
+// reached, or a fatal error (protocol refusal, coordinator vanishing,
+// crash hook) stops the worker.
+func (w *Worker) Run() error {
+	if err := w.hello(); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, w.cfg.Parallel)
+	for i := 0; i < w.cfg.Parallel; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- w.serve()
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// halt stops every serving goroutine and heartbeater (crash hook,
+// MaxJobs).
+func (w *Worker) halt() { w.stopOnce.Do(func() { close(w.stop) }) }
+
+func (w *Worker) stopped() bool {
+	select {
+	case <-w.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// serve is one lease loop: lease, run, report, repeat.
+func (w *Worker) serve() error {
+	for {
+		if w.stopped() {
+			return nil
+		}
+		var rep LeaseReply
+		if err := w.post(PathLease, LeaseRequest{WorkerID: w.id}, &rep); err != nil {
+			// The coordinator exits as soon as its document is written, so
+			// losing it after joining is the normal end of a campaign from
+			// the worker's side.
+			w.logf("worker %s: coordinator gone (%v); exiting", w.id, err)
+			return nil
+		}
+		switch rep.Status {
+		case StatusDrain:
+			w.logf("worker %s drained after %d job(s)", w.id, w.reported.Load())
+			return nil
+		case StatusWait:
+			wait := time.Duration(rep.WaitMS) * time.Millisecond
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-w.stop:
+				return nil
+			case <-time.After(wait):
+			}
+			continue
+		case StatusJob:
+			// fall through
+		default:
+			return fmt.Errorf("dist: unknown lease status %q", rep.Status)
+		}
+		if n := w.leased.Add(1); w.cfg.CrashAfterLease > 0 && int(n) >= w.cfg.CrashAfterLease {
+			// Die holding the lease: no result, no heartbeat — the
+			// coordinator must notice via heartbeat timeout and re-issue.
+			w.logf("worker %s: crash hook fired on lease %s", w.id, rep.LeaseID)
+			w.halt()
+			return ErrCrashed
+		}
+		w.execute(rep)
+		if w.cfg.MaxJobs > 0 && int(w.reported.Load()) >= w.cfg.MaxJobs {
+			w.logf("worker %s reached max-jobs=%d", w.id, w.cfg.MaxJobs)
+			w.halt()
+			return nil
+		}
+	}
+}
+
+// execute runs one leased job under a heartbeater and reports the
+// outcome. Worker-side panics are captured into the error string with the
+// same "panic: " prefix the local pool uses, so expt.ErrClass classifies
+// them identically.
+func (w *Worker) execute(rep LeaseReply) {
+	res := ResultRequest{WorkerID: w.id, LeaseID: rep.LeaseID, Key: rep.Key}
+	if rep.Job == nil {
+		res.Err = "lease granted without a job body"
+		w.report(res)
+		return
+	}
+	job := *rep.Job
+	if derived := job.Key(); derived != rep.Key {
+		// Coordinator and worker disagree on what this job IS; running it
+		// would poison the campaign with a result filed under the wrong
+		// cell.
+		res.Err = fmt.Sprintf("job schema skew: leased key %.12s, worker derives %.12s", rep.Key, derived)
+		w.report(res)
+		return
+	}
+	hbDone := make(chan struct{})
+	go w.heartbeat(rep.LeaseID, hbDone)
+	start := time.Now()
+	out, err := w.runCaptured(job)
+	res.HostMS = float64(time.Since(start)) / float64(time.Millisecond)
+	close(hbDone)
+	if err != nil {
+		res.Err = err.Error()
+	} else {
+		res.Result = out
+	}
+	w.report(res)
+}
+
+// runCaptured invokes the run seam with panic containment.
+func (w *Worker) runCaptured(j expt.Job) (out *expt.JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return w.run(j)
+}
+
+// heartbeat renews the lease until done closes. A not-OK reply means the
+// lease was reclaimed; the run finishes anyway and its report is
+// discarded coordinator-side.
+func (w *Worker) heartbeat(leaseID string, done <-chan struct{}) {
+	t := time.NewTicker(w.hb)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-w.stop:
+			return
+		case <-t.C:
+			var rep HeartbeatReply
+			if err := w.post(PathHeartbeat, HeartbeatRequest{WorkerID: w.id, LeaseID: leaseID}, &rep); err != nil {
+				continue // transient; result delivery is what matters
+			}
+			if !rep.OK {
+				w.logf("worker %s: lease %s reclaimed (%s)", w.id, leaseID, rep.Reason)
+				return
+			}
+		}
+	}
+}
+
+// report delivers a result with a little persistence; a lost report is
+// recovered by lease reclaim, so giving up is safe.
+func (w *Worker) report(res ResultRequest) {
+	for attempt := 0; attempt < 3; attempt++ {
+		var rep ResultReply
+		if err := w.post(PathResult, res, &rep); err == nil {
+			if !rep.OK {
+				w.logf("worker %s: result for lease %s discarded (%s)", w.id, res.LeaseID, rep.Reason)
+			}
+			w.reported.Add(1)
+			return
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	w.logf("worker %s: could not deliver result for lease %s", w.id, res.LeaseID)
+}

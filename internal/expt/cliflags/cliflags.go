@@ -1,10 +1,12 @@
 // Package cliflags centralizes the experiment-runner flag plumbing that
 // cmd/sweep and cmd/chaos share: the pool sizing flags (-workers,
-// -timeout, -retries), manifest resume (-resume), per-job progress lines
-// (-progress), the live introspection server (-http, -http-linger), and
-// the simulation implementation seams (-sweepkernel, -simengine).
-// Both commands register the same flags with the same defaults and get
-// the same progress formatting, so the tools stay drop-in consistent.
+// -timeout, -retries, -retry-backoff), manifest resume (-resume,
+// -compact), per-job progress lines (-progress), the live introspection
+// server (-http, -http-linger), the simulation implementation seams
+// (-sweepkernel, -simengine), and the execution backend (-exec, -listen,
+// -addr-file, -heartbeat). Both commands register the same flags with the
+// same defaults and get the same progress formatting, so the tools stay
+// drop-in consistent.
 package cliflags
 
 import (
@@ -15,6 +17,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/expt"
 	"repro/internal/kernel"
 	"repro/internal/sim"
@@ -26,8 +29,26 @@ type Flags struct {
 	Workers  int
 	Timeout  time.Duration
 	Retries  int
-	Resume   string
+	// RetryBackoff spaces a failed job's attempts (attempt n+1 waits
+	// n*RetryBackoff); 0 retries immediately.
+	RetryBackoff time.Duration
+	Resume       string
+	// Compact rewrites the -resume manifest on open, dropping superseded
+	// duplicate entries for the same key.
+	Compact  bool
 	Progress bool
+	// Exec selects the execution backend: "local" runs jobs on this
+	// process's pool; "net" starts internal/dist's coordinator and leases
+	// jobs to cmd/worker processes.
+	Exec string
+	// Listen is the coordinator bind address under -exec=net (":0" for
+	// ephemeral); AddrFile, when non-empty, receives the bound address —
+	// scripts launching workers against an ephemeral port read it back.
+	Listen   string
+	AddrFile string
+	// Heartbeat is the lease-renewal interval advertised to workers; a
+	// worker silent for several intervals has its leases reclaimed.
+	Heartbeat time.Duration
 	// HTTPAddr mounts the live introspection server (telemetry.Live) when
 	// non-empty; ":0" binds an ephemeral port.
 	HTTPAddr string
@@ -54,8 +75,14 @@ func Register() *Flags {
 	flag.IntVar(&f.Workers, "workers", runtime.NumCPU(), "parallel jobs (grid shards across host cores)")
 	flag.DurationVar(&f.Timeout, "timeout", 10*time.Minute, "per-job attempt timeout (0 = unbounded)")
 	flag.IntVar(&f.Retries, "retries", 1, "extra attempts for a failed job")
+	flag.DurationVar(&f.RetryBackoff, "retry-backoff", 0, "delay attempt n+1 of a failed job by n times this (0 = retry immediately)")
 	flag.StringVar(&f.Resume, "resume", "", "manifest file: record completed jobs and resume from them")
+	flag.BoolVar(&f.Compact, "compact", false, "compact the -resume manifest on open, dropping superseded duplicate entries")
 	flag.BoolVar(&f.Progress, "progress", false, "print per-job progress lines")
+	flag.StringVar(&f.Exec, "exec", "local", "execution backend: local (in-process pool) or net (lease jobs to cmd/worker processes)")
+	flag.StringVar(&f.Listen, "listen", "127.0.0.1:9977", "coordinator bind address under -exec=net (\":0\" = ephemeral)")
+	flag.StringVar(&f.AddrFile, "addr-file", "", "write the coordinator's bound address to this file (for scripts using -listen :0)")
+	flag.DurationVar(&f.Heartbeat, "heartbeat", time.Second, "worker lease-renewal interval under -exec=net")
 	flag.StringVar(&f.HTTPAddr, "http", "", "serve live introspection (/metrics, /jobs, /events) on this address (\":0\" = ephemeral)")
 	flag.DurationVar(&f.HTTPLinger, "http-linger", 0, "keep the -http server up this long after the run completes")
 	flag.StringVar(&f.SweepKernel, "sweepkernel", "word", "page-sweep implementation: word (batch kernel) or granule (per-granule differential oracle)")
@@ -114,12 +141,31 @@ func (f *Flags) StartProfiles() (stop func() error, err error) {
 }
 
 // Manifest opens the -resume manifest for the given tool and grid
-// signature, or returns nil when resume is off. The caller owns Close.
+// signature, or returns nil when resume is off. With -compact, the file
+// is rewritten in place to drop superseded duplicate entries before use.
+// The caller owns Close.
 func (f *Flags) Manifest(tool, grid string) (*expt.Manifest, error) {
 	if f.Resume == "" {
+		if f.Compact {
+			return nil, fmt.Errorf("cliflags: -compact needs -resume to name the manifest")
+		}
 		return nil, nil
 	}
-	return expt.OpenManifestFor(f.Resume, expt.ManifestMeta{Tool: tool, Grid: grid})
+	m, err := expt.OpenManifestFor(f.Resume, expt.ManifestMeta{Tool: tool, Grid: grid})
+	if err != nil {
+		return nil, err
+	}
+	if f.Compact {
+		dropped, err := m.Compact()
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("cliflags: -compact: %w", err)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "%s: compacted %s: dropped %d superseded entr(ies)\n", tool, f.Resume, dropped)
+		}
+	}
+	return m, nil
 }
 
 // PoolConfig assembles the pool configuration from the flags: sizing,
@@ -137,12 +183,13 @@ func (f *Flags) PoolConfig(tool string, manifest *expt.Manifest) (expt.PoolConfi
 		return expt.PoolConfig{}, nil, err
 	}
 	cfg := expt.PoolConfig{
-		Workers:     f.Workers,
-		Timeout:     f.Timeout,
-		Retries:     f.Retries,
-		Manifest:    manifest,
-		SweepKernel: sk,
-		SimEngine:   ek,
+		Workers:      f.Workers,
+		Timeout:      f.Timeout,
+		Retries:      f.Retries,
+		RetryBackoff: f.RetryBackoff,
+		Manifest:     manifest,
+		SweepKernel:  sk,
+		SimEngine:    ek,
 	}
 	var live *telemetry.Live
 	if f.HTTPAddr != "" {
@@ -163,6 +210,59 @@ func (f *Flags) PoolConfig(tool string, manifest *expt.Manifest) (expt.PoolConfi
 		}
 	}
 	return cfg, live, nil
+}
+
+// NewExecutor builds the execution backend -exec selected: a local pool,
+// or a listening dist coordinator that leases the grid to cmd/worker
+// processes. The returned closer must be called after every Get has
+// returned — for a coordinator it drains the worker fleet (telling each
+// worker to exit) and shuts the protocol server down; for a local pool it
+// is a no-op. The coordinator's per-worker accounting is wired onto live
+// (/workers and the <tool>_dist_* metric families) when both exist.
+func (f *Flags) NewExecutor(tool, grid string, pcfg expt.PoolConfig, live *telemetry.Live) (expt.Executor, func() error, error) {
+	switch f.Exec {
+	case "", "local":
+		return expt.NewPool(pcfg), func() error { return nil }, nil
+	case "net":
+		c := dist.NewCoordinator(dist.Config{
+			Tool:         tool,
+			Grid:         grid,
+			Pool:         pcfg,
+			LeaseTimeout: f.Timeout,
+			Heartbeat:    f.Heartbeat,
+		})
+		addr, err := c.Start(f.Listen)
+		if err != nil {
+			return nil, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "%s: coordinator on %s (attach workers: worker -connect %s)\n", tool, addr, addr)
+		if f.AddrFile != "" {
+			// Write-then-rename so a script polling the path never reads a
+			// torn address.
+			tmp := f.AddrFile + ".tmp"
+			if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+				c.Close()
+				return nil, nil, fmt.Errorf("cliflags: -addr-file: %w", err)
+			}
+			if err := os.Rename(tmp, f.AddrFile); err != nil {
+				c.Close()
+				return nil, nil, fmt.Errorf("cliflags: -addr-file: %w", err)
+			}
+		}
+		live.SetWorkerSource(c.Workers)
+		closer := func() error {
+			c.Drain()
+			// Give drained workers a beat to observe the drain reply before
+			// the server vanishes; their exit does not gate the campaign.
+			time.Sleep(50 * time.Millisecond)
+			if f.AddrFile != "" {
+				_ = os.Remove(f.AddrFile)
+			}
+			return c.Close()
+		}
+		return c, closer, nil
+	}
+	return nil, nil, fmt.Errorf("cliflags: unknown -exec backend %q (want local or net)", f.Exec)
 }
 
 // Finish lingers the live server for -http-linger, then shuts it down.

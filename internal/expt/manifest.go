@@ -2,9 +2,11 @@ package expt
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"time"
 )
@@ -27,6 +29,10 @@ type Manifest struct {
 	done map[string]manifestEntry
 	meta *ManifestMeta
 	f    *os.File
+	// lines counts data lines on disk (loaded plus appended); when it
+	// exceeds len(done), superseded duplicates are wasting space and
+	// Compact can reclaim them.
+	lines int
 }
 
 type manifestEntry struct {
@@ -110,8 +116,58 @@ func OpenManifestFor(path string, meta ManifestMeta) (*Manifest, error) {
 	return m, nil
 }
 
+// repairTornTail truncates a trailing partial line (no terminating
+// newline) left by a writer that crashed mid-Record. The partial line
+// was never loadable, but leaving it in place would corrupt the next
+// append: O_APPEND glues the new line — possibly the metadata header —
+// onto the torn tail, making both unparsable and, for the header, the
+// whole manifest unresumable. Truncating back to the last newline makes
+// a crashed campaign resume cleanly; the torn job simply re-runs.
+func repairTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	buf := make([]byte, 64<<10)
+	end := size // offset just past the last '\n'
+	for off := size; off > 0; {
+		n := int64(len(buf))
+		if n > off {
+			n = off
+		}
+		off -= n
+		if _, err := f.ReadAt(buf[:n], off); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			end = off + int64(i) + 1
+			break
+		}
+		end = 0 // no newline anywhere (yet): whole file is one torn line
+	}
+	if end == size {
+		return nil
+	}
+	return f.Truncate(end)
+}
+
 func openManifest(path string) (*Manifest, *ManifestMeta, error) {
 	m := &Manifest{path: path, done: map[string]manifestEntry{}}
+	if err := repairTornTail(path); err != nil {
+		return nil, nil, fmt.Errorf("expt: repairing manifest %s: %w", path, err)
+	}
 	if f, err := os.Open(path); err == nil {
 		sc := bufio.NewScanner(f)
 		sc.Buffer(make([]byte, 1<<20), maxManifestLine)
@@ -127,6 +183,7 @@ func openManifest(path string) (*Manifest, *ManifestMeta, error) {
 			if line.Key == "" || line.Result == nil {
 				continue
 			}
+			m.lines++
 			m.done[line.Key] = manifestEntry{
 				res:  line.Result,
 				host: time.Duration(line.HostMS * float64(time.Millisecond)),
@@ -186,8 +243,86 @@ func (m *Manifest) Record(key string, r *JobResult, host time.Duration) error {
 	if _, err := m.f.Write(b); err != nil {
 		return fmt.Errorf("expt: appending to manifest %s: %w", m.path, err)
 	}
+	m.lines++
 	m.done[key] = manifestEntry{res: r, host: host}
 	return nil
+}
+
+// Compact rewrites the manifest in place, keeping the metadata header and
+// the surviving entry for each key while dropping superseded duplicates
+// (jobs recorded more than once — e.g. re-run after their original line
+// was torn by a crash, or re-executed when a distributed lease was
+// reclaimed just before the original worker's result arrived). Long-lived
+// campaigns that resume many times stay bounded by their live key count
+// instead of their append history. Entries are rewritten sorted by key,
+// so a compacted manifest is deterministic for a given key set. Returns
+// how many duplicate lines were dropped.
+func (m *Manifest) Compact() (dropped int, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dropped = m.lines - len(m.done)
+	if dropped <= 0 {
+		return 0, nil
+	}
+	tmp := m.path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("expt: compacting manifest %s: %w", m.path, err)
+	}
+	w := bufio.NewWriter(f)
+	writeLine := func(line manifestLine) error {
+		b, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		_, err = w.Write(b)
+		return err
+	}
+	fail := func(e error) (int, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, fmt.Errorf("expt: compacting manifest %s: %w", m.path, e)
+	}
+	if m.meta != nil {
+		if err := writeLine(manifestLine{Meta: m.meta}); err != nil {
+			return fail(err)
+		}
+	}
+	keys := make([]string, 0, len(m.done))
+	for k := range m.done {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := m.done[k]
+		if err := writeLine(manifestLine{
+			Key:    k,
+			HostMS: float64(e.host.Microseconds()) / 1e3,
+			Result: e.res,
+		}); err != nil {
+			return fail(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp, m.path); err != nil {
+		return fail(err)
+	}
+	// Swap the append handle onto the compacted file; the old handle
+	// points at the unlinked inode.
+	nf, err := os.OpenFile(m.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("expt: reopening compacted manifest %s: %w", m.path, err)
+	}
+	m.f.Close()
+	m.f = nf
+	m.lines = len(m.done)
+	return dropped, nil
 }
 
 // Len returns the number of completed jobs on record.

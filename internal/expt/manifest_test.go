@@ -93,9 +93,9 @@ func TestPoolResumesFromManifest(t *testing.T) {
 	jobs := []Job{fakeJob("astar", 1), fakeJob("omnetpp", 2), fakeJob("xalancbmk", 3)}
 
 	var runs atomic.Int64
-	countingRun := func(j Job) (*JobResult, error) {
+	countingRun := func(j Job) (*JobResult, time.Duration, error) {
 		runs.Add(1)
-		return fakeResult(j), nil
+		return fakeResult(j), 0, nil
 	}
 
 	// First sweep: completes the first two jobs, then is "interrupted".
@@ -174,9 +174,9 @@ func TestPoolCachedJobsCarryRecordedHost(t *testing.T) {
 		Manifest: m2,
 		Progress: func(ev Event) { events = append(events, ev) },
 	})
-	p.run = func(Job) (*JobResult, error) {
+	p.run = func(Job) (*JobResult, time.Duration, error) {
 		t.Fatal("cached job executed")
-		return nil, nil
+		return nil, 0, nil
 	}
 	if _, err := p.Get(j); err != nil {
 		t.Fatal(err)
@@ -259,4 +259,144 @@ func TestManifestMetaRejectsLegacy(t *testing.T) {
 		t.Fatal("legacy reopen lost the result")
 	}
 	m.Close()
+}
+
+// TestManifestRepairsTornTailForAppend pins the crashed-writer recovery
+// end to end: a manifest whose final line was torn mid-write (no
+// terminating newline) must reopen cleanly AND keep appending cleanly.
+// Without the open-time truncation, O_APPEND would glue the next record
+// onto the torn tail, corrupting both lines and losing the new result on
+// the following resume.
+func TestManifestRepairsTornTailForAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	meta := ManifestMeta{Tool: "sweep", Grid: "g"}
+	m, err := OpenManifestFor(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, j2 := fakeJob("astar", 1), fakeJob("omnetpp", 2)
+	if err := m.Record(j1.Key(), fakeResult(j1), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	// Crash mid-Record: a partial, newline-less line at EOF.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"` + j2.Key() + `","result":{"workl`)
+	f.Close()
+
+	m2, err := OpenManifestFor(path, meta)
+	if err != nil {
+		t.Fatalf("resume after torn tail: %v", err)
+	}
+	if m2.Len() != 1 {
+		t.Fatalf("Len = %d after torn tail, want 1", m2.Len())
+	}
+	// The torn job re-runs and re-records; the append must land on a
+	// clean line boundary.
+	if err := m2.Record(j2.Key(), fakeResult(j2), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m2.Close()
+
+	m3, err := OpenManifestFor(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Close()
+	if m3.Len() != 2 {
+		t.Fatalf("Len = %d after re-record, want 2 (append corrupted by torn tail?)", m3.Len())
+	}
+	for _, j := range []Job{j1, j2} {
+		if _, _, ok := m3.Lookup(j.Key()); !ok {
+			t.Fatalf("job %.12s lost", j.Key())
+		}
+	}
+}
+
+// TestManifestRepairsTornHeader covers the nastiest torn-tail variant: the
+// writer crashed while writing the metadata header itself. The repair
+// truncates the file back to empty and the next open adopts a fresh
+// header instead of failing validation forever.
+func TestManifestRepairsTornHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	if err := os.WriteFile(path, []byte(`{"meta":{"schema":"cornucopia-manifest/v1","tool":"sw`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	meta := ManifestMeta{Tool: "sweep", Grid: "g"}
+	m, err := OpenManifestFor(path, meta)
+	if err != nil {
+		t.Fatalf("open over torn header: %v", err)
+	}
+	m.Close()
+	m2, err := OpenManifestFor(path, meta)
+	if err != nil {
+		t.Fatalf("reopen after header adoption: %v", err)
+	}
+	m2.Close()
+}
+
+// TestManifestCompact pins rewrite-on-demand compaction: superseded
+// duplicate keys are dropped, the newest entry survives, the header is
+// preserved, and appends keep working on the compacted file.
+func TestManifestCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "manifest.jsonl")
+	meta := ManifestMeta{Tool: "sweep", Grid: "g"}
+	m, err := OpenManifestFor(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, j2, j3 := fakeJob("astar", 1), fakeJob("omnetpp", 2), fakeJob("sjeng", 3)
+	stale := fakeResult(j1)
+	stale.WallCycles = 1
+	if err := m.Record(j1.Key(), stale, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Record(j2.Key(), fakeResult(j2), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Supersede j1 (a reclaimed-lease re-run, say).
+	if err := m.Record(j1.Key(), fakeResult(j1), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := m.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("Compact dropped %d, want 1", dropped)
+	}
+	// A second compaction has nothing to do.
+	if dropped, err = m.Compact(); err != nil || dropped != 0 {
+		t.Fatalf("second Compact = (%d, %v), want (0, nil)", dropped, err)
+	}
+	// The append handle must follow the rewritten file.
+	if err := m.Record(j3.Key(), fakeResult(j3), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	m2, err := OpenManifestFor(path, meta)
+	if err != nil {
+		t.Fatalf("reopen after compact: %v", err)
+	}
+	defer m2.Close()
+	if m2.Len() != 3 {
+		t.Fatalf("Len = %d after compact, want 3", m2.Len())
+	}
+	r, host, ok := m2.Lookup(j1.Key())
+	if !ok || r.WallCycles == 1 || host != 2*time.Second {
+		t.Fatalf("compaction kept the superseded entry: %+v host=%v ok=%v", r, host, ok)
+	}
+	// File now holds exactly header + 2 compacted keys + 1 post-compact append.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(b), "\n"); got != 4 {
+		t.Fatalf("compacted file has %d lines, want 4 (header + 2 keys + 1 append)", got)
+	}
 }

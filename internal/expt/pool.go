@@ -73,6 +73,11 @@ type PoolConfig struct {
 	Timeout time.Duration
 	// Retries is how many additional attempts a failed job gets.
 	Retries int
+	// RetryBackoff, when non-zero, delays attempt n+1 by n*RetryBackoff
+	// of host time. Local pools default to immediate retry; the network
+	// executor (internal/dist) uses it so a job whose worker vanished is
+	// not re-issued into the same instant the fleet is churning.
+	RetryBackoff time.Duration
 	// Manifest, when non-nil, serves completed jobs and records new ones.
 	Manifest *Manifest
 	// Progress, when non-nil, observes every job completion. Called
@@ -102,7 +107,11 @@ type PoolConfig struct {
 type Pool struct {
 	cfg PoolConfig
 	sem chan struct{}
-	run func(Job) (*JobResult, error) // swappable in tests
+	// run executes one attempt. The returned duration, when positive,
+	// overrides the pool's own wall-clock measurement of the attempt —
+	// a network backend reports the worker's actual run time, excluding
+	// queue and transport. Swappable in tests and by internal/dist.
+	run func(Job) (*JobResult, time.Duration, error)
 
 	mu      sync.Mutex
 	entries map[string]*entry
@@ -131,14 +140,27 @@ func NewPool(cfg PoolConfig) *Pool {
 		sem:     make(chan struct{}, cfg.Workers),
 		entries: map[string]*entry{},
 	}
-	p.run = func(j Job) (*JobResult, error) { return runJob(j, cfg.Telemetry, cfg.SweepKernel, cfg.SimEngine) }
+	p.run = func(j Job) (*JobResult, time.Duration, error) {
+		r, err := RunJob(j, cfg.Telemetry, cfg.SweepKernel, cfg.SimEngine)
+		return r, 0, err
+	}
 	return p
 }
 
-// runJob executes one job for real: instantiate the workload, cold-boot a
+// SetRun replaces the pool's execution backend. internal/dist installs
+// its lease dispatcher here; everything else (dedup, manifest, retry,
+// progress, stats) is shared, which is what keeps distributed documents
+// identical to local ones. Call before the first submission.
+func (p *Pool) SetRun(run func(Job) (*JobResult, time.Duration, error)) {
+	p.run = run
+}
+
+// RunJob executes one job for real: instantiate the workload, cold-boot a
 // machine, run, flatten. With telem set, the run is profiled and the
-// snapshot must conserve cycles.
-func runJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel, ek sim.EngineKind) (*JobResult, error) {
+// snapshot must conserve cycles. This is the one true execution path —
+// local pool workers and internal/dist network workers both call it, so
+// a job computes the same result wherever it runs.
+func RunJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel, ek sim.EngineKind) (*JobResult, error) {
 	w, err := j.Workload.Instantiate()
 	if err != nil {
 		return nil, err
@@ -304,9 +326,15 @@ func (p *Pool) finishLocked(e *entry, status string) {
 func (p *Pool) execute(e *entry) {
 	var lastErr error
 	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
+		if attempt > 0 && p.cfg.RetryBackoff > 0 {
+			time.Sleep(time.Duration(attempt) * p.cfg.RetryBackoff)
+		}
 		start := time.Now()
-		res, err := p.attempt(e.job)
+		res, runHost, err := p.attempt(e.job)
 		host := time.Since(start)
+		if runHost > 0 {
+			host = runHost
+		}
 		if err == nil {
 			// Record before publishing, outside the pool lock (the
 			// manifest serializes itself, and marshal of a large result
@@ -363,11 +391,13 @@ func (p *Pool) execute(e *entry) {
 }
 
 // attempt runs the job once, converting panics to errors and enforcing the
-// per-attempt timeout.
-func (p *Pool) attempt(j Job) (*JobResult, error) {
+// per-attempt timeout. The returned duration is the backend's own host
+// cost measurement when it has one (see Pool.run), zero otherwise.
+func (p *Pool) attempt(j Job) (*JobResult, time.Duration, error) {
 	type outcome struct {
-		res *JobResult
-		err error
+		res  *JobResult
+		host time.Duration
+		err  error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
@@ -376,19 +406,19 @@ func (p *Pool) attempt(j Job) (*JobResult, error) {
 				ch <- outcome{err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
 			}
 		}()
-		res, err := p.run(j)
-		ch <- outcome{res: res, err: err}
+		res, host, err := p.run(j)
+		ch <- outcome{res: res, host: host, err: err}
 	}()
 	if p.cfg.Timeout <= 0 {
 		o := <-ch
-		return o.res, o.err
+		return o.res, o.host, o.err
 	}
 	timer := time.NewTimer(p.cfg.Timeout)
 	defer timer.Stop()
 	select {
 	case o := <-ch:
-		return o.res, o.err
+		return o.res, o.host, o.err
 	case <-timer.C:
-		return nil, fmt.Errorf("attempt timed out after %s (simulation goroutines abandoned)", p.cfg.Timeout)
+		return nil, 0, fmt.Errorf("attempt timed out after %s (simulation goroutines abandoned)", p.cfg.Timeout)
 	}
 }

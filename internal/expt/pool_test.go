@@ -40,9 +40,9 @@ func fakeResult(j Job) *JobResult {
 func TestPoolDedupesByKey(t *testing.T) {
 	var runs atomic.Int64
 	p := NewPool(PoolConfig{Workers: 4})
-	p.run = func(j Job) (*JobResult, error) {
+	p.run = func(j Job) (*JobResult, time.Duration, error) {
 		runs.Add(1)
-		return fakeResult(j), nil
+		return fakeResult(j), 0, nil
 	}
 	j := fakeJob("omnetpp", 1)
 	p.Prefetch([]Job{j, j, j})
@@ -65,11 +65,11 @@ func TestPoolDedupesByKey(t *testing.T) {
 func TestPoolRetriesThenSucceeds(t *testing.T) {
 	var runs atomic.Int64
 	p := NewPool(PoolConfig{Workers: 1, Retries: 2})
-	p.run = func(j Job) (*JobResult, error) {
+	p.run = func(j Job) (*JobResult, time.Duration, error) {
 		if runs.Add(1) == 1 {
-			return nil, errors.New("transient")
+			return nil, 0, errors.New("transient")
 		}
-		return fakeResult(j), nil
+		return fakeResult(j), 0, nil
 	}
 	if _, err := p.Get(fakeJob("astar", 1)); err != nil {
 		t.Fatal(err)
@@ -85,7 +85,7 @@ func TestPoolRetriesThenSucceeds(t *testing.T) {
 
 func TestPoolExhaustsRetries(t *testing.T) {
 	p := NewPool(PoolConfig{Workers: 1, Retries: 1})
-	p.run = func(Job) (*JobResult, error) { return nil, errors.New("permanent") }
+	p.run = func(Job) (*JobResult, time.Duration, error) { return nil, 0, errors.New("permanent") }
 	_, err := p.Get(fakeJob("astar", 1))
 	if err == nil || !strings.Contains(err.Error(), "failed after 2 attempt(s)") {
 		t.Fatalf("err = %v", err)
@@ -100,7 +100,7 @@ func TestPoolExhaustsRetries(t *testing.T) {
 
 func TestPoolCapturesPanics(t *testing.T) {
 	p := NewPool(PoolConfig{Workers: 1})
-	p.run = func(Job) (*JobResult, error) { panic("boom") }
+	p.run = func(Job) (*JobResult, time.Duration, error) { panic("boom") }
 	_, err := p.Get(fakeJob("gobmk", 1))
 	if err == nil || !strings.Contains(err.Error(), "panic: boom") {
 		t.Fatalf("err = %v", err)
@@ -111,9 +111,9 @@ func TestPoolTimesOut(t *testing.T) {
 	release := make(chan struct{})
 	defer close(release)
 	p := NewPool(PoolConfig{Workers: 1, Timeout: 10 * time.Millisecond})
-	p.run = func(j Job) (*JobResult, error) {
+	p.run = func(j Job) (*JobResult, time.Duration, error) {
 		<-release // simulates a stuck simulation; abandoned by the pool
-		return fakeResult(j), nil
+		return fakeResult(j), 0, nil
 	}
 	_, err := p.Get(fakeJob("hmmer", 1))
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
@@ -132,7 +132,7 @@ func TestPoolProgressEvents(t *testing.T) {
 			mu.Unlock()
 		},
 	})
-	p.run = func(j Job) (*JobResult, error) { return fakeResult(j), nil }
+	p.run = func(j Job) (*JobResult, time.Duration, error) { return fakeResult(j), 0, nil }
 	jobs := []Job{fakeJob("astar", 1), fakeJob("omnetpp", 2)}
 	p.Prefetch(jobs)
 	for _, j := range jobs {
@@ -157,7 +157,7 @@ func TestPoolProgressEvents(t *testing.T) {
 
 func TestPoolResultsSortedAndComplete(t *testing.T) {
 	p := NewPool(PoolConfig{Workers: 4})
-	p.run = func(j Job) (*JobResult, error) { return fakeResult(j), nil }
+	p.run = func(j Job) (*JobResult, time.Duration, error) { return fakeResult(j), 0, nil }
 	jobs := []Job{fakeJob("xalancbmk", 3), fakeJob("astar", 1), fakeJob("sjeng", 2)}
 	p.Prefetch(jobs)
 	for _, j := range jobs {
@@ -209,11 +209,11 @@ func TestPoolRetryEvents(t *testing.T) {
 		events = append(events, ev)
 		mu.Unlock()
 	}})
-	p.run = func(j Job) (*JobResult, error) {
+	p.run = func(j Job) (*JobResult, time.Duration, error) {
 		if runs.Add(1) < 3 {
-			return nil, errors.New("transient fault")
+			return nil, 0, errors.New("transient fault")
 		}
-		return fakeResult(j), nil
+		return fakeResult(j), 0, nil
 	}
 	if _, err := p.Get(fakeJob("xalancbmk", 1)); err != nil {
 		t.Fatal(err)
@@ -251,7 +251,7 @@ func TestPoolFailedEventCarriesErrClass(t *testing.T) {
 		events = append(events, ev)
 		mu.Unlock()
 	}})
-	p.run = func(Job) (*JobResult, error) { panic("sweeper exploded") }
+	p.run = func(Job) (*JobResult, time.Duration, error) { panic("sweeper exploded") }
 	if _, err := p.Get(fakeJob("xalancbmk", 2)); err == nil {
 		t.Fatal("want failure")
 	}
@@ -308,14 +308,14 @@ func TestPoolProgressSerializedUnderConcurrency(t *testing.T) {
 			inCallback.Add(-1)
 		},
 	})
-	p.run = func(j Job) (*JobResult, error) {
+	p.run = func(j Job) (*JobResult, time.Duration, error) {
 		// Every third job fails its first attempt so retry events mix in.
 		if j.Cfg.Seed%3 == 0 {
 			if _, loaded := failedOnce.LoadOrStore(j.Cfg.Seed, true); !loaded {
-				return nil, errors.New("transient")
+				return nil, 0, errors.New("transient")
 			}
 		}
-		return fakeResult(j), nil
+		return fakeResult(j), 0, nil
 	}
 	var jobs []Job
 	for i := 0; i < n; i++ {

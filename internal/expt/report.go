@@ -135,9 +135,11 @@ func BuildAggregates(results []*JobResult) []Aggregate {
 	return out
 }
 
-// BuildDocument assembles the results document from a pool's completed
-// jobs and the figures it regenerated.
-func BuildDocument(p *Pool, figures []FigureResult, workers int, reps int, scale uint64) *Document {
+// BuildDocument assembles the results document from an executor's
+// completed jobs and the figures it regenerated. The executor may be a
+// local Pool or internal/dist's network Coordinator; the document's
+// simulation-derived content is identical either way.
+func BuildDocument(p Executor, figures []FigureResult, workers int, reps int, scale uint64) *Document {
 	completed := p.Results()
 	doc := &Document{
 		Schema:  Schema,
@@ -161,6 +163,23 @@ func BuildDocument(p *Pool, figures []FigureResult, workers int, reps int, scale
 	}
 	doc.Aggregates = BuildAggregates(results)
 	return doc
+}
+
+// Canonicalize zeroes the document's host-execution metadata — per-job
+// host wall times, attempt counts, cache provenance, and the pool
+// counters — leaving only simulation-derived content. Two canonicalized
+// documents for the same grid are byte-identical regardless of where and
+// how the jobs ran: worker count, local vs. distributed execution,
+// manifest resume, and mid-campaign worker crashes (which surface as
+// extra attempts) all disappear. cmd/sweep -canonical applies this for
+// the CI smoke diffs.
+func (d *Document) Canonicalize() {
+	for i := range d.Jobs {
+		d.Jobs[i].HostMillis = 0
+		d.Jobs[i].Attempts = 0
+		d.Jobs[i].Cached = false
+	}
+	d.Pool = PoolStats{}
 }
 
 // Write emits the document as indented JSON.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+	"time"
 
 	"repro/internal/harness"
 	"repro/internal/kernel"
@@ -12,7 +13,7 @@ import (
 
 func TestDocumentRoundTrip(t *testing.T) {
 	p := NewPool(PoolConfig{Workers: 2})
-	p.run = func(j Job) (*JobResult, error) { return fakeResult(j), nil }
+	p.run = func(j Job) (*JobResult, time.Duration, error) { return fakeResult(j), 0, nil }
 	jobs := []Job{fakeJob("astar", 1), fakeJob("astar", 1000004), fakeJob("omnetpp", 1)}
 	p.Prefetch(jobs)
 	for _, j := range jobs {
@@ -88,7 +89,7 @@ func TestJobResultHarnessRoundTrip(t *testing.T) {
 		Cond:     harness.StandardConditions()[1],
 		Cfg:      harness.PgbenchConfig(),
 	}
-	jr, err := runJob(j, nil, kernel.SweepKernelWord, sim.EngineFast)
+	jr, err := RunJob(j, nil, kernel.SweepKernelWord, sim.EngineFast)
 	if err != nil {
 		t.Fatal(err)
 	}

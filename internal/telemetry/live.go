@@ -25,6 +25,22 @@ type JobUpdate struct {
 	Total     int     `json:"total"`
 }
 
+// WorkerStatus is one distributed worker's lease accounting, published
+// by internal/dist's coordinator through SetWorkerSource. Defined here
+// (like JobUpdate) so telemetry does not import dist.
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Inflight int    `json:"inflight"`
+	Leases   uint64 `json:"leases"`
+	Results  uint64 `json:"results"`
+	Failures uint64 `json:"failures"`
+	Reclaims uint64 `json:"reclaims"`
+	// SecondsSinceSeen is the age of the worker's last request (lease,
+	// heartbeat or result) at snapshot time.
+	SecondsSinceSeen float64 `json:"seconds_since_seen"`
+}
+
 // liveEvent is a JobUpdate stamped with host receive order/time.
 type liveEvent struct {
 	Seq  int       `json:"seq"`
@@ -61,6 +77,7 @@ type Live struct {
 	total   int
 	byStat  map[string]int
 	source  func() *Snapshot
+	workers func() []WorkerStatus
 
 	srv *http.Server
 	ln  net.Listener
@@ -114,6 +131,19 @@ func (l *Live) SetMetricsSource(fn func() *Snapshot) {
 	l.mu.Unlock()
 }
 
+// SetWorkerSource installs a provider of distributed-worker status (the
+// dist coordinator's Workers method). When set, /workers serves the
+// snapshot and /metrics grows per-worker lease families. Called per
+// scrape; must be safe for concurrent use.
+func (l *Live) SetWorkerSource(fn func() []WorkerStatus) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.workers = fn
+	l.mu.Unlock()
+}
+
 // Handler returns the HTTP mux.
 func (l *Live) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -121,6 +151,7 @@ func (l *Live) Handler() http.Handler {
 	mux.HandleFunc("/metrics", l.handleMetrics)
 	mux.HandleFunc("/jobs", l.handleJobs)
 	mux.HandleFunc("/events", l.handleEvents)
+	mux.HandleFunc("/workers", l.handleWorkers)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -165,6 +196,10 @@ func (l *Live) handleRoot(w http.ResponseWriter, r *http.Request) {
 	for _, s := range stats {
 		fmt.Fprintf(w, "  %-8s %d\n", s, l.byStat[s])
 	}
+	if l.workers != nil {
+		fmt.Fprintln(w, "endpoints: /metrics /jobs /events /workers /healthz")
+		return
+	}
 	fmt.Fprintln(w, "endpoints: /metrics /jobs /events /healthz")
 }
 
@@ -176,6 +211,7 @@ func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		byStat[k] = v
 	}
 	source := l.source
+	workers := l.workers
 	l.mu.Unlock()
 
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
@@ -188,12 +224,50 @@ func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	for _, s := range []string{"ran", "cached", "retry", "failed"} {
 		fmt.Fprintf(w, "%s_job_events_total{status=\"%s\"} %d\n", l.tool, s, byStat[s])
 	}
+	if workers != nil {
+		ws := workers()
+		for _, fam := range []struct {
+			name, help string
+			value      func(WorkerStatus) uint64
+		}{
+			{"dist_worker_inflight", "leases currently held by the worker", func(s WorkerStatus) uint64 { return uint64(s.Inflight) }},
+			{"dist_worker_leases_total", "leases ever granted to the worker", func(s WorkerStatus) uint64 { return s.Leases }},
+			{"dist_worker_results_total", "successful results delivered by the worker", func(s WorkerStatus) uint64 { return s.Results }},
+			{"dist_worker_failures_total", "failed results delivered by the worker", func(s WorkerStatus) uint64 { return s.Failures }},
+			{"dist_worker_reclaims_total", "leases reclaimed from the worker after heartbeat or lease timeout", func(s WorkerStatus) uint64 { return s.Reclaims }},
+		} {
+			kind := "counter"
+			if fam.name == "dist_worker_inflight" {
+				kind = "gauge"
+			}
+			fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s %s\n", l.tool, fam.name, fam.help, l.tool, fam.name, kind)
+			for _, s := range ws {
+				fmt.Fprintf(w, "%s_%s{worker=\"%s\",name=\"%s\"} %d\n", l.tool, fam.name, s.ID, s.Name, fam.value(s))
+			}
+		}
+	}
 	if source != nil {
 		if snap := source(); snap != nil {
 			_ = snap.WriteOpenMetrics(w, false)
 		}
 	}
 	fmt.Fprintln(w, "# EOF")
+}
+
+// handleWorkers serves the distributed-worker snapshot; 404 when the
+// campaign is not distributed (no source installed).
+func (l *Live) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	workers := l.workers
+	l.mu.Unlock()
+	if workers == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(workers())
 }
 
 func (l *Live) handleJobs(w http.ResponseWriter, _ *http.Request) {

@@ -103,6 +103,56 @@ func TestLiveEndpoints(t *testing.T) {
 	}
 }
 
+// TestLiveWorkers pins the distributed-campaign surface: /workers is 404
+// until a source is installed, then serves the coordinator's per-worker
+// snapshot, and /metrics grows the <tool>_dist_* families.
+func TestLiveWorkers(t *testing.T) {
+	l := NewLive("sweep")
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	if code, _ := liveGet(t, srv, "/workers"); code != 404 {
+		t.Fatalf("/workers before a source = %d, want 404 (campaign not distributed)", code)
+	}
+	if _, body := liveGet(t, srv, "/metrics"); strings.Contains(body, "dist_worker") {
+		t.Fatal("dist families emitted without a worker source")
+	}
+
+	l.SetWorkerSource(func() []WorkerStatus {
+		return []WorkerStatus{
+			{ID: "w001", Name: "alpha", Inflight: 2, Leases: 7, Results: 5, Reclaims: 1},
+			{ID: "w002", Name: "beta", Leases: 3, Results: 2, Failures: 1},
+		}
+	})
+	code, body := liveGet(t, srv, "/workers")
+	if code != 200 {
+		t.Fatalf("/workers = %d", code)
+	}
+	var ws []WorkerStatus
+	if err := json.Unmarshal([]byte(body), &ws); err != nil {
+		t.Fatalf("/workers is not JSON: %v", err)
+	}
+	if len(ws) != 2 || ws[0].ID != "w001" || ws[0].Inflight != 2 || ws[1].Failures != 1 {
+		t.Fatalf("/workers = %+v", ws)
+	}
+
+	_, body = liveGet(t, srv, "/metrics")
+	for _, want := range []string{
+		`sweep_dist_worker_inflight{worker="w001",name="alpha"} 2`,
+		`sweep_dist_worker_leases_total{worker="w001",name="alpha"} 7`,
+		`sweep_dist_worker_results_total{worker="w002",name="beta"} 2`,
+		`sweep_dist_worker_failures_total{worker="w002",name="beta"} 1`,
+		`sweep_dist_worker_reclaims_total{worker="w001",name="alpha"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	if code, body := liveGet(t, srv, "/"); code != 200 || !strings.Contains(body, "/workers") {
+		t.Fatalf("/ does not advertise /workers: %d %q", code, body)
+	}
+}
+
 // TestLiveConcurrentObserve hammers Observe from many goroutines while
 // scraping; run with -race to catch lock violations.
 func TestLiveConcurrentObserve(t *testing.T) {
@@ -150,6 +200,7 @@ func TestLiveStartAndClose(t *testing.T) {
 	var nilLive *Live
 	nilLive.Observe(JobUpdate{})
 	nilLive.SetMetricsSource(nil)
+	nilLive.SetWorkerSource(nil)
 	if err := nilLive.Close(); err != nil {
 		t.Fatal(err)
 	}
