@@ -7,13 +7,14 @@ GO ?= go
 # should watch. The heavier simulator packages (kernel, revoke, …) run
 # one thread at a time on top of sim and are exercised by the plain
 # `test` target.
-RACE_PKGS = ./internal/bus ./internal/ca ./internal/fault ./internal/metrics \
+RACE_PKGS = ./internal/bus ./internal/ca ./internal/dist/netfault \
+            ./internal/expt/cliflags ./internal/fault ./internal/metrics \
             ./internal/oracle ./internal/shadow ./internal/sim \
             ./internal/telemetry ./internal/tmem ./internal/trace \
             ./internal/vm
 
 .PHONY: all build vet test race verify chaos sweep-bench telemetry-smoke \
-        hostbench hostbench-smoke dist-smoke
+        hostbench hostbench-smoke dist-smoke dist-chaos-smoke
 
 all: verify
 
@@ -57,6 +58,16 @@ telemetry-smoke:
 # canonical documents are byte-identical (artifacts under dist-smoke/).
 dist-smoke:
 	./scripts/dist_smoke.sh
+
+# dist-chaos-smoke: network-chaos + degraded-mode check. Re-runs the
+# dist-smoke grid with deterministic network faults armed on both sides of
+# the protocol (coordinator drops; worker drop/delay/reset/duplicate/
+# reorder/throttle), a worker crash mid-lease, exponential-backoff retries
+# and the per-worker circuit breaker, then a worker-cache rejoin pass —
+# every canonical document must stay byte-identical to the local run
+# (artifacts + cornucopia-netchaos/v1 report under dist-chaos-smoke/).
+dist-chaos-smoke:
+	./scripts/dist_chaos_smoke.sh
 
 # BENCH_host.json: the host-performance rig (internal/hostbench) — where
 # the simulator spends real CPU, complementing the simulated-cycle

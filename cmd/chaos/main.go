@@ -32,6 +32,11 @@
 //	      [-workers N] [-timeout D] [-retries N] [-retry-backoff D]
 //	      [-resume FILE] [-compact]
 //	      [-exec local|net] [-listen ADDR] [-addr-file FILE] [-heartbeat D]
+//	      [-retry-backoff-max D] [-retry-jitter F]
+//	      [-netfault CLASSES] [-netfault-seed N] [-netfault-rate P]
+//	      [-netfault-max N] [-netfault-delay D] [-netfault-partition-frac F]
+//	      [-breaker-failures N] [-breaker-cooldown D]
+//	      [-evict-after D] [-local-fallback D]
 //	      [-http ADDR] [-http-linger D]
 //	      [-sweepkernel word|granule] [-simengine fast|classic]
 //	      [-out report.json] [-progress] [-strict] [-list-classes]

@@ -12,6 +12,11 @@
 //	      [-retry-backoff D] [-resume FILE] [-compact] [-out results.json]
 //	      [-canonical] [-dry-run] [-progress]
 //	      [-exec local|net] [-listen ADDR] [-addr-file FILE] [-heartbeat D]
+//	      [-retry-backoff-max D] [-retry-jitter F]
+//	      [-netfault CLASSES] [-netfault-seed N] [-netfault-rate P]
+//	      [-netfault-max N] [-netfault-delay D] [-netfault-partition-frac F]
+//	      [-breaker-failures N] [-breaker-cooldown D]
+//	      [-evict-after D] [-local-fallback D]
 //	      [-http ADDR] [-http-linger D]
 //	      [-sweepkernel word|granule] [-simengine fast|classic]
 //	      [-cpuprofile FILE] [-memprofile FILE]

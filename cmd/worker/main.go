@@ -11,17 +11,31 @@
 // Usage:
 //
 //	worker -connect HOST:PORT [-name LABEL] [-parallel N] [-max-jobs N]
-//	       [-hello-timeout D] [-crash-after-lease N]
+//	       [-hello-timeout D] [-reconnect-timeout D] [-cache FILE]
+//	       [-crash-after-lease N]
+//	       [-netfault CLASSES] [-netfault-seed N] [-netfault-rate P]
+//	       [-netfault-max N] [-netfault-delay D]
 //
 // The worker exits 0 when the coordinator drains the campaign (or the
-// coordinator vanishes after the worker joined — the coordinator exits as
-// soon as its documents are written), and 1 on a protocol refusal or an
-// unreachable coordinator.
+// coordinator stays unreachable past -reconnect-timeout after the worker
+// joined — the coordinator exits as soon as its documents are written),
+// and 1 on a protocol refusal or an unreachable coordinator.
 //
 // -crash-after-lease N is fault injection for the reclaim path: the
 // worker dies (exit 2) immediately upon taking its Nth lease, without
 // running or reporting it — the CI smoke uses it to prove a campaign
 // survives losing a worker mid-lease.
+//
+// -cache FILE opens a worker-side result cache (an expt manifest,
+// validated against the campaign's tool/grid at join): a worker that
+// crashes and rejoins replays the keys it already completed instead of
+// re-executing them.
+//
+// -netfault CLASSES arms deterministic worker-side network fault
+// injection on every protocol request: a comma-separated subset of
+// drop, delay, duplicate, reorder, reset, throttle (see
+// internal/dist/netfault). The chaos smoke drives campaigns under these
+// faults and asserts the canonical documents stay byte-identical.
 package main
 
 import (
@@ -30,9 +44,11 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/dist/netfault"
 )
 
 func main() {
@@ -43,7 +59,14 @@ func main() {
 	parallel := flag.Int("parallel", runtime.NumCPU(), "concurrent leases to hold")
 	maxJobs := flag.Int("max-jobs", 0, "exit after reporting this many results (0 = run until drained)")
 	helloTimeout := flag.Duration("hello-timeout", 10*time.Second, "how long to retry the opening hello while the coordinator starts")
+	reconnectTimeout := flag.Duration("reconnect-timeout", 5*time.Second, "how long to retry a silent coordinator before treating the campaign as over")
+	cache := flag.String("cache", "", "worker-side result cache file: replay completed keys after a rejoin instead of re-executing")
 	crashAfterLease := flag.Int("crash-after-lease", 0, "fault injection: die on taking the Nth lease, without reporting (0 = off)")
+	nfClasses := flag.String("netfault", "", "worker-side network fault classes to inject (comma-separated: drop,delay,duplicate,reorder,reset,throttle; empty = off)")
+	nfSeed := flag.Int64("netfault-seed", 1, "seed for the deterministic network fault decision stream")
+	nfRate := flag.Float64("netfault-rate", 0, "per-opportunity network fault probability (0 = netfault default)")
+	nfMax := flag.Uint64("netfault-max", 0, "cap injections per fault class (0 = unbounded)")
+	nfDelay := flag.Duration("netfault-delay", 0, "injected network delay/throttle pause (0 = netfault default)")
 	flag.Parse()
 
 	if *connect == "" {
@@ -53,13 +76,26 @@ func main() {
 		host, _ := os.Hostname()
 		*name = fmt.Sprintf("%s:%d", host, os.Getpid())
 	}
+	var faults *netfault.Spec
+	if *nfClasses != "" {
+		faults = &netfault.Spec{
+			Seed:        *nfSeed,
+			Classes:     strings.Split(*nfClasses, ","),
+			Rate:        *nfRate,
+			MaxPerClass: *nfMax,
+			Delay:       *nfDelay,
+		}
+	}
 	w := dist.NewWorker(dist.WorkerConfig{
-		Connect:         *connect,
-		Name:            *name,
-		Parallel:        *parallel,
-		MaxJobs:         *maxJobs,
-		HelloTimeout:    *helloTimeout,
-		CrashAfterLease: *crashAfterLease,
+		Connect:          *connect,
+		Name:             *name,
+		Parallel:         *parallel,
+		MaxJobs:          *maxJobs,
+		HelloTimeout:     *helloTimeout,
+		ReconnectTimeout: *reconnectTimeout,
+		CachePath:        *cache,
+		CrashAfterLease:  *crashAfterLease,
+		Faults:           faults,
 		Logf: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},

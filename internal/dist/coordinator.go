@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dist/netfault"
 	"repro/internal/expt"
 	"repro/internal/telemetry"
 )
@@ -37,6 +38,32 @@ type Config struct {
 	HeartbeatMiss int
 	// WaitMS is the poll delay suggested to idle workers (default 100).
 	WaitMS int64
+	// Faults, when non-nil, arms coordinator-side network fault injection
+	// over the protocol endpoints (netfault.Handler): inbound drop and
+	// delay, plus partition of a deterministic worker subset. Worker-side
+	// classes (drop/delay/duplicate/reorder/reset/throttle) are armed on
+	// the workers themselves.
+	Faults *netfault.Spec
+	// BreakerFailures trips a worker's circuit breaker after this many
+	// consecutive failures or reclaims (0 = breaker off). A tripped
+	// worker is quarantined — lease requests answered with waits — for
+	// BreakerCooldown (default 2s), then allowed one probe lease.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// EvictAfter removes a worker holding no leases from the live fleet
+	// view once it has been silent this long; its counters fold into the
+	// departed aggregate (DistStats) instead of being reported live
+	// forever. Default 60 heartbeat intervals; negative disables.
+	EvictAfter time.Duration
+	// LocalFallback, when > 0, degrades the coordinator to local
+	// execution: if the fleet has been silent (no worker request at all)
+	// for this long while jobs are queued and no leases are outstanding,
+	// queued jobs run on the coordinator itself through the same
+	// expt.RunJob path a worker would use. 0 = wait for workers forever.
+	LocalFallback time.Duration
+	// Logf, when set, receives degraded-mode notices (breaker trips,
+	// evictions, local-fallback activation).
+	Logf func(format string, args ...any)
 }
 
 // task is one pool attempt awaiting a worker.
@@ -64,13 +91,29 @@ type lease struct {
 // workerState is the coordinator's per-worker accounting, surfaced on the
 // live introspection server.
 type workerState struct {
-	id, name string
-	inflight int
-	leases   uint64
-	results  uint64
-	failures uint64
-	reclaims uint64
-	lastSeen time.Time
+	id, name  string
+	inflight  int
+	leases    uint64
+	results   uint64
+	failures  uint64
+	reclaims  uint64
+	cacheHits uint64
+	discards  uint64
+	brk       breaker
+	lastSeen  time.Time
+}
+
+// departed aggregates the counters of evicted workers so fleet totals
+// survive eviction.
+type departed struct {
+	count     int
+	leases    uint64
+	results   uint64
+	failures  uint64
+	reclaims  uint64
+	cacheHits uint64
+	discards  uint64
+	trips     uint64
 }
 
 // Coordinator owns a campaign's job grid and leases it out to network
@@ -80,20 +123,29 @@ type workerState struct {
 // differs, which is what keeps distributed documents identical to local
 // ones.
 type Coordinator struct {
-	cfg     Config
-	pool    *expt.Pool
-	hbEvery time.Duration
-	hbMiss  int
-	waitMS  int64
+	cfg        Config
+	pool       *expt.Pool
+	hbEvery    time.Duration
+	hbMiss     int
+	waitMS     int64
+	evictAfter time.Duration
+	brkCool    time.Duration
+	faults     *netfault.Injector
+	// localRun executes one job on the coordinator itself when the
+	// LocalFallback deadline fires (tests inject fakes; default RunJob).
+	localRun func(expt.Job) (*expt.JobResult, time.Duration, error)
 
-	mu       sync.Mutex
-	queue    []*task
-	leases   map[string]*lease
-	workers  map[string]*workerState
-	seq      int
-	wseq     int
-	draining bool
-	closed   bool
+	mu         sync.Mutex
+	queue      []*task
+	leases     map[string]*lease
+	workers    map[string]*workerState
+	gone       departed
+	seq        int
+	wseq       int
+	lastWorker time.Time // most recent request from any worker
+	fallbacks  uint64    // jobs run locally by the fallback path
+	draining   bool
+	closed     bool
 
 	srv      *http.Server
 	ln       net.Listener
@@ -115,15 +167,31 @@ func NewCoordinator(cfg Config) *Coordinator {
 	if cfg.WaitMS <= 0 {
 		cfg.WaitMS = 100
 	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	evict := cfg.EvictAfter
+	if evict == 0 {
+		// Default: long enough that campaigns with fast test heartbeats
+		// never lose a crashed worker's counters mid-run, short enough
+		// that a long-lived coordinator's /workers view stays honest.
+		evict = 60 * cfg.Heartbeat
+		if evict < time.Minute {
+			evict = time.Minute
+		}
+	}
 	c := &Coordinator{
-		cfg:      cfg,
-		hbEvery:  cfg.Heartbeat,
-		hbMiss:   cfg.HeartbeatMiss,
-		waitMS:   cfg.WaitMS,
-		leases:   map[string]*lease{},
-		workers:  map[string]*workerState{},
-		reapStop: make(chan struct{}),
-		reapDone: make(chan struct{}),
+		cfg:        cfg,
+		hbEvery:    cfg.Heartbeat,
+		hbMiss:     cfg.HeartbeatMiss,
+		waitMS:     cfg.WaitMS,
+		evictAfter: evict,
+		brkCool:    cfg.BreakerCooldown,
+		leases:     map[string]*lease{},
+		workers:    map[string]*workerState{},
+		lastWorker: time.Now(),
+		reapStop:   make(chan struct{}),
+		reapDone:   make(chan struct{}),
 	}
 	pcfg := cfg.Pool
 	// Lease reclaim is the distributed timeout: it fails the attempt AND
@@ -132,7 +200,29 @@ func NewCoordinator(cfg Config) *Coordinator {
 	pcfg.Timeout = 0
 	c.pool = expt.NewPool(pcfg)
 	c.pool.SetRun(c.runRemote)
+	c.localRun = func(j expt.Job) (res *expt.JobResult, host time.Duration, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("panic: %v", r)
+			}
+		}()
+		start := time.Now()
+		res, err = expt.RunJob(j, cfg.Pool.Telemetry, cfg.Pool.SweepKernel, cfg.Pool.SimEngine)
+		return res, time.Since(start), err
+	}
 	return c
+}
+
+// SetLocalRun replaces the local-fallback execution seam (tests only).
+func (c *Coordinator) SetLocalRun(run func(expt.Job) (*expt.JobResult, time.Duration, error)) {
+	c.localRun = run
+}
+
+// logf emits a degraded-mode notice when the coordinator has a logger.
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
 }
 
 // Prefetch, Get, Results and Stats make the coordinator an expt.Executor.
@@ -167,17 +257,27 @@ func (c *Coordinator) runRemote(j expt.Job) (*expt.JobResult, time.Duration, err
 // background goroutine, and begins lease reaping. Returns the bound
 // address for workers to -connect to.
 func (c *Coordinator) Start(addr string) (string, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", fmt.Errorf("dist: listen %s: %w", addr, err)
-	}
-	c.ln = ln
+	var handler http.Handler
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathHello, c.handleHello)
 	mux.HandleFunc(PathLease, c.handleLease)
 	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
 	mux.HandleFunc(PathResult, c.handleResult)
-	c.srv = &http.Server{Handler: mux}
+	handler = mux
+	if c.cfg.Faults != nil {
+		in, err := netfault.New(*c.cfg.Faults)
+		if err != nil {
+			return "", fmt.Errorf("dist: %w", err)
+		}
+		c.faults = in
+		handler = in.Handler(mux)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("dist: listen %s: %w", addr, err)
+	}
+	c.ln = ln
+	c.srv = &http.Server{Handler: handler}
 	go func() { _ = c.srv.Serve(ln) }()
 	go c.reap()
 	return ln.Addr().String(), nil
@@ -229,7 +329,8 @@ func (c *Coordinator) Close() error {
 }
 
 // Workers snapshots per-worker lease accounting for the live
-// introspection server, sorted by worker id.
+// introspection server, sorted by worker id. Only live workers appear;
+// evicted ones are folded into DistStats' departed aggregate.
 func (c *Coordinator) Workers() []telemetry.WorkerStatus {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -243,11 +344,42 @@ func (c *Coordinator) Workers() []telemetry.WorkerStatus {
 			Results:          w.results,
 			Failures:         w.failures,
 			Reclaims:         w.reclaims,
+			CacheHits:        w.cacheHits,
+			Discards:         w.discards,
+			Breaker:          w.brk.String(),
+			BreakerTrips:     w.brk.trips,
 			SecondsSinceSeen: time.Since(w.lastSeen).Seconds(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// DistStats snapshots the coordinator-level degraded-mode accounting:
+// live/departed fleet size, aggregate counters surviving eviction, local
+// fallback activity, and the coordinator-side fault injector's report.
+func (c *Coordinator) DistStats() telemetry.DistStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := telemetry.DistStats{
+		WorkersLive:     len(c.workers),
+		WorkersDeparted: c.gone.count,
+		FallbackRuns:    c.fallbacks,
+		CacheHits:       c.gone.cacheHits,
+		Discards:        c.gone.discards,
+		Reclaims:        c.gone.reclaims,
+		BreakerTrips:    c.gone.trips,
+	}
+	for _, w := range c.workers {
+		st.CacheHits += w.cacheHits
+		st.Discards += w.discards
+		st.Reclaims += w.reclaims
+		st.BreakerTrips += w.brk.trips
+	}
+	if rep := c.faults.Report(); rep.Injections > 0 {
+		st.NetfaultInjections = rep.ByClass
+	}
+	return st
 }
 
 // reap reclaims dead leases: heartbeat silence for hbMiss intervals, or
@@ -280,12 +412,72 @@ func (c *Coordinator) reap() {
 				if w := c.workers[l.worker]; w != nil {
 					w.inflight--
 					w.reclaims++
+					if w.brk.failure(now, c.cfg.BreakerFailures) {
+						c.logf("dist: breaker open for worker %s (%s): %d consecutive failures/reclaims", w.id, w.name, w.brk.fails)
+					}
 				}
 				l.t.done <- taskOutcome{err: err}
 			}
+			c.evictSilent(now)
+			fallback := c.takeFallback(now)
 			c.mu.Unlock()
+			for _, t := range fallback {
+				go c.runFallback(t)
+			}
 		}
 	}
+}
+
+// evictSilent removes workers that hold no leases and have been silent
+// past EvictAfter from the live fleet view, folding their counters into
+// the departed aggregate so campaign totals survive. Called under c.mu.
+func (c *Coordinator) evictSilent(now time.Time) {
+	if c.evictAfter <= 0 {
+		return
+	}
+	for id, w := range c.workers {
+		if w.inflight > 0 || now.Sub(w.lastSeen) <= c.evictAfter {
+			continue
+		}
+		delete(c.workers, id)
+		c.gone.count++
+		c.gone.leases += w.leases
+		c.gone.results += w.results
+		c.gone.failures += w.failures
+		c.gone.reclaims += w.reclaims
+		c.gone.cacheHits += w.cacheHits
+		c.gone.discards += w.discards
+		c.gone.trips += w.brk.trips
+		c.logf("dist: evicted worker %s (%s) after %s silence (leases=%d results=%d)",
+			w.id, w.name, now.Sub(w.lastSeen).Round(time.Second), w.leases, w.results)
+	}
+}
+
+// takeFallback pops the queue for local execution when the fleet has
+// been silent past the LocalFallback deadline while jobs are stuck
+// queued with no leases outstanding. Called under c.mu; the caller runs
+// the returned tasks outside the lock.
+func (c *Coordinator) takeFallback(now time.Time) []*task {
+	if c.cfg.LocalFallback <= 0 || len(c.queue) == 0 || len(c.leases) > 0 {
+		return nil
+	}
+	if now.Sub(c.lastWorker) <= c.cfg.LocalFallback {
+		return nil
+	}
+	tasks := c.queue
+	c.queue = nil
+	c.fallbacks += uint64(len(tasks))
+	c.logf("dist: no worker contact for %s; running %d queued job(s) locally on the coordinator",
+		now.Sub(c.lastWorker).Round(time.Second), len(tasks))
+	return tasks
+}
+
+// runFallback executes one queued task on the coordinator itself through
+// the same RunJob path a worker would use (degraded mode: the fleet never
+// showed up or vanished entirely).
+func (c *Coordinator) runFallback(t *task) {
+	res, host, err := c.localRun(t.job)
+	t.done <- taskOutcome{res: res, host: host, err: err}
 }
 
 // decode parses a JSON request body, answering 400 on malformed input.
@@ -335,6 +527,7 @@ func (c *Coordinator) handleHello(w http.ResponseWriter, r *http.Request) {
 	c.wseq++
 	id := fmt.Sprintf("w%03d", c.wseq)
 	c.workers[id] = &workerState{id: id, name: name, lastSeen: time.Now()}
+	c.lastWorker = time.Now()
 	c.mu.Unlock()
 	rep := HelloReply{
 		OK:          true,
@@ -363,7 +556,20 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unknown worker (hello first)", http.StatusConflict)
 		return
 	}
-	ws.lastSeen = time.Now()
+	now := time.Now()
+	ws.lastSeen = now
+	c.lastWorker = now
+	if ok, wait := ws.brk.allow(now, c.brkCool); !ok {
+		// Quarantined: answer with a wait sized to the remaining cooldown
+		// (or one poll interval while a half-open probe is outstanding) so
+		// the worker paces itself without being drained.
+		ms := wait.Milliseconds()
+		if ms <= 0 || ms > c.waitMS {
+			ms = c.waitMS
+		}
+		reply(w, LeaseReply{Status: StatusWait, WaitMS: ms})
+		return
+	}
 	if len(c.queue) == 0 {
 		if c.draining {
 			reply(w, LeaseReply{Status: StatusDrain})
@@ -379,12 +585,13 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		id:       fmt.Sprintf("lease-%06d", c.seq),
 		t:        t,
 		worker:   req.WorkerID,
-		granted:  time.Now(),
-		lastBeat: time.Now(),
+		granted:  now,
+		lastBeat: now,
 	}
 	c.leases[l.id] = l
 	ws.leases++
 	ws.inflight++
+	ws.brk.granted()
 	job := t.job
 	reply(w, LeaseReply{Status: StatusJob, LeaseID: l.id, Key: t.key, Job: &job})
 }
@@ -398,6 +605,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	defer c.mu.Unlock()
 	if ws := c.workers[req.WorkerID]; ws != nil {
 		ws.lastSeen = time.Now()
+		c.lastWorker = ws.lastSeen
 	}
 	l := c.leases[req.LeaseID]
 	if l == nil || l.worker != req.WorkerID {
@@ -415,15 +623,20 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := time.Now()
 	ws := c.workers[req.WorkerID]
 	if ws != nil {
-		ws.lastSeen = time.Now()
+		ws.lastSeen = now
+		c.lastWorker = now
 	}
 	l := c.leases[req.LeaseID]
 	if l == nil || l.worker != req.WorkerID {
 		// The lease was reclaimed (and possibly re-issued) before this
 		// result arrived; the late result is discarded so the campaign
 		// has exactly one authoritative execution per attempt.
+		if ws != nil {
+			ws.discards++
+		}
 		reply(w, ResultReply{OK: false, Reason: "lease not held; result discarded"})
 		return
 	}
@@ -447,10 +660,19 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		o.res = req.Result
 	}
-	if o.err != nil && ws != nil {
-		ws.failures++
-	} else if ws != nil {
-		ws.results++
+	if ws != nil {
+		if o.err != nil {
+			ws.failures++
+			if ws.brk.failure(now, c.cfg.BreakerFailures) {
+				c.logf("dist: breaker open for worker %s (%s): %d consecutive failures", ws.id, ws.name, ws.brk.fails)
+			}
+		} else {
+			ws.results++
+			if req.Cached {
+				ws.cacheHits++
+			}
+			ws.brk.success()
+		}
 	}
 	l.t.done <- o
 	reply(w, ResultReply{OK: true})

@@ -1,0 +1,287 @@
+package netfault
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDecisionStreamDeterministic pins the reproducibility contract: the
+// per-class hit/miss sequence is a pure function of the spec.
+func TestDecisionStreamDeterministic(t *testing.T) {
+	mk := func() *Injector {
+		in, err := New(Spec{Seed: 7, Rate: 0.3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return in
+	}
+	a, b := mk(), mk()
+	for c := Class(0); c < NumClasses; c++ {
+		for i := 0; i < 200; i++ {
+			if a.Should(c) != b.Should(c) {
+				t.Fatalf("class %s decision %d diverged between identical specs", c, i)
+			}
+		}
+	}
+	if a.Total() == 0 {
+		t.Fatal("rate 0.3 over 200 opportunities per class fired nothing")
+	}
+	other, _ := New(Spec{Seed: 8, Rate: 0.3})
+	same := true
+	for i := 0; i < 200; i++ {
+		if a2, o := mk().Should(Drop), other.Should(Drop); i > 0 && a2 != o {
+			same = false
+		}
+	}
+	_ = same // different seeds usually diverge; not a hard guarantee per-bit
+}
+
+// TestRateAndCapBounds pins that rate 1 fires every opportunity and
+// MaxPerClass stops a class cold (the partition-healing mechanism).
+func TestRateAndCapBounds(t *testing.T) {
+	in, err := New(Spec{Seed: 1, Classes: []string{"drop"}, MaxPerClass: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if in.Should(Drop) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("MaxPerClass=3 at rate 1 fired %d times, want exactly 3", fired)
+	}
+	if in.Should(Delay) {
+		t.Fatal("unarmed class fired")
+	}
+	rep := in.Report()
+	if rep.Injections != 3 || rep.ByClass["drop"] != 3 {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+// TestSpecValidation pins New's rejections.
+func TestSpecValidation(t *testing.T) {
+	if _, err := New(Spec{Rate: 1.5}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if _, err := New(Spec{PartitionFrac: -0.1}); err == nil {
+		t.Fatal("negative partition fraction accepted")
+	}
+	if _, err := New(Spec{Classes: []string{"gremlins"}}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	if in, err := New(Spec{Classes: []string{"all"}}); err != nil || !in.Armed(Reset) {
+		t.Fatalf("\"all\" did not arm every class (err %v)", err)
+	}
+}
+
+// TestInPartitionExtremes pins the deterministic subset selection: frac 1
+// partitions everyone, frac ~0 no one, and membership is stable.
+func TestInPartitionExtremes(t *testing.T) {
+	all, _ := New(Spec{Seed: 3, Classes: []string{"partition"}, PartitionFrac: 1})
+	none, _ := New(Spec{Seed: 3, Classes: []string{"partition"}, PartitionFrac: 0.0000001})
+	half, _ := New(Spec{Seed: 3, Classes: []string{"partition"}})
+	ids := []string{"w001", "w002", "w003", "w004", "w005", "w006", "w007", "w008"}
+	inHalf := 0
+	for _, id := range ids {
+		if !all.InPartition(id) {
+			t.Fatalf("frac 1 excluded %s", id)
+		}
+		if none.InPartition(id) {
+			t.Fatalf("frac ~0 included %s", id)
+		}
+		if half.InPartition(id) != half.InPartition(id) {
+			t.Fatalf("membership of %s not stable", id)
+		}
+		if half.InPartition(id) {
+			inHalf++
+		}
+	}
+	if inHalf == 0 || inHalf == len(ids) {
+		t.Fatalf("frac 0.5 partitioned %d/%d workers; want a proper subset", inHalf, len(ids))
+	}
+	if all.InPartition("") {
+		t.Fatal("empty worker id (hello) must never be partitioned")
+	}
+}
+
+// TestNilInjectorIsInert pins the nil-safety contract every call site
+// relies on.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Should(Drop) || in.Armed(Reset) || in.InPartition("w001") || in.Total() != 0 {
+		t.Fatal("nil injector did something")
+	}
+	if rep := in.Report(); rep.Injections != 0 {
+		t.Fatalf("nil report = %+v", rep)
+	}
+}
+
+// newEchoServer counts requests and echoes a small JSON body.
+func newEchoServer(hits *atomic.Int64) *httptest.Server {
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Write([]byte(`{"ok":true}`))
+	}))
+}
+
+func postThrough(t *testing.T, srv *httptest.Server, rt http.RoundTripper) error {
+	t.Helper()
+	client := &http.Client{Transport: rt}
+	resp, err := client.Post(srv.URL+"/dist/v1/lease", "application/json",
+		bytes.NewReader([]byte(`{"worker_id":"w001"}`)))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// TestTransportDrop pins that a dropped request never reaches the peer
+// and surfaces an error that does NOT collide with expt.ErrClass's
+// "timed out"/"panic:" sentinels.
+func TestTransportDrop(t *testing.T) {
+	var hits atomic.Int64
+	srv := newEchoServer(&hits)
+	defer srv.Close()
+	in, _ := New(Spec{Seed: 1, Classes: []string{"drop"}, MaxPerClass: 1})
+	rt := NewTransport(in, nil)
+	err := postThrough(t, srv, rt)
+	if err == nil {
+		t.Fatal("dropped request succeeded")
+	}
+	if msg := err.Error(); strings.Contains(msg, "timed out") || strings.Contains(msg, "panic:") {
+		t.Fatalf("drop error %q collides with ErrClass sentinels", msg)
+	}
+	if hits.Load() != 0 {
+		t.Fatal("dropped request reached the server")
+	}
+	if err := postThrough(t, srv, rt); err != nil {
+		t.Fatalf("post after cap spent: %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", hits.Load())
+	}
+}
+
+// TestTransportReset pins reset's asymmetry: the request is delivered
+// (side effects land) but the caller sees a connection-reset error.
+func TestTransportReset(t *testing.T) {
+	var hits atomic.Int64
+	srv := newEchoServer(&hits)
+	defer srv.Close()
+	in, _ := New(Spec{Seed: 1, Classes: []string{"reset"}, MaxPerClass: 1})
+	err := postThrough(t, srv, NewTransport(in, nil))
+	if err == nil {
+		t.Fatal("reset request reported success")
+	}
+	if !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("reset error = %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (reset delivers before tearing)", hits.Load())
+	}
+	if msg := err.Error(); strings.Contains(msg, "timed out") || strings.Contains(msg, "panic:") {
+		t.Fatalf("reset error %q collides with ErrClass sentinels", msg)
+	}
+}
+
+// TestTransportDuplicate pins that the peer sees the request twice and the
+// caller still gets one good reply.
+func TestTransportDuplicate(t *testing.T) {
+	var hits atomic.Int64
+	srv := newEchoServer(&hits)
+	defer srv.Close()
+	in, _ := New(Spec{Seed: 1, Classes: []string{"duplicate"}, MaxPerClass: 1})
+	if err := postThrough(t, srv, NewTransport(in, nil)); err != nil {
+		t.Fatalf("duplicated request failed: %v", err)
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", hits.Load())
+	}
+}
+
+// TestTransportDelayAndThrottle pins that time-shaping classes slow the
+// request without failing it.
+func TestTransportDelayAndThrottle(t *testing.T) {
+	var hits atomic.Int64
+	srv := newEchoServer(&hits)
+	defer srv.Close()
+	in, _ := New(Spec{Seed: 1, Classes: []string{"delay", "throttle"}, Delay: 30 * time.Millisecond, MaxPerClass: 1})
+	start := time.Now()
+	if err := postThrough(t, srv, NewTransport(in, nil)); err != nil {
+		t.Fatalf("delayed request failed: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Fatalf("delay+throttle (30ms each) finished in %v", elapsed)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d requests", hits.Load())
+	}
+}
+
+// TestHandlerPartition pins coordinator-side partitioning: requests from
+// the partitioned worker answer 503 until MaxPerClass heals the split,
+// and other workers are untouched.
+func TestHandlerPartition(t *testing.T) {
+	in, err := New(Spec{Seed: 3, Classes: []string{"partition"}, PartitionFrac: 1, MaxPerClass: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var served atomic.Int64
+	h := in.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	post := func(workerID string) int {
+		t.Helper()
+		body, _ := json.Marshal(map[string]string{"worker_id": workerID})
+		resp, err := http.Post(srv.URL+"/dist/v1/lease", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("w001"); code != http.StatusServiceUnavailable {
+		t.Fatalf("partitioned worker answered %d, want 503", code)
+	}
+	if code := post(""); code != http.StatusOK {
+		t.Fatalf("hello-shaped request (no worker id) answered %d, want 200", code)
+	}
+	if code := post("w001"); code != http.StatusServiceUnavailable {
+		t.Fatalf("second partitioned request answered %d, want 503", code)
+	}
+	// Cap spent: the partition heals.
+	if code := post("w001"); code != http.StatusOK {
+		t.Fatalf("post-heal request answered %d, want 200", code)
+	}
+	if served.Load() != 2 {
+		t.Fatalf("inner handler served %d requests, want 2", served.Load())
+	}
+}
+
+// TestHandlerUnarmedPassthrough pins that Handler is the identity when no
+// inbound class is armed — zero overhead for fault-free campaigns.
+func TestHandlerUnarmedPassthrough(t *testing.T) {
+	in, _ := New(Spec{Seed: 1, Classes: []string{"reset", "duplicate"}})
+	inner := http.NewServeMux()
+	if got := in.Handler(inner); got != http.Handler(inner) {
+		t.Fatal("Handler wrapped despite no inbound classes armed")
+	}
+	var nilIn *Injector
+	if got := nilIn.Handler(inner); got != http.Handler(inner) {
+		t.Fatal("nil Handler wrapped")
+	}
+}

@@ -146,6 +146,11 @@ type ResultRequest struct {
 	HostMS   float64         `json:"host_ms"`
 	Err      string          `json:"err,omitempty"`
 	Result   *expt.JobResult `json:"result,omitempty"`
+	// Cached marks a result replayed from the worker's local result cache
+	// (its manifest) instead of being re-executed: a rejoining worker
+	// serves its completed keys instantly. HostMS then reports the
+	// original run's cost, exactly as a pool manifest hit does.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // ResultReply acknowledges a result; OK=false (expired lease, unknown

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dist/netfault"
 	"repro/internal/expt"
 	"repro/internal/kernel"
 	"repro/internal/sim"
@@ -43,6 +44,24 @@ type WorkerConfig struct {
 	// CrashAfterLease > 0 makes the worker die (see ErrCrashed) upon
 	// taking its Nth lease, before running or reporting it.
 	CrashAfterLease int
+	// Faults, when non-nil, arms worker-side network fault injection on
+	// every protocol request (netfault.Transport): drop, delay, duplicate,
+	// reorder, reset and throttle, decided deterministically per request.
+	Faults *netfault.Spec
+	// CachePath, when set, opens a worker-side result cache (an
+	// expt.Manifest keyed by job content hash, validated against the
+	// campaign's tool/grid at join). Completed keys leased again — e.g. to
+	// a worker rejoining after a crash, when the coordinator's retry
+	// re-issues a reclaimed job — are replayed from the cache instead of
+	// re-executed, reported with Cached=true and the original run's cost.
+	CachePath string
+	// ReconnectTimeout bounds how long the lease loop retries transport
+	// failures (with backoff) before concluding the coordinator is gone
+	// and exiting cleanly (default 5s).
+	ReconnectTimeout time.Duration
+	// Backoff spaces hello/lease/report retries; nil uses a default
+	// (100ms base, x2, 1s cap, 25% jitter).
+	Backoff *expt.Backoff
 	// Logf, when set, receives progress lines (cmd/worker wires stderr).
 	Logf func(format string, args ...any)
 }
@@ -55,19 +74,23 @@ type Worker struct {
 	base   string
 	client *http.Client
 
-	id    string
-	hb    time.Duration
-	telem *telemetry.Options
-	sk    kernel.SweepKernel
-	ek    sim.EngineKind
+	id         string
+	hb         time.Duration
+	telem      *telemetry.Options
+	sk         kernel.SweepKernel
+	ek         sim.EngineKind
+	tool, grid string
+	cache      *expt.Manifest
+	backoff    expt.Backoff
 
 	// run is the execution seam (tests inject fakes; default expt.RunJob).
 	run func(expt.Job) (*expt.JobResult, error)
 
-	leased   atomic.Int64
-	reported atomic.Int64
-	stopOnce sync.Once
-	stop     chan struct{}
+	leased    atomic.Int64
+	reported  atomic.Int64
+	cacheHits atomic.Int64
+	stopOnce  sync.Once
+	stop      chan struct{}
 }
 
 // NewWorker builds a worker; call Run to serve.
@@ -78,6 +101,9 @@ func NewWorker(cfg WorkerConfig) *Worker {
 	if cfg.HelloTimeout <= 0 {
 		cfg.HelloTimeout = 10 * time.Second
 	}
+	if cfg.ReconnectTimeout <= 0 {
+		cfg.ReconnectTimeout = 5 * time.Second
+	}
 	base := cfg.Connect
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
@@ -87,6 +113,16 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		base:   strings.TrimRight(base, "/"),
 		client: &http.Client{Timeout: 30 * time.Second},
 		stop:   make(chan struct{}),
+	}
+	if cfg.Backoff != nil {
+		w.backoff = *cfg.Backoff
+	} else {
+		w.backoff = expt.Backoff{
+			Base: 100 * time.Millisecond, Factor: 2, Max: time.Second, Jitter: 0.25,
+		}
+		if cfg.Faults != nil {
+			w.backoff.Seed = cfg.Faults.Seed
+		}
 	}
 	w.run = func(j expt.Job) (*expt.JobResult, error) {
 		return expt.RunJob(j, w.telem, w.sk, w.ek)
@@ -99,6 +135,9 @@ func (w *Worker) SetRun(run func(expt.Job) (*expt.JobResult, error)) { w.run = r
 
 // Reported returns how many results this worker has delivered.
 func (w *Worker) Reported() int { return int(w.reported.Load()) }
+
+// CacheHits returns how many results were replayed from the local cache.
+func (w *Worker) CacheHits() int { return int(w.cacheHits.Load()) }
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.cfg.Logf != nil {
@@ -140,7 +179,7 @@ func (w *Worker) hello() error {
 		},
 	}
 	deadline := time.Now().Add(w.cfg.HelloTimeout)
-	for {
+	for attempt := 1; ; attempt++ {
 		var rep HelloReply
 		err := w.post(PathHello, req, &rep)
 		if err == nil && !rep.OK {
@@ -148,6 +187,7 @@ func (w *Worker) hello() error {
 		}
 		if err == nil {
 			w.id = rep.WorkerID
+			w.tool, w.grid = rep.Tool, rep.Grid
 			w.hb = time.Duration(rep.HeartbeatMS) * time.Millisecond
 			if w.hb <= 0 {
 				w.hb = time.Second
@@ -170,7 +210,9 @@ func (w *Worker) hello() error {
 		if time.Now().After(deadline) {
 			return fmt.Errorf("dist: coordinator unreachable after %s: %w", w.cfg.HelloTimeout, err)
 		}
-		time.Sleep(100 * time.Millisecond)
+		if !w.backoff.Sleep(attempt, w.stop) {
+			return fmt.Errorf("dist: worker stopped while joining: %w", err)
+		}
 	}
 }
 
@@ -178,8 +220,29 @@ func (w *Worker) hello() error {
 // reached, or a fatal error (protocol refusal, coordinator vanishing,
 // crash hook) stops the worker.
 func (w *Worker) Run() error {
+	if w.cfg.Faults != nil {
+		in, err := netfault.New(*w.cfg.Faults)
+		if err != nil {
+			return fmt.Errorf("dist: %w", err)
+		}
+		w.client.Transport = netfault.NewTransport(in, nil)
+	}
 	if err := w.hello(); err != nil {
 		return err
+	}
+	if w.cfg.CachePath != "" {
+		m, err := expt.OpenManifestFor(w.cfg.CachePath, expt.ManifestMeta{Tool: w.tool, Grid: w.grid})
+		if err != nil {
+			// A broken or mismatched cache must not stop a healthy worker;
+			// run uncached.
+			w.logf("worker %s: result cache %s unusable (%v); running uncached", w.id, w.cfg.CachePath, err)
+		} else {
+			w.cache = m
+			defer m.Close()
+			if n := m.Len(); n > 0 {
+				w.logf("worker %s: result cache %s holds %d completed job(s)", w.id, w.cfg.CachePath, n)
+			}
+		}
 	}
 	var wg sync.WaitGroup
 	errs := make(chan error, w.cfg.Parallel)
@@ -213,23 +276,42 @@ func (w *Worker) stopped() bool {
 	}
 }
 
-// serve is one lease loop: lease, run, report, repeat.
+// serve is one lease loop: lease, run, report, repeat. Transport failures
+// (dropped requests, injected resets, a coordinator restarting) are
+// retried with backoff; only ReconnectTimeout of unbroken failure is
+// treated as the campaign's end.
 func (w *Worker) serve() error {
+	var fails int
+	var firstFail time.Time
 	for {
 		if w.stopped() {
 			return nil
 		}
 		var rep LeaseReply
 		if err := w.post(PathLease, LeaseRequest{WorkerID: w.id}, &rep); err != nil {
+			fails++
+			if fails == 1 {
+				firstFail = time.Now()
+			}
 			// The coordinator exits as soon as its document is written, so
-			// losing it after joining is the normal end of a campaign from
-			// the worker's side.
-			w.logf("worker %s: coordinator gone (%v); exiting", w.id, err)
-			return nil
+			// losing it for good after joining is the normal end of a
+			// campaign from the worker's side — but one failed request is
+			// just as likely a fault in the path, so keep trying first.
+			if time.Since(firstFail) > w.cfg.ReconnectTimeout {
+				w.logf("worker %s: coordinator gone after %s of lease retries (%v); exiting",
+					w.id, w.cfg.ReconnectTimeout, err)
+				return nil
+			}
+			if !w.backoff.Sleep(fails, w.stop) {
+				return nil
+			}
+			continue
 		}
+		fails = 0
 		switch rep.Status {
 		case StatusDrain:
-			w.logf("worker %s drained after %d job(s)", w.id, w.reported.Load())
+			w.logf("worker %s drained after %d job(s) (%d from cache)",
+				w.id, w.reported.Load(), w.cacheHits.Load())
 			return nil
 		case StatusWait:
 			wait := time.Duration(rep.WaitMS) * time.Millisecond
@@ -283,16 +365,36 @@ func (w *Worker) execute(rep LeaseReply) {
 		w.report(res)
 		return
 	}
+	if w.cache != nil {
+		if out, host, ok := w.cache.Lookup(rep.Key); ok {
+			// Replay from the local result cache: a rejoining worker serves
+			// keys it already completed without re-executing, reporting the
+			// original run's cost exactly as a pool manifest hit does.
+			res.Result = out
+			res.HostMS = float64(host) / float64(time.Millisecond)
+			res.Cached = true
+			w.cacheHits.Add(1)
+			w.logf("worker %s: lease %s served from cache (key %.12s)", w.id, rep.LeaseID, rep.Key)
+			w.report(res)
+			return
+		}
+	}
 	hbDone := make(chan struct{})
 	go w.heartbeat(rep.LeaseID, hbDone)
 	start := time.Now()
 	out, err := w.runCaptured(job)
-	res.HostMS = float64(time.Since(start)) / float64(time.Millisecond)
+	host := time.Since(start)
+	res.HostMS = float64(host) / float64(time.Millisecond)
 	close(hbDone)
 	if err != nil {
 		res.Err = err.Error()
 	} else {
 		res.Result = out
+		if w.cache != nil {
+			if cerr := w.cache.Record(rep.Key, out, host); cerr != nil {
+				w.logf("worker %s: result cache write failed (%v); continuing uncached", w.id, cerr)
+			}
+		}
 	}
 	w.report(res)
 }
@@ -332,10 +434,12 @@ func (w *Worker) heartbeat(leaseID string, done <-chan struct{}) {
 	}
 }
 
-// report delivers a result with a little persistence; a lost report is
-// recovered by lease reclaim, so giving up is safe.
+// report delivers a result with a little persistence (backoff-spaced
+// retries); a lost report is recovered by lease reclaim, so giving up is
+// safe.
 func (w *Worker) report(res ResultRequest) {
-	for attempt := 0; attempt < 3; attempt++ {
+	const attempts = 4
+	for attempt := 1; attempt <= attempts; attempt++ {
 		var rep ResultReply
 		if err := w.post(PathResult, res, &rep); err == nil {
 			if !rep.OK {
@@ -344,7 +448,9 @@ func (w *Worker) report(res ResultRequest) {
 			w.reported.Add(1)
 			return
 		}
-		time.Sleep(200 * time.Millisecond)
+		if attempt < attempts && !w.backoff.Sleep(attempt, w.stop) {
+			break
+		}
 	}
 	w.logf("worker %s: could not deliver result for lease %s", w.id, res.LeaseID)
 }

@@ -13,11 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/dist/netfault"
 	"repro/internal/expt"
 	"repro/internal/kernel"
 	"repro/internal/sim"
@@ -49,6 +52,34 @@ type Flags struct {
 	// Heartbeat is the lease-renewal interval advertised to workers; a
 	// worker silent for several intervals has its leases reclaimed.
 	Heartbeat time.Duration
+	// RetryBackoffMax and RetryJitter upgrade -retry-backoff to the
+	// unified exponential policy (expt.Backoff): when either is set, a
+	// failed job's attempt n waits RetryBackoff doubling per attempt,
+	// capped at RetryBackoffMax, plus up to RetryJitter fraction of
+	// deterministic seed-keyed jitter.
+	RetryBackoffMax time.Duration
+	RetryJitter     float64
+	// NetFault arms coordinator-side network fault injection under
+	// -exec=net: a comma-separated class list (drop, delay, partition —
+	// the inbound classes; worker-side classes are armed on cmd/worker).
+	// Empty = off.
+	NetFault              string
+	NetFaultSeed          int64
+	NetFaultRate          float64
+	NetFaultMax           uint64
+	NetFaultDelay         time.Duration
+	NetFaultPartitionFrac float64
+	// BreakerFailures trips a worker's circuit breaker after that many
+	// consecutive failures/reclaims (0 = off); BreakerCooldown is the
+	// quarantine before a probe lease.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	// EvictAfter folds a silent lease-free worker out of the live fleet
+	// view (0 = default of 60 heartbeats; negative disables).
+	EvictAfter time.Duration
+	// LocalFallback degrades the coordinator to local execution when the
+	// fleet has been silent this long with jobs queued (0 = off).
+	LocalFallback time.Duration
 	// HTTPAddr mounts the live introspection server (telemetry.Live) when
 	// non-empty; ":0" binds an ephemeral port.
 	HTTPAddr string
@@ -83,6 +114,18 @@ func Register() *Flags {
 	flag.StringVar(&f.Listen, "listen", "127.0.0.1:9977", "coordinator bind address under -exec=net (\":0\" = ephemeral)")
 	flag.StringVar(&f.AddrFile, "addr-file", "", "write the coordinator's bound address to this file (for scripts using -listen :0)")
 	flag.DurationVar(&f.Heartbeat, "heartbeat", time.Second, "worker lease-renewal interval under -exec=net")
+	flag.DurationVar(&f.RetryBackoffMax, "retry-backoff-max", 0, "cap exponential retry backoff at this delay (0 with -retry-jitter 0 = legacy linear backoff)")
+	flag.Float64Var(&f.RetryJitter, "retry-jitter", 0, "add up to this fraction of deterministic jitter to retry backoff (0..1)")
+	flag.StringVar(&f.NetFault, "netfault", "", "coordinator-side network fault classes to inject under -exec=net (comma-separated: drop,delay,partition; empty = off)")
+	flag.Int64Var(&f.NetFaultSeed, "netfault-seed", 1, "seed for the deterministic network fault decision stream")
+	flag.Float64Var(&f.NetFaultRate, "netfault-rate", 0, "per-opportunity network fault probability (0 = netfault default)")
+	flag.Uint64Var(&f.NetFaultMax, "netfault-max", 0, "cap injections per fault class (0 = unbounded; bounds partitions so campaigns heal)")
+	flag.DurationVar(&f.NetFaultDelay, "netfault-delay", 0, "injected network delay/throttle pause (0 = netfault default)")
+	flag.Float64Var(&f.NetFaultPartitionFrac, "netfault-partition-frac", 0, "fraction of workers in the injected partition (0 = netfault default)")
+	flag.IntVar(&f.BreakerFailures, "breaker-failures", 0, "trip a worker's circuit breaker after this many consecutive failures/reclaims (0 = off)")
+	flag.DurationVar(&f.BreakerCooldown, "breaker-cooldown", 0, "quarantine a tripped worker this long before its probe lease (0 = 2s)")
+	flag.DurationVar(&f.EvictAfter, "evict-after", 0, "evict a silent lease-free worker from the live fleet view after this long (0 = 60 heartbeats; negative = never)")
+	flag.DurationVar(&f.LocalFallback, "local-fallback", 0, "run queued jobs locally when the fleet has been silent this long under -exec=net (0 = wait forever)")
 	flag.StringVar(&f.HTTPAddr, "http", "", "serve live introspection (/metrics, /jobs, /events) on this address (\":0\" = ephemeral)")
 	flag.DurationVar(&f.HTTPLinger, "http-linger", 0, "keep the -http server up this long after the run completes")
 	flag.StringVar(&f.SweepKernel, "sweepkernel", "word", "page-sweep implementation: word (batch kernel) or granule (per-granule differential oracle)")
@@ -187,6 +230,7 @@ func (f *Flags) PoolConfig(tool string, manifest *expt.Manifest) (expt.PoolConfi
 		Timeout:      f.Timeout,
 		Retries:      f.Retries,
 		RetryBackoff: f.RetryBackoff,
+		Backoff:      f.Backoff(),
 		Manifest:     manifest,
 		SweepKernel:  sk,
 		SimEngine:    ek,
@@ -212,6 +256,67 @@ func (f *Flags) PoolConfig(tool string, manifest *expt.Manifest) (expt.PoolConfi
 	return cfg, live, nil
 }
 
+// Backoff assembles the unified retry policy from the flags, or nil when
+// neither -retry-backoff-max nor -retry-jitter was given (the pool then
+// keeps its legacy linear -retry-backoff spacing).
+func (f *Flags) Backoff() *expt.Backoff {
+	if f.RetryBackoffMax <= 0 && f.RetryJitter <= 0 {
+		return nil
+	}
+	base := f.RetryBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	return &expt.Backoff{
+		Base:   base,
+		Factor: 2,
+		Max:    f.RetryBackoffMax,
+		Jitter: f.RetryJitter,
+		Seed:   f.NetFaultSeed,
+	}
+}
+
+// NetFaultSpec assembles the coordinator-side fault injection spec from
+// the flags, or nil when -netfault was not given.
+func (f *Flags) NetFaultSpec() *netfault.Spec {
+	if f.NetFault == "" {
+		return nil
+	}
+	return &netfault.Spec{
+		Seed:          f.NetFaultSeed,
+		Classes:       strings.Split(f.NetFault, ","),
+		Rate:          f.NetFaultRate,
+		MaxPerClass:   f.NetFaultMax,
+		Delay:         f.NetFaultDelay,
+		PartitionFrac: f.NetFaultPartitionFrac,
+	}
+}
+
+// AtomicWriteFile writes data to path so that no concurrent reader ever
+// observes a torn or partial file: the bytes land in a same-directory
+// temp file first, then replace path in one rename. Scripts polling
+// -addr-file depend on this.
+func AtomicWriteFile(path string, data []byte, mode os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Chmod(mode); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
 // NewExecutor builds the execution backend -exec selected: a local pool,
 // or a listening dist coordinator that leases the grid to cmd/worker
 // processes. The returned closer must be called after every Get has
@@ -225,31 +330,38 @@ func (f *Flags) NewExecutor(tool, grid string, pcfg expt.PoolConfig, live *telem
 		return expt.NewPool(pcfg), func() error { return nil }, nil
 	case "net":
 		c := dist.NewCoordinator(dist.Config{
-			Tool:         tool,
-			Grid:         grid,
-			Pool:         pcfg,
-			LeaseTimeout: f.Timeout,
-			Heartbeat:    f.Heartbeat,
+			Tool:            tool,
+			Grid:            grid,
+			Pool:            pcfg,
+			LeaseTimeout:    f.Timeout,
+			Heartbeat:       f.Heartbeat,
+			Faults:          f.NetFaultSpec(),
+			BreakerFailures: f.BreakerFailures,
+			BreakerCooldown: f.BreakerCooldown,
+			EvictAfter:      f.EvictAfter,
+			LocalFallback:   f.LocalFallback,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, tool+": "+format+"\n", args...)
+			},
 		})
 		addr, err := c.Start(f.Listen)
 		if err != nil {
 			return nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "%s: coordinator on %s (attach workers: worker -connect %s)\n", tool, addr, addr)
+		if f.NetFault != "" {
+			fmt.Fprintf(os.Stderr, "%s: coordinator-side netfault armed: classes=%s seed=%d\n", tool, f.NetFault, f.NetFaultSeed)
+		}
 		if f.AddrFile != "" {
-			// Write-then-rename so a script polling the path never reads a
-			// torn address.
-			tmp := f.AddrFile + ".tmp"
-			if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
-				c.Close()
-				return nil, nil, fmt.Errorf("cliflags: -addr-file: %w", err)
-			}
-			if err := os.Rename(tmp, f.AddrFile); err != nil {
+			// Atomic write-then-rename so a script polling the path never
+			// reads a torn address.
+			if err := AtomicWriteFile(f.AddrFile, []byte(addr+"\n"), 0o644); err != nil {
 				c.Close()
 				return nil, nil, fmt.Errorf("cliflags: -addr-file: %w", err)
 			}
 		}
 		live.SetWorkerSource(c.Workers)
+		live.SetDistSource(c.DistStats)
 		closer := func() error {
 			c.Drain()
 			// Give drained workers a beat to observe the drain reply before

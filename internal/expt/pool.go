@@ -78,6 +78,10 @@ type PoolConfig struct {
 	// executor (internal/dist) uses it so a job whose worker vanished is
 	// not re-issued into the same instant the fleet is churning.
 	RetryBackoff time.Duration
+	// Backoff, when non-nil, replaces the linear RetryBackoff spacing
+	// with the unified geometric-plus-jitter policy shared with
+	// internal/dist's degraded-mode retry paths.
+	Backoff *Backoff
 	// Manifest, when non-nil, serves completed jobs and records new ones.
 	Manifest *Manifest
 	// Progress, when non-nil, observes every job completion. Called
@@ -326,8 +330,8 @@ func (p *Pool) finishLocked(e *entry, status string) {
 func (p *Pool) execute(e *entry) {
 	var lastErr error
 	for attempt := 0; attempt <= p.cfg.Retries; attempt++ {
-		if attempt > 0 && p.cfg.RetryBackoff > 0 {
-			time.Sleep(time.Duration(attempt) * p.cfg.RetryBackoff)
+		if d := p.retryDelay(attempt); d > 0 {
+			time.Sleep(d)
 		}
 		start := time.Now()
 		res, runHost, err := p.attempt(e.job)
@@ -388,6 +392,21 @@ func (p *Pool) execute(e *entry) {
 	p.stats.Failed++
 	p.finishLocked(e, "failed")
 	p.mu.Unlock()
+}
+
+// retryDelay spaces retry attempt n (n >= 1): the unified Backoff policy
+// when configured, else the legacy linear n*RetryBackoff spacing.
+func (p *Pool) retryDelay(attempt int) time.Duration {
+	if attempt < 1 {
+		return 0
+	}
+	if p.cfg.Backoff != nil {
+		return p.cfg.Backoff.Delay(attempt)
+	}
+	if p.cfg.RetryBackoff > 0 {
+		return time.Duration(attempt) * p.cfg.RetryBackoff
+	}
+	return 0
 }
 
 // attempt runs the job once, converting panics to errors and enforcing the

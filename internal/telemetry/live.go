@@ -36,9 +36,38 @@ type WorkerStatus struct {
 	Results  uint64 `json:"results"`
 	Failures uint64 `json:"failures"`
 	Reclaims uint64 `json:"reclaims"`
+	// CacheHits counts results the worker replayed from its local result
+	// cache (manifest) instead of re-executing.
+	CacheHits uint64 `json:"cache_hits,omitempty"`
+	// Discards counts late results the coordinator rejected because the
+	// lease had already been reclaimed.
+	Discards uint64 `json:"discards,omitempty"`
+	// Breaker is the worker's circuit-breaker state ("closed", "open",
+	// "half-open"); BreakerTrips counts closed→open transitions.
+	Breaker      string `json:"breaker,omitempty"`
+	BreakerTrips uint64 `json:"breaker_trips,omitempty"`
 	// SecondsSinceSeen is the age of the worker's last request (lease,
 	// heartbeat or result) at snapshot time.
 	SecondsSinceSeen float64 `json:"seconds_since_seen"`
+}
+
+// DistStats is the coordinator-level degraded-mode accounting, published
+// by internal/dist through SetDistSource: fleet size (live vs evicted),
+// counters that survive worker eviction, local-fallback activity, and —
+// when the campaign ran under network fault injection — per-class
+// injection counts.
+type DistStats struct {
+	WorkersLive     int    `json:"workers_live"`
+	WorkersDeparted int    `json:"workers_departed"`
+	FallbackRuns    uint64 `json:"fallback_runs"`
+	CacheHits       uint64 `json:"cache_hits"`
+	Discards        uint64 `json:"discards"`
+	Reclaims        uint64 `json:"reclaims"`
+	BreakerTrips    uint64 `json:"breaker_trips"`
+	// NetfaultInjections maps fault class name (drop, delay, duplicate,
+	// reorder, reset, throttle, partition) to injection count; nil when no
+	// coordinator-side injector is armed.
+	NetfaultInjections map[string]uint64 `json:"netfault_injections,omitempty"`
 }
 
 // liveEvent is a JobUpdate stamped with host receive order/time.
@@ -78,6 +107,7 @@ type Live struct {
 	byStat  map[string]int
 	source  func() *Snapshot
 	workers func() []WorkerStatus
+	dist    func() DistStats
 
 	srv *http.Server
 	ln  net.Listener
@@ -144,6 +174,19 @@ func (l *Live) SetWorkerSource(fn func() []WorkerStatus) {
 	l.mu.Unlock()
 }
 
+// SetDistSource installs a provider of coordinator-level degraded-mode
+// stats (the dist coordinator's DistStats method). When set, /dist serves
+// the snapshot and /metrics grows fleet-level families. Called per
+// scrape; must be safe for concurrent use.
+func (l *Live) SetDistSource(fn func() DistStats) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.dist = fn
+	l.mu.Unlock()
+}
+
 // Handler returns the HTTP mux.
 func (l *Live) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -152,6 +195,7 @@ func (l *Live) Handler() http.Handler {
 	mux.HandleFunc("/jobs", l.handleJobs)
 	mux.HandleFunc("/events", l.handleEvents)
 	mux.HandleFunc("/workers", l.handleWorkers)
+	mux.HandleFunc("/dist", l.handleDist)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -212,6 +256,7 @@ func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	source := l.source
 	workers := l.workers
+	dist := l.dist
 	l.mu.Unlock()
 
 	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
@@ -235,14 +280,52 @@ func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			{"dist_worker_results_total", "successful results delivered by the worker", func(s WorkerStatus) uint64 { return s.Results }},
 			{"dist_worker_failures_total", "failed results delivered by the worker", func(s WorkerStatus) uint64 { return s.Failures }},
 			{"dist_worker_reclaims_total", "leases reclaimed from the worker after heartbeat or lease timeout", func(s WorkerStatus) uint64 { return s.Reclaims }},
+			{"dist_worker_cache_hits_total", "results the worker replayed from its local result cache", func(s WorkerStatus) uint64 { return s.CacheHits }},
+			{"dist_worker_discards_total", "late results discarded because the lease was already reclaimed", func(s WorkerStatus) uint64 { return s.Discards }},
+			{"dist_worker_breaker_trips_total", "circuit-breaker trips quarantining the worker", func(s WorkerStatus) uint64 { return s.BreakerTrips }},
+			{"dist_worker_breaker_open", "1 while the worker's circuit breaker is open (quarantined)", func(s WorkerStatus) uint64 {
+				if s.Breaker == "open" {
+					return 1
+				}
+				return 0
+			}},
 		} {
 			kind := "counter"
-			if fam.name == "dist_worker_inflight" {
+			if fam.name == "dist_worker_inflight" || fam.name == "dist_worker_breaker_open" {
 				kind = "gauge"
 			}
 			fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s %s\n", l.tool, fam.name, fam.help, l.tool, fam.name, kind)
 			for _, s := range ws {
 				fmt.Fprintf(w, "%s_%s{worker=\"%s\",name=\"%s\"} %d\n", l.tool, fam.name, s.ID, s.Name, fam.value(s))
+			}
+		}
+	}
+	if dist != nil {
+		st := dist()
+		for _, fam := range []struct {
+			name, help, kind string
+			value            uint64
+		}{
+			{"dist_workers_live", "workers currently in the live fleet view", "gauge", uint64(st.WorkersLive)},
+			{"dist_workers_departed_total", "workers evicted from the fleet after prolonged silence", "counter", uint64(st.WorkersDeparted)},
+			{"dist_fallback_runs_total", "jobs the coordinator ran locally after the fleet went silent", "counter", st.FallbackRuns},
+			{"dist_cache_hits_total", "results replayed from worker result caches, fleet-wide", "counter", st.CacheHits},
+			{"dist_discards_total", "late results discarded after lease reclaim, fleet-wide", "counter", st.Discards},
+			{"dist_breaker_trips_total", "circuit-breaker trips, fleet-wide", "counter", st.BreakerTrips},
+		} {
+			fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s %s\n%s_%s %d\n",
+				l.tool, fam.name, fam.help, l.tool, fam.name, fam.kind, l.tool, fam.name, fam.value)
+		}
+		if len(st.NetfaultInjections) > 0 {
+			fmt.Fprintf(w, "# HELP %s_dist_netfault_injections_total injected network faults by class\n# TYPE %s_dist_netfault_injections_total counter\n",
+				l.tool, l.tool)
+			classes := make([]string, 0, len(st.NetfaultInjections))
+			for c := range st.NetfaultInjections {
+				classes = append(classes, c)
+			}
+			sort.Strings(classes)
+			for _, c := range classes {
+				fmt.Fprintf(w, "%s_dist_netfault_injections_total{class=\"%s\"} %d\n", l.tool, c, st.NetfaultInjections[c])
 			}
 		}
 	}
@@ -268,6 +351,22 @@ func (l *Live) handleWorkers(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(workers())
+}
+
+// handleDist serves the coordinator-level degraded-mode snapshot; 404
+// when the campaign is not distributed (no source installed).
+func (l *Live) handleDist(w http.ResponseWriter, r *http.Request) {
+	l.mu.Lock()
+	dist := l.dist
+	l.mu.Unlock()
+	if dist == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(dist())
 }
 
 func (l *Live) handleJobs(w http.ResponseWriter, _ *http.Request) {

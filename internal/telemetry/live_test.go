@@ -153,6 +153,74 @@ func TestLiveWorkers(t *testing.T) {
 	}
 }
 
+// TestLiveDistStats pins the degraded-mode surface: /dist is 404 until a
+// source is installed, then serves the coordinator's fleet-level snapshot,
+// and /metrics grows the breaker/cache/fallback/netfault families.
+func TestLiveDistStats(t *testing.T) {
+	l := NewLive("sweep")
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	if code, _ := liveGet(t, srv, "/dist"); code != 404 {
+		t.Fatalf("/dist before a source = %d, want 404", code)
+	}
+	if _, body := liveGet(t, srv, "/metrics"); strings.Contains(body, "dist_workers_live") {
+		t.Fatal("dist fleet families emitted without a source")
+	}
+
+	l.SetWorkerSource(func() []WorkerStatus {
+		return []WorkerStatus{
+			{ID: "w001", Name: "alpha", CacheHits: 4, Discards: 1, Breaker: "open", BreakerTrips: 2},
+		}
+	})
+	l.SetDistSource(func() DistStats {
+		return DistStats{
+			WorkersLive:     1,
+			WorkersDeparted: 3,
+			FallbackRuns:    5,
+			CacheHits:       4,
+			Discards:        1,
+			Reclaims:        2,
+			BreakerTrips:    2,
+			NetfaultInjections: map[string]uint64{
+				"drop": 7, "partition": 2,
+			},
+		}
+	})
+
+	code, body := liveGet(t, srv, "/dist")
+	if code != 200 {
+		t.Fatalf("/dist = %d", code)
+	}
+	var st DistStats
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("/dist is not JSON: %v", err)
+	}
+	if st.WorkersDeparted != 3 || st.FallbackRuns != 5 || st.NetfaultInjections["drop"] != 7 {
+		t.Fatalf("/dist = %+v", st)
+	}
+
+	_, body = liveGet(t, srv, "/metrics")
+	for _, want := range []string{
+		`sweep_dist_worker_cache_hits_total{worker="w001",name="alpha"} 4`,
+		`sweep_dist_worker_discards_total{worker="w001",name="alpha"} 1`,
+		`sweep_dist_worker_breaker_trips_total{worker="w001",name="alpha"} 2`,
+		`sweep_dist_worker_breaker_open{worker="w001",name="alpha"} 1`,
+		`sweep_dist_workers_live 1`,
+		`sweep_dist_workers_departed_total 3`,
+		`sweep_dist_fallback_runs_total 5`,
+		`sweep_dist_cache_hits_total 4`,
+		`sweep_dist_discards_total 1`,
+		`sweep_dist_breaker_trips_total 2`,
+		`sweep_dist_netfault_injections_total{class="drop"} 7`,
+		`sweep_dist_netfault_injections_total{class="partition"} 2`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
 // TestLiveConcurrentObserve hammers Observe from many goroutines while
 // scraping; run with -race to catch lock violations.
 func TestLiveConcurrentObserve(t *testing.T) {
@@ -201,6 +269,7 @@ func TestLiveStartAndClose(t *testing.T) {
 	nilLive.Observe(JobUpdate{})
 	nilLive.SetMetricsSource(nil)
 	nilLive.SetWorkerSource(nil)
+	nilLive.SetDistSource(nil)
 	if err := nilLive.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,162 @@
+#!/bin/sh
+# dist_chaos_smoke.sh: network-chaos + degraded-mode end-to-end check
+# (make dist-chaos-smoke).
+#
+# Runs the same small sweep grid three ways and asserts every canonical
+# document is byte-identical:
+#
+#   1. a local 2-worker pool (the reference document);
+#   2. a chaos pass: coordinator with -netfault drop armed on its HTTP
+#      handler plus exponential-backoff retries and a per-worker circuit
+#      breaker, serving one worker that crashes mid-lease (exit 2) and two
+#      workers injecting drop/delay/reset/duplicate/reorder/throttle
+#      faults into their own client transports;
+#   3. a rejoin-cache pass: one campaign warms a worker-side result cache,
+#      then a fresh coordinator re-runs the grid and the rejoining worker
+#      replays every key from the cache instead of re-executing.
+#
+# A cornucopia-netchaos/v1 report summarising the scenarios lands in the
+# output directory (default dist-chaos-smoke/) alongside the documents
+# and per-process logs.
+set -eu
+
+OUT=${1:-dist-chaos-smoke}
+mkdir -p "$OUT"
+
+GRID="-figures fig5 -reps 1 -scale 16 -txs 400"
+go build -o "$OUT/sweep" ./cmd/sweep
+go build -o "$OUT/worker" ./cmd/worker
+
+fail() {
+    echo "dist-chaos-smoke: $1" >&2
+    for f in "$OUT"/*.log; do
+        [ -f "$f" ] && sed "s#^#  $(basename "$f"): #" "$f" >&2
+    done
+    exit 1
+}
+
+# wait_addr FILE: block until the coordinator publishes its bound address.
+wait_addr() {
+    i=0
+    while [ $i -lt 100 ]; do
+        [ -f "$1" ] && return 0
+        sleep 0.1
+        i=$((i + 1))
+    done
+    return 1
+}
+
+echo "dist-chaos-smoke: local reference run"
+# shellcheck disable=SC2086  # GRID is a flag list
+"$OUT/sweep" $GRID -workers 2 -canonical -out "$OUT/local.json" \
+    >/dev/null 2>"$OUT/local.log" || fail "local run failed"
+
+echo "dist-chaos-smoke: chaos pass (drop faults both sides + worker crash)"
+rm -f "$OUT/addr.txt"
+# Coordinator-side drops are capped (-netfault-max) so the campaign heals;
+# the breaker quarantines the crasher after its reclaims, and the unified
+# exponential backoff paces both job retries and the workers' reconnects.
+# shellcheck disable=SC2086
+"$OUT/sweep" $GRID -workers 2 -canonical -out "$OUT/chaos.json" \
+    -exec=net -listen 127.0.0.1:0 -addr-file "$OUT/addr.txt" \
+    -heartbeat 100ms -retries 3 \
+    -retry-backoff 50ms -retry-backoff-max 400ms -retry-jitter 0.25 \
+    -netfault drop -netfault-seed 7 -netfault-rate 0.3 -netfault-max 4 \
+    -breaker-failures 3 -breaker-cooldown 200ms -progress \
+    >/dev/null 2>"$OUT/chaos-coord.log" &
+COORD=$!
+wait_addr "$OUT/addr.txt" || fail "chaos coordinator never published its address"
+ADDR=$(cat "$OUT/addr.txt")
+# The crasher joins alone and dies on its first lease without reporting
+# (exit 2 is the crash hook's signature), so the reclaim + breaker paths
+# are exercised before the faulty-but-honest workers join.
+"$OUT/worker" -connect "$ADDR" -name chaos-crasher -crash-after-lease 1 \
+    2>"$OUT/chaos-crasher.log" &
+CRASHER=$!
+set +e
+wait "$CRASHER"
+CRASH_CODE=$?
+set -e
+[ "$CRASH_CODE" = 2 ] || fail "crasher exited $CRASH_CODE, want 2 (crash hook)"
+"$OUT/worker" -connect "$ADDR" -name chaos-w1 -parallel 2 \
+    -netfault drop,delay,reset -netfault-seed 11 -netfault-rate 0.2 -netfault-max 6 \
+    2>"$OUT/chaos-w1.log" &
+W1=$!
+"$OUT/worker" -connect "$ADDR" -name chaos-w2 -parallel 2 \
+    -netfault duplicate,reorder,throttle -netfault-seed 13 -netfault-rate 0.2 -netfault-max 6 \
+    2>"$OUT/chaos-w2.log" &
+W2=$!
+wait "$COORD" || fail "chaos coordinator exited non-zero"
+wait "$W1" || fail "chaos worker 1 exited non-zero"
+wait "$W2" || fail "chaos worker 2 exited non-zero"
+cmp "$OUT/local.json" "$OUT/chaos.json" ||
+    fail "document under network chaos differs from local run"
+grep -q 'netfault armed' "$OUT/chaos-coord.log" ||
+    fail "coordinator never armed its netfault handler"
+echo "dist-chaos-smoke: chaos document is byte-identical to the local run"
+
+echo "dist-chaos-smoke: rejoin-cache pass (warm the worker result cache)"
+rm -f "$OUT/addr.txt" "$OUT/cache.jsonl"
+# shellcheck disable=SC2086
+"$OUT/sweep" $GRID -workers 2 -canonical -out "$OUT/warm.json" \
+    -exec=net -listen 127.0.0.1:0 -addr-file "$OUT/addr.txt" \
+    >/dev/null 2>"$OUT/warm-coord.log" &
+COORD=$!
+wait_addr "$OUT/addr.txt" || fail "warm coordinator never published its address"
+ADDR=$(cat "$OUT/addr.txt")
+"$OUT/worker" -connect "$ADDR" -name cache-w1 -parallel 2 \
+    -cache "$OUT/cache.jsonl" 2>"$OUT/warm-worker.log" &
+W1=$!
+wait "$COORD" || fail "warm coordinator exited non-zero"
+wait "$W1" || fail "warm worker exited non-zero"
+cmp "$OUT/local.json" "$OUT/warm.json" ||
+    fail "cache-warming document differs from local run"
+[ -s "$OUT/cache.jsonl" ] || fail "worker result cache is empty after the warm run"
+
+echo "dist-chaos-smoke: rejoin-cache pass (replay every key from the cache)"
+rm -f "$OUT/addr.txt"
+# shellcheck disable=SC2086
+"$OUT/sweep" $GRID -workers 2 -canonical -out "$OUT/replay.json" \
+    -exec=net -listen 127.0.0.1:0 -addr-file "$OUT/addr.txt" \
+    >/dev/null 2>"$OUT/replay-coord.log" &
+COORD=$!
+wait_addr "$OUT/addr.txt" || fail "replay coordinator never published its address"
+ADDR=$(cat "$OUT/addr.txt")
+"$OUT/worker" -connect "$ADDR" -name cache-w1 -parallel 2 \
+    -cache "$OUT/cache.jsonl" 2>"$OUT/replay-worker.log" &
+W1=$!
+wait "$COORD" || fail "replay coordinator exited non-zero"
+wait "$W1" || fail "replay worker exited non-zero"
+cmp "$OUT/local.json" "$OUT/replay.json" ||
+    fail "cache-replay document differs from local run"
+grep -q 'served from cache' "$OUT/replay-worker.log" ||
+    fail "rejoined worker never replayed a cached result"
+grep -q 'from cache)' "$OUT/replay-worker.log" ||
+    fail "rejoined worker's drain line reports no cache hits"
+echo "dist-chaos-smoke: rejoined worker replayed cached results, document unchanged"
+
+REPLAYED=$(grep -c 'served from cache' "$OUT/replay-worker.log" || true)
+cat >"$OUT/netchaos-report.json" <<EOF
+{
+  "schema": "cornucopia-netchaos/v1",
+  "grid": "$GRID",
+  "scenarios": [
+    {
+      "name": "drop+crash",
+      "coordinator_faults": {"classes": "drop", "seed": 7, "rate": 0.3, "max_per_class": 4},
+      "worker_faults": [
+        {"worker": "chaos-w1", "classes": "drop,delay,reset", "seed": 11, "rate": 0.2, "max_per_class": 6},
+        {"worker": "chaos-w2", "classes": "duplicate,reorder,throttle", "seed": 13, "rate": 0.2, "max_per_class": 6}
+      ],
+      "crashed_workers": 1,
+      "document_identical": true
+    },
+    {
+      "name": "rejoin-cache",
+      "cache_replayed_jobs": $REPLAYED,
+      "document_identical": true
+    }
+  ]
+}
+EOF
+echo "dist-chaos-smoke: OK (report in $OUT/netchaos-report.json)"
