@@ -8,13 +8,13 @@ GO ?= go
 # one thread at a time on top of sim and are exercised by the plain
 # `test` target.
 RACE_PKGS = ./internal/bus ./internal/ca ./internal/dist/netfault \
-            ./internal/expt/cliflags ./internal/fault ./internal/metrics \
-            ./internal/oracle ./internal/shadow ./internal/sim \
-            ./internal/telemetry ./internal/tmem ./internal/trace \
-            ./internal/vm
+            ./internal/expt/cliflags ./internal/fault ./internal/journal \
+            ./internal/metrics ./internal/oracle ./internal/shadow \
+            ./internal/sim ./internal/telemetry ./internal/tmem \
+            ./internal/trace ./internal/vm
 
 .PHONY: all build vet test race verify chaos sweep-bench telemetry-smoke \
-        hostbench hostbench-smoke dist-smoke dist-chaos-smoke
+        hostbench hostbench-smoke dist-smoke dist-chaos-smoke obs-smoke
 
 all: verify
 
@@ -68,6 +68,17 @@ dist-smoke:
 # (artifacts + cornucopia-netchaos/v1 report under dist-chaos-smoke/).
 dist-chaos-smoke:
 	./scripts/dist_chaos_smoke.sh
+
+# obs-smoke: fleet-observability check. Runs the same grid on a local
+# pool and through a 2-worker distributed campaign with the campaign
+# journal, trace rings and canonical timeline armed, then asserts: both
+# journals validate (obs validate), canonical journal and timeline are
+# byte-identical across the two runs, /fleet and the fleet_* metric
+# families are non-empty mid-campaign, obs report renders a postmortem,
+# and obs diff accepts the committed BENCH_host.json against itself
+# (artifacts under obs-smoke/).
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # BENCH_host.json: the host-performance rig (internal/hostbench) — where
 # the simulator spends real CPU, complementing the simulated-cycle

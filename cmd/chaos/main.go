@@ -38,6 +38,8 @@
 //	      [-breaker-failures N] [-breaker-cooldown D]
 //	      [-evict-after D] [-local-fallback D]
 //	      [-http ADDR] [-http-linger D]
+//	      [-journal FILE] [-timeline FILE] [-timeline-canonical]
+//	      [-trace-events N]
 //	      [-sweepkernel word|granule] [-simengine fast|classic]
 //	      [-out report.json] [-progress] [-strict] [-list-classes]
 //
@@ -62,6 +64,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/revoke"
+	"repro/internal/telemetry"
 )
 
 // Schema versions the campaign report document.
@@ -303,6 +306,11 @@ func main() {
 	grid := fmt.Sprintf("strategies=%s classes=%s seeds=%d seed=%d rate=%g max=%d delay=%d ops=%d",
 		strings.Join(sortedStrats, ","), strings.Join(ids, ","),
 		*seeds, *seed, *rate, *max, *delay, *ops)
+	if shared.TraceEvents > 0 {
+		// Ring depth shapes the snapshot a manifest caches; pin it like any
+		// other grid flag.
+		grid += fmt.Sprintf(" trace-events=%d", shared.TraceEvents)
+	}
 	manifest, err := shared.Manifest("chaos", grid)
 	if err != nil {
 		log.Fatal(err)
@@ -314,6 +322,11 @@ func main() {
 	pcfg, live, err := shared.PoolConfig("chaos", manifest)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if shared.TraceEvents > 0 {
+		pcfg.Telemetry = &telemetry.Options{
+			SampleEvery: telemetry.DefaultSampleEvery, TraceEvents: shared.TraceEvents,
+		}
 	}
 	pool, closeExec, err := shared.NewExecutor("chaos", grid, pcfg, live)
 	if err != nil {
@@ -379,6 +392,9 @@ func main() {
 	// -exec=local) before reporting.
 	if err := closeExec(); err != nil {
 		log.Printf("closing executor: %v", err)
+	}
+	if err := shared.WriteTimeline("chaos", pool); err != nil {
+		log.Fatal(err)
 	}
 	rep.Counters = counters.Snapshot()
 	if *strict {

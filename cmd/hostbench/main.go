@@ -5,6 +5,12 @@
 // Usage:
 //
 //	hostbench [-out BENCH_host.json] [-run REGEXP] [-check]
+//	          [-live ADDR] [-live-linger D] [-metrics FILE]
+//
+// -live serves benchmark progress on the standard introspection endpoints
+// (/jobs, /events, /metrics) while the rig runs — useful because a full
+// run takes minutes; -metrics writes the final OpenMetrics body to a file
+// at exit, with or without -live.
 //
 // Every benchmark body is driven through testing.Benchmark (the standard
 // ~1s auto-scaling), so the emitted numbers match what
@@ -46,7 +52,9 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/expt/cliflags"
 	"repro/internal/hostbench"
+	"repro/internal/telemetry"
 )
 
 // Schema identifies the document layout.
@@ -93,6 +101,7 @@ func main() {
 	out := flag.String("out", "BENCH_host.json", "write the benchmark document to this file ('-' for stdout)")
 	run := flag.String("run", "", "only run benchmarks matching this regexp")
 	check := flag.Bool("check", false, "exit nonzero unless sweep_kernel >= 3, campaign >= 1.5 and sim_campaign >= 3")
+	lf := cliflags.RegisterLive()
 	flag.Parse()
 
 	var filter *regexp.Regexp
@@ -101,6 +110,18 @@ func main() {
 		if filter, err = regexp.Compile(*run); err != nil {
 			log.Fatalf("bad -run regexp: %v", err)
 		}
+	}
+
+	live, err := lf.Start("hostbench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var selected []int // indices into hostbench.Benchmarks
+	for i, b := range hostbench.Benchmarks {
+		if filter != nil && !filter.MatchString(b.Name) {
+			continue
+		}
+		selected = append(selected, i)
 	}
 
 	doc := document{
@@ -112,10 +133,8 @@ func main() {
 		Ratios:     map[string]ratio{},
 	}
 	nsPerOp := map[string]float64{}
-	for _, b := range hostbench.Benchmarks {
-		if filter != nil && !filter.MatchString(b.Name) {
-			continue
-		}
+	for done, i := range selected {
+		b := hostbench.Benchmarks[i]
 		r := testing.Benchmark(b.F)
 		if r.N == 0 {
 			log.Fatalf("%s: benchmark failed to run", b.Name)
@@ -127,6 +146,11 @@ func main() {
 			br.Metrics = r.Extra
 		}
 		doc.Benchmarks = append(doc.Benchmarks, br)
+		live.Observe(telemetry.JobUpdate{
+			Key: b.Name, Workload: b.Name, Condition: "hostbench", Status: "ran",
+			HostMS: float64(r.T.Nanoseconds()) / 1e6,
+			Done:   done + 1, Total: len(selected),
+		})
 		fmt.Fprintf(os.Stderr, "%-24s %12d iters  %14.1f ns/op\n", b.Name, r.N, ns)
 	}
 
@@ -152,6 +176,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks, schema %s)\n", *out, len(doc.Benchmarks), Schema)
+	}
+
+	if err := lf.Finish(live); err != nil {
+		log.Print(err)
 	}
 
 	if *check {

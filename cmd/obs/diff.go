@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+)
+
+// benchDoc mirrors cmd/hostbench's BENCH_host.json document
+// (cornucopia-hostbench/v1) closely enough to diff it.
+type benchDoc struct {
+	Schema     string `json:"schema"`
+	Go         string `json:"go"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Benchmarks []struct {
+		Name    string  `json:"name"`
+		Iters   int     `json:"iters"`
+		NsPerOp float64 `json:"ns_per_op"`
+	} `json:"benchmarks"`
+	Ratios map[string]struct {
+		Baseline  string  `json:"baseline"`
+		Contender string  `json:"contender"`
+		Speedup   float64 `json:"speedup"`
+	} `json:"ratios"`
+}
+
+// hostbenchSchema is the document schema diff accepts.
+const hostbenchSchema = "cornucopia-hostbench/v1"
+
+func loadBenchDoc(path string) (*benchDoc, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if doc.Schema != hostbenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, doc.Schema, hostbenchSchema)
+	}
+	return &doc, nil
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("obs diff", flag.ExitOnError)
+	maxRegress := fs.Float64("max-regress", 10,
+		"fail when a benchmark slows down, or a headline ratio drops, by more than this percent")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		log.Fatal("diff: want exactly two arguments: OLD.json NEW.json")
+	}
+	oldDoc, err := loadBenchDoc(fs.Arg(0))
+	if err != nil {
+		log.Fatalf("diff: %v", err)
+	}
+	newDoc, err := loadBenchDoc(fs.Arg(1))
+	if err != nil {
+		log.Fatalf("diff: %v", err)
+	}
+	if oldDoc.GOARCH != newDoc.GOARCH || oldDoc.GOOS != newDoc.GOOS {
+		fmt.Printf("note: comparing across platforms (%s/%s vs %s/%s); host numbers are not like-for-like\n",
+			oldDoc.GOOS, oldDoc.GOARCH, newDoc.GOOS, newDoc.GOARCH)
+	}
+
+	oldNS := map[string]float64{}
+	for _, b := range oldDoc.Benchmarks {
+		oldNS[b.Name] = b.NsPerOp
+	}
+	failed := false
+	fmt.Printf("%-24s %14s %14s %9s\n", "BENCHMARK", "OLD ns/op", "NEW ns/op", "DELTA")
+	for _, b := range newDoc.Benchmarks {
+		old, ok := oldNS[b.Name]
+		if !ok {
+			fmt.Printf("%-24s %14s %14.1f %9s\n", b.Name, "-", b.NsPerOp, "new")
+			continue
+		}
+		delete(oldNS, b.Name)
+		deltaPct := (b.NsPerOp - old) / old * 100
+		mark := ""
+		if deltaPct > *maxRegress {
+			mark = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-24s %14.1f %14.1f %+8.1f%%%s\n", b.Name, old, b.NsPerOp, deltaPct, mark)
+	}
+	gone := make([]string, 0, len(oldNS))
+	for name := range oldNS {
+		gone = append(gone, name)
+	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Printf("%-24s %14.1f %14s %9s\n", name, oldNS[name], "-", "gone")
+	}
+
+	rkeys := make([]string, 0, len(newDoc.Ratios))
+	for k := range newDoc.Ratios {
+		rkeys = append(rkeys, k)
+	}
+	sort.Strings(rkeys)
+	if len(rkeys) > 0 {
+		fmt.Printf("\n%-24s %10s %10s %9s\n", "RATIO", "OLD", "NEW", "DELTA")
+		for _, k := range rkeys {
+			nr := newDoc.Ratios[k]
+			or, ok := oldDoc.Ratios[k]
+			if !ok {
+				fmt.Printf("%-24s %10s %9.2fx %9s\n", k, "-", nr.Speedup, "new")
+				continue
+			}
+			dropPct := (or.Speedup - nr.Speedup) / or.Speedup * 100
+			mark := ""
+			if dropPct > *maxRegress {
+				mark = "  REGRESSION"
+				failed = true
+			}
+			fmt.Printf("%-24s %9.2fx %9.2fx %+8.1f%%%s\n", k, or.Speedup, nr.Speedup, -dropPct, mark)
+		}
+	}
+
+	if failed {
+		fmt.Printf("\ndiff: regression beyond the %.1f%% threshold\n", *maxRegress)
+		os.Exit(1)
+	}
+	fmt.Printf("\ndiff: within the %.1f%% threshold\n", *maxRegress)
+}

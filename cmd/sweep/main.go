@@ -18,6 +18,8 @@
 //	      [-breaker-failures N] [-breaker-cooldown D]
 //	      [-evict-after D] [-local-fallback D]
 //	      [-http ADDR] [-http-linger D]
+//	      [-journal FILE] [-timeline FILE] [-timeline-canonical]
+//	      [-trace-events N]
 //	      [-sweepkernel word|granule] [-simengine fast|classic]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //	      [-prof-folded FILE] [-prof-pprof FILE] [-metrics-out FILE]
@@ -36,6 +38,17 @@
 // byte-identical to a local run's (jobs are deterministic per seed;
 // -canonical strips the host-side execution metadata — per-job host_ms,
 // attempt counts, pool counters — that legitimately differs).
+//
+// -journal appends a campaign journal (cornucopia-journal/v1 JSONL) of
+// every job submit/start/retry/result and — under -exec=net — every
+// worker join/evict, lease grant/reclaim, breaker trip and injected
+// network fault, for cmd/obs postmortems. -timeline writes a merged
+// Chrome/Perfetto timeline (open in chrome://tracing or ui.perfetto.dev)
+// with each worker as a named process track; -timeline-canonical strips
+// the host metadata so local and distributed runs of the same grid
+// produce byte-identical timelines. -trace-events N arms the per-job
+// simulated-cycle tracer (internal/trace) with an N-event ring whose
+// contents ride the telemetry snapshots into manifests and timelines.
 //
 // -sweepkernel selects the page-sweep implementation: the default batch
 // word-wise kernel or the per-granule differential oracle. Both produce
@@ -173,10 +186,11 @@ func main() {
 		return
 	}
 
-	// Telemetry is armed by any consumer of it: an export file or the
-	// live server's merged-metrics families.
+	// Telemetry is armed by any consumer of it: an export file, the live
+	// server's merged-metrics families, or the cycle tracer (trace rings
+	// ride inside telemetry snapshots).
 	wantTelem := *profFolded != "" || *profPprof != "" || *metricsOut != "" ||
-		*seriesCSV != "" || shared.HTTPAddr != ""
+		*seriesCSV != "" || shared.HTTPAddr != "" || shared.TraceEvents > 0
 
 	// The manifest header pins the exact grid this file caches: the
 	// sorted figure set plus every flag that changes job content. A
@@ -194,6 +208,11 @@ func main() {
 		// one manifest would merge incomparable rows.
 		grid += fmt.Sprintf(" telemetry-sample-every=%d", *sampleEvery)
 	}
+	if shared.TraceEvents > 0 {
+		// Ring depth shapes the recorded trace the same way: snapshots
+		// cached under one depth must not resume a run expecting another.
+		grid += fmt.Sprintf(" trace-events=%d", shared.TraceEvents)
+	}
 	manifest, err := shared.Manifest("sweep", grid)
 	if err != nil {
 		log.Fatal(err)
@@ -210,7 +229,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if wantTelem {
-		pcfg.Telemetry = &telemetry.Options{SampleEvery: *sampleEvery}
+		pcfg.Telemetry = &telemetry.Options{SampleEvery: *sampleEvery, TraceEvents: shared.TraceEvents}
 	}
 	pool, closeExec, err := shared.NewExecutor("sweep", grid, pcfg, live)
 	if err != nil {
@@ -259,6 +278,10 @@ func main() {
 	st := pool.Stats()
 	fmt.Printf("sweep: %d job(s) ran, %d from manifest, %d retried, %d failed; %d worker(s), %.1fs host wall clock\n",
 		st.Executed, st.Cached, st.Retries, st.Failed, shared.Workers, time.Since(start).Seconds())
+
+	if err := shared.WriteTimeline("sweep", pool); err != nil {
+		log.Fatal(err)
+	}
 
 	if *out != "" {
 		doc := expt.BuildDocument(pool, figResults, shared.Workers, *reps, *scale)
@@ -316,6 +339,10 @@ func writeTelemetry(pool expt.Executor, folded, pprofOut, metricsOut, seriesCSV 
 		fmt.Fprintln(os.Stderr, "sweep: no telemetry recorded (all jobs served from a pre-telemetry manifest?)")
 	}
 	merged := telemetry.Merge(snaps)
+	if merged.TraceDropped > 0 {
+		fmt.Fprintf(os.Stderr, "sweep: trace ring overflowed: %d event(s) dropped across the campaign (raise -trace-events)\n",
+			merged.TraceDropped)
+	}
 	write := func(path string, fn func(*os.File) error) error {
 		if path == "" {
 			return nil

@@ -13,8 +13,15 @@
 //	worker -connect HOST:PORT [-name LABEL] [-parallel N] [-max-jobs N]
 //	       [-hello-timeout D] [-reconnect-timeout D] [-cache FILE]
 //	       [-crash-after-lease N]
+//	       [-live ADDR] [-live-linger D] [-metrics FILE]
 //	       [-netfault CLASSES] [-netfault-seed N] [-netfault-rate P]
 //	       [-netfault-max N] [-netfault-delay D]
+//
+// -live serves this worker's own introspection endpoints (job outcomes on
+// /jobs and /events, merged job telemetry and a single-worker fleet view
+// on /metrics and /fleet) while it runs — the worker-side complement of
+// the coordinator's -http server. -metrics writes the same OpenMetrics
+// body to a file at exit, with or without -live.
 //
 // The worker exits 0 when the coordinator drains the campaign (or the
 // coordinator stays unreachable past -reconnect-timeout after the worker
@@ -45,10 +52,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/dist/netfault"
+	"repro/internal/expt/cliflags"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -67,6 +77,7 @@ func main() {
 	nfRate := flag.Float64("netfault-rate", 0, "per-opportunity network fault probability (0 = netfault default)")
 	nfMax := flag.Uint64("netfault-max", 0, "cap injections per fault class (0 = unbounded)")
 	nfDelay := flag.Duration("netfault-delay", 0, "injected network delay/throttle pause (0 = netfault default)")
+	lf := cliflags.RegisterLive()
 	flag.Parse()
 
 	if *connect == "" {
@@ -86,6 +97,14 @@ func main() {
 			Delay:       *nfDelay,
 		}
 	}
+	live, err := lf.Start("worker")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// hostMS sums the observed job costs for the single-row fleet view;
+	// Observe runs on lease-serving goroutines, so guard it.
+	var mu sync.Mutex
+	var hostMS float64
 	w := dist.NewWorker(dist.WorkerConfig{
 		Connect:          *connect,
 		Name:             *name,
@@ -99,12 +118,46 @@ func main() {
 		Logf: func(format string, args ...any) {
 			log.Printf(format, args...)
 		},
+		Observe: func(u telemetry.JobUpdate) {
+			mu.Lock()
+			hostMS += u.HostMS
+			mu.Unlock()
+			live.Observe(u)
+		},
 	})
-	if err := w.Run(); err != nil {
-		if err == dist.ErrCrashed {
-			log.Print(err)
+	live.SetMetricsSource(func() *telemetry.Snapshot {
+		return telemetry.Merge(w.Snapshots())
+	})
+	live.SetFleetSource(func() telemetry.FleetStats {
+		fw := telemetry.FleetWorker{
+			ID: "worker", Name: *name,
+			Jobs: uint64(w.Reported()), CacheHits: uint64(w.CacheHits()),
+		}
+		mu.Lock()
+		fw.HostMS = hostMS
+		mu.Unlock()
+		for _, k := range w.Snapshots() {
+			var wall uint64
+			for _, c := range k.Snap.CoreClock {
+				if c > wall {
+					wall = c
+				}
+			}
+			fw.SimCycles += wall
+			fw.TraceEvents += uint64(len(k.Snap.Trace))
+			fw.TraceDropped += k.Snap.TraceDropped
+		}
+		return telemetry.FleetStats{Workers: []telemetry.FleetWorker{fw}}.Totaled()
+	})
+	runErr := w.Run()
+	if err := lf.Finish(live); err != nil {
+		log.Print(err)
+	}
+	if runErr != nil {
+		if runErr == dist.ErrCrashed {
+			log.Print(runErr)
 			os.Exit(2)
 		}
-		log.Fatal(err)
+		log.Fatal(runErr)
 	}
 }

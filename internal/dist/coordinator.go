@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/dist/netfault"
 	"repro/internal/expt"
+	"repro/internal/journal"
 	"repro/internal/telemetry"
 )
 
@@ -101,19 +102,30 @@ type workerState struct {
 	discards  uint64
 	brk       breaker
 	lastSeen  time.Time
+	// Fleet-observability accounting, accumulated from accepted results:
+	// host cost reported by the worker, simulated cycles produced, and
+	// trace-ring events shipped/overwritten (Snapshot.Trace).
+	hostMS       float64
+	simCycles    uint64
+	traceEvents  uint64
+	traceDropped uint64
 }
 
 // departed aggregates the counters of evicted workers so fleet totals
 // survive eviction.
 type departed struct {
-	count     int
-	leases    uint64
-	results   uint64
-	failures  uint64
-	reclaims  uint64
-	cacheHits uint64
-	discards  uint64
-	trips     uint64
+	count        int
+	leases       uint64
+	results      uint64
+	failures     uint64
+	reclaims     uint64
+	cacheHits    uint64
+	discards     uint64
+	trips        uint64
+	hostMS       float64
+	simCycles    uint64
+	traceEvents  uint64
+	traceDropped uint64
 }
 
 // Coordinator owns a campaign's job grid and leases it out to network
@@ -140,6 +152,7 @@ type Coordinator struct {
 	leases     map[string]*lease
 	workers    map[string]*workerState
 	gone       departed
+	jobWorkers map[string]string // job key -> worker name, for timeline attribution
 	seq        int
 	wseq       int
 	lastWorker time.Time // most recent request from any worker
@@ -189,6 +202,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 		brkCool:    cfg.BreakerCooldown,
 		leases:     map[string]*lease{},
 		workers:    map[string]*workerState{},
+		jobWorkers: map[string]string{},
 		lastWorker: time.Now(),
 		reapStop:   make(chan struct{}),
 		reapDone:   make(chan struct{}),
@@ -224,6 +238,10 @@ func (c *Coordinator) logf(format string, args ...any) {
 		c.cfg.Logf(format, args...)
 	}
 }
+
+// jnl is the campaign journal shared with the embedded pool (nil-safe:
+// a nil writer swallows every emission).
+func (c *Coordinator) jnl() *journal.Writer { return c.cfg.Pool.Journal }
 
 // Prefetch, Get, Results and Stats make the coordinator an expt.Executor.
 func (c *Coordinator) Prefetch(jobs []expt.Job) { c.pool.Prefetch(jobs) }
@@ -293,11 +311,28 @@ func (c *Coordinator) Addr() string {
 
 // Drain marks the campaign complete: every subsequent lease request is
 // answered with StatusDrain so workers exit cleanly. Call once all Gets
-// have returned.
+// have returned. The first Drain also journals the netfault injection
+// summary — the campaign's faults are final once no more work can run.
 func (c *Coordinator) Drain() {
 	c.mu.Lock()
+	already := c.draining
 	c.draining = true
 	c.mu.Unlock()
+	if already {
+		return
+	}
+	if rep := c.faults.Report(); rep.Injections > 0 {
+		classes := make([]string, 0, len(rep.ByClass))
+		for class := range rep.ByClass {
+			classes = append(classes, class)
+		}
+		sort.Strings(classes)
+		for _, class := range classes {
+			c.jnl().Emit(journal.Event{
+				Kind: journal.KindNetFault, Detail: class, Count: rep.ByClass[class],
+			})
+		}
+	}
 }
 
 // Close drains, stops the reaper and the server, and fails any queued or
@@ -382,6 +417,46 @@ func (c *Coordinator) DistStats() telemetry.DistStats {
 	return st
 }
 
+// Fleet snapshots the fleet-level merged telemetry for the live
+// introspection server's /fleet endpoint and the fleet_* OpenMetrics
+// families: one row per live worker (accepted results, host cost,
+// simulated cycles, shipped trace volume) plus a synthetic row carrying
+// the departed aggregate so totals survive eviction.
+func (c *Coordinator) Fleet() telemetry.FleetStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var fs telemetry.FleetStats
+	for _, w := range c.workers {
+		fs.Workers = append(fs.Workers, telemetry.FleetWorker{
+			ID: w.id, Name: w.name,
+			Jobs: w.results, CacheHits: w.cacheHits, HostMS: w.hostMS,
+			SimCycles: w.simCycles, TraceEvents: w.traceEvents, TraceDropped: w.traceDropped,
+		})
+	}
+	sort.Slice(fs.Workers, func(i, j int) bool { return fs.Workers[i].ID < fs.Workers[j].ID })
+	if c.gone.count > 0 {
+		fs.Workers = append(fs.Workers, telemetry.FleetWorker{
+			ID: "departed", Name: fmt.Sprintf("%d evicted worker(s)", c.gone.count),
+			Jobs: c.gone.results, CacheHits: c.gone.cacheHits, HostMS: c.gone.hostMS,
+			SimCycles: c.gone.simCycles, TraceEvents: c.gone.traceEvents, TraceDropped: c.gone.traceDropped,
+		})
+	}
+	return fs.Totaled()
+}
+
+// JobWorkers snapshots which worker delivered each accepted job result
+// (job key -> worker name), for per-worker timeline attribution. Jobs
+// run by the local-fallback path are absent and render as "local".
+func (c *Coordinator) JobWorkers() map[string]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]string, len(c.jobWorkers))
+	for k, v := range c.jobWorkers {
+		out[k] = v
+	}
+	return out
+}
+
 // reap reclaims dead leases: heartbeat silence for hbMiss intervals, or
 // total lease age beyond LeaseTimeout. The reclaimed attempt fails with a
 // "timed out" error, so expt.ErrClass files it with local timeouts and
@@ -409,11 +484,19 @@ func (c *Coordinator) reap() {
 					continue
 				}
 				delete(c.leases, id)
+				c.jnl().Emit(journal.Event{
+					Kind: journal.KindLeaseReclaim, Key: l.t.key,
+					Worker: l.worker, Detail: id, Err: err.Error(),
+				})
 				if w := c.workers[l.worker]; w != nil {
 					w.inflight--
 					w.reclaims++
 					if w.brk.failure(now, c.cfg.BreakerFailures) {
 						c.logf("dist: breaker open for worker %s (%s): %d consecutive failures/reclaims", w.id, w.name, w.brk.fails)
+						c.jnl().Emit(journal.Event{
+							Kind: journal.KindBreakerTrip, Worker: w.id,
+							Detail: w.name, Count: uint64(w.brk.fails),
+						})
 					}
 				}
 				l.t.done <- taskOutcome{err: err}
@@ -448,8 +531,13 @@ func (c *Coordinator) evictSilent(now time.Time) {
 		c.gone.cacheHits += w.cacheHits
 		c.gone.discards += w.discards
 		c.gone.trips += w.brk.trips
+		c.gone.hostMS += w.hostMS
+		c.gone.simCycles += w.simCycles
+		c.gone.traceEvents += w.traceEvents
+		c.gone.traceDropped += w.traceDropped
 		c.logf("dist: evicted worker %s (%s) after %s silence (leases=%d results=%d)",
 			w.id, w.name, now.Sub(w.lastSeen).Round(time.Second), w.leases, w.results)
+		c.jnl().Emit(journal.Event{Kind: journal.KindWorkerEvict, Worker: w.id, Detail: w.name})
 	}
 }
 
@@ -469,6 +557,7 @@ func (c *Coordinator) takeFallback(now time.Time) []*task {
 	c.fallbacks += uint64(len(tasks))
 	c.logf("dist: no worker contact for %s; running %d queued job(s) locally on the coordinator",
 		now.Sub(c.lastWorker).Round(time.Second), len(tasks))
+	c.jnl().Emit(journal.Event{Kind: journal.KindLocalFallback, Count: uint64(len(tasks))})
 	return tasks
 }
 
@@ -529,6 +618,7 @@ func (c *Coordinator) handleHello(w http.ResponseWriter, r *http.Request) {
 	c.workers[id] = &workerState{id: id, name: name, lastSeen: time.Now()}
 	c.lastWorker = time.Now()
 	c.mu.Unlock()
+	c.jnl().Emit(journal.Event{Kind: journal.KindWorkerJoin, Worker: id, Detail: name})
 	rep := HelloReply{
 		OK:          true,
 		WorkerID:    id,
@@ -539,7 +629,9 @@ func (c *Coordinator) handleHello(w http.ResponseWriter, r *http.Request) {
 		HeartbeatMS: c.hbEvery.Milliseconds(),
 	}
 	if t := c.cfg.Pool.Telemetry; t != nil {
-		rep.Telemetry = &TelemetryOptions{SampleEvery: t.SampleEvery, MaxRows: t.MaxRows}
+		rep.Telemetry = &TelemetryOptions{
+			SampleEvery: t.SampleEvery, MaxRows: t.MaxRows, TraceEvents: t.TraceEvents,
+		}
 	}
 	reply(w, rep)
 }
@@ -592,6 +684,9 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	ws.leases++
 	ws.inflight++
 	ws.brk.granted()
+	c.jnl().Emit(journal.Event{
+		Kind: journal.KindJobLease, Key: t.key, Worker: req.WorkerID, Detail: l.id,
+	})
 	job := t.job
 	reply(w, LeaseReply{Status: StatusJob, LeaseID: l.id, Key: t.key, Job: &job})
 }
@@ -637,6 +732,10 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 		if ws != nil {
 			ws.discards++
 		}
+		c.jnl().Emit(journal.Event{
+			Kind: journal.KindJobReport, Key: req.Key, Worker: req.WorkerID,
+			Status: "discarded", Detail: req.LeaseID, HostMS: req.HostMS,
+		})
 		reply(w, ResultReply{OK: false, Reason: "lease not held; result discarded"})
 		return
 	}
@@ -660,11 +759,22 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 	default:
 		o.res = req.Result
 	}
+	status := "ran"
+	switch {
+	case o.err != nil:
+		status = "failed"
+	case req.Cached:
+		status = "cached"
+	}
 	if ws != nil {
 		if o.err != nil {
 			ws.failures++
 			if ws.brk.failure(now, c.cfg.BreakerFailures) {
 				c.logf("dist: breaker open for worker %s (%s): %d consecutive failures", ws.id, ws.name, ws.brk.fails)
+				c.jnl().Emit(journal.Event{
+					Kind: journal.KindBreakerTrip, Worker: ws.id,
+					Detail: ws.name, Count: uint64(ws.brk.fails),
+				})
 			}
 		} else {
 			ws.results++
@@ -672,8 +782,26 @@ func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
 				ws.cacheHits++
 			}
 			ws.brk.success()
+			// Fleet-observability accounting and timeline attribution:
+			// only accepted results count, so utilization reflects work
+			// the campaign actually used.
+			ws.hostMS += req.HostMS
+			ws.simCycles += o.res.WallCycles
+			if o.res.Telem != nil {
+				ws.traceEvents += uint64(len(o.res.Telem.Trace))
+				ws.traceDropped += o.res.Telem.TraceDropped
+			}
+			c.jobWorkers[req.Key] = ws.name
 		}
 	}
+	jev := journal.Event{
+		Kind: journal.KindJobReport, Key: req.Key, Worker: req.WorkerID,
+		Status: status, Detail: req.LeaseID, HostMS: req.HostMS,
+	}
+	if o.err != nil {
+		jev.Err = expt.ErrClass(o.err)
+	}
+	c.jnl().Emit(jev)
 	l.t.done <- o
 	reply(w, ResultReply{OK: true})
 }

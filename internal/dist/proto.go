@@ -67,10 +67,14 @@ type Hello struct {
 	SimEngines   []string `json:"sim_engines"`
 }
 
-// TelemetryOptions mirrors telemetry.Options on the wire.
+// TelemetryOptions mirrors telemetry.Options on the wire. TraceEvents
+// is a backwards-compatible cornucopia-dist/v1 extension: an old worker
+// ignores the field and simply ships untraced snapshots, while a new
+// worker against an old coordinator sees the zero value (tracing off).
 type TelemetryOptions struct {
 	SampleEvery uint64 `json:"sample_every,omitempty"`
 	MaxRows     int    `json:"max_rows,omitempty"`
+	TraceEvents int    `json:"trace_events,omitempty"`
 }
 
 // HelloReply accepts or rejects a worker.

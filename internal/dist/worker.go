@@ -64,6 +64,11 @@ type WorkerConfig struct {
 	Backoff *expt.Backoff
 	// Logf, when set, receives progress lines (cmd/worker wires stderr).
 	Logf func(format string, args ...any)
+	// Observe, when set, receives one update per leased job outcome
+	// (ran/cached/failed) for host-side introspection — cmd/worker's
+	// -live server chains it into telemetry.Live.Observe. Called from
+	// lease-serving goroutines; the receiver must be concurrency-safe.
+	Observe func(telemetry.JobUpdate)
 }
 
 // Worker pulls leases from a coordinator and runs them through the same
@@ -91,6 +96,9 @@ type Worker struct {
 	cacheHits atomic.Int64
 	stopOnce  sync.Once
 	stop      chan struct{}
+
+	snapMu sync.Mutex
+	snaps  []telemetry.Keyed // telemetry shipped with results, for -live /metrics
 }
 
 // NewWorker builds a worker; call Run to serve.
@@ -138,6 +146,36 @@ func (w *Worker) Reported() int { return int(w.reported.Load()) }
 
 // CacheHits returns how many results were replayed from the local cache.
 func (w *Worker) CacheHits() int { return int(w.cacheHits.Load()) }
+
+// Snapshots returns the telemetry snapshots of every job this worker has
+// completed so far, keyed by job for deterministic merging — the
+// metrics source behind cmd/worker's -live server. Safe for concurrent
+// use.
+func (w *Worker) Snapshots() []telemetry.Keyed {
+	w.snapMu.Lock()
+	defer w.snapMu.Unlock()
+	return append([]telemetry.Keyed(nil), w.snaps...)
+}
+
+// observe reports one job outcome to the configured Observe hook and
+// retains its telemetry snapshot for Snapshots.
+func (w *Worker) observe(rep LeaseReply, res ResultRequest, status string) {
+	if res.Result != nil && res.Result.Telem != nil {
+		w.snapMu.Lock()
+		w.snaps = append(w.snaps, telemetry.Keyed{Key: res.Key, Snap: res.Result.Telem})
+		w.snapMu.Unlock()
+	}
+	if w.cfg.Observe == nil {
+		return
+	}
+	u := telemetry.JobUpdate{Key: res.Key, Status: status, HostMS: res.HostMS, Err: res.Err}
+	if rep.Job != nil {
+		u.Workload = rep.Job.Workload.String()
+		u.Condition = rep.Job.Cond.Name
+		u.Seed = rep.Job.Cfg.Seed
+	}
+	w.cfg.Observe(u)
+}
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.cfg.Logf != nil {
@@ -195,6 +233,7 @@ func (w *Worker) hello() error {
 			if rep.Telemetry != nil {
 				w.telem = &telemetry.Options{
 					SampleEvery: rep.Telemetry.SampleEvery, MaxRows: rep.Telemetry.MaxRows,
+					TraceEvents: rep.Telemetry.TraceEvents,
 				}
 			}
 			if w.sk, err = kernel.ParseSweepKernel(rep.SweepKernel); err != nil {
@@ -353,6 +392,7 @@ func (w *Worker) execute(rep LeaseReply) {
 	res := ResultRequest{WorkerID: w.id, LeaseID: rep.LeaseID, Key: rep.Key}
 	if rep.Job == nil {
 		res.Err = "lease granted without a job body"
+		w.observe(rep, res, "failed")
 		w.report(res)
 		return
 	}
@@ -362,6 +402,7 @@ func (w *Worker) execute(rep LeaseReply) {
 		// would poison the campaign with a result filed under the wrong
 		// cell.
 		res.Err = fmt.Sprintf("job schema skew: leased key %.12s, worker derives %.12s", rep.Key, derived)
+		w.observe(rep, res, "failed")
 		w.report(res)
 		return
 	}
@@ -375,6 +416,7 @@ func (w *Worker) execute(rep LeaseReply) {
 			res.Cached = true
 			w.cacheHits.Add(1)
 			w.logf("worker %s: lease %s served from cache (key %.12s)", w.id, rep.LeaseID, rep.Key)
+			w.observe(rep, res, "cached")
 			w.report(res)
 			return
 		}
@@ -388,6 +430,7 @@ func (w *Worker) execute(rep LeaseReply) {
 	close(hbDone)
 	if err != nil {
 		res.Err = err.Error()
+		w.observe(rep, res, "failed")
 	} else {
 		res.Result = out
 		if w.cache != nil {
@@ -395,6 +438,7 @@ func (w *Worker) execute(rep LeaseReply) {
 				w.logf("worker %s: result cache write failed (%v); continuing uncached", w.id, cerr)
 			}
 		}
+		w.observe(rep, res, "ran")
 	}
 	w.report(res)
 }

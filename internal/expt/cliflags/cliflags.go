@@ -3,10 +3,13 @@
 // -timeout, -retries, -retry-backoff), manifest resume (-resume,
 // -compact), per-job progress lines (-progress), the live introspection
 // server (-http, -http-linger), the simulation implementation seams
-// (-sweepkernel, -simengine), and the execution backend (-exec, -listen,
-// -addr-file, -heartbeat). Both commands register the same flags with the
-// same defaults and get the same progress formatting, so the tools stay
-// drop-in consistent.
+// (-sweepkernel, -simengine), the execution backend (-exec, -listen,
+// -addr-file, -heartbeat), and the observability plane (-journal,
+// -timeline, -timeline-canonical, -trace-events). Both commands register
+// the same flags with the same defaults and get the same progress
+// formatting, so the tools stay drop-in consistent. LiveFlags is the
+// lighter -live/-live-linger/-metrics set for tools that are not
+// campaign drivers (cmd/hostbench, cmd/worker).
 package cliflags
 
 import (
@@ -22,6 +25,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/dist/netfault"
 	"repro/internal/expt"
+	"repro/internal/journal"
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -86,6 +90,22 @@ type Flags struct {
 	// HTTPLinger keeps the -http server up this long after the run
 	// completes, so scrapers (and CI smoke tests) can still reach it.
 	HTTPLinger time.Duration
+	// Journal appends the campaign journal (cornucopia-journal/v1 JSONL:
+	// job lease/start/retry/result, worker join/evict, breaker trips,
+	// netfault injections, recovery actions) to this file when non-empty.
+	Journal string
+	// Timeline writes a merged Chrome/Perfetto timeline (chrome://tracing
+	// JSON) of the campaign to this file when non-empty; under -exec=net
+	// each worker appears as its own named process track.
+	Timeline string
+	// TimelineCanonical strips host metadata from -timeline output: one
+	// deterministic "campaign" track ordered by job key, byte-identical
+	// between a local pool run and a distributed run of the same grid.
+	TimelineCanonical bool
+	// TraceEvents arms the per-job simulated-cycle tracer with a ring of
+	// this many events (0 = off); the ring rides each job's telemetry
+	// snapshot into manifests, dist results, and -timeline tracks.
+	TraceEvents int
 	// SweepKernel names the page-sweep implementation ("word" or
 	// "granule"); resolve it with ParseSweepKernel.
 	SweepKernel string
@@ -128,6 +148,10 @@ func Register() *Flags {
 	flag.DurationVar(&f.LocalFallback, "local-fallback", 0, "run queued jobs locally when the fleet has been silent this long under -exec=net (0 = wait forever)")
 	flag.StringVar(&f.HTTPAddr, "http", "", "serve live introspection (/metrics, /jobs, /events) on this address (\":0\" = ephemeral)")
 	flag.DurationVar(&f.HTTPLinger, "http-linger", 0, "keep the -http server up this long after the run completes")
+	flag.StringVar(&f.Journal, "journal", "", "append the campaign journal (cornucopia-journal/v1 JSONL) to this file")
+	flag.StringVar(&f.Timeline, "timeline", "", "write a merged Chrome/Perfetto campaign timeline (chrome://tracing JSON) to this file")
+	flag.BoolVar(&f.TimelineCanonical, "timeline-canonical", false, "strip host metadata from -timeline: one deterministic campaign track, byte-identical across local and distributed runs")
+	flag.IntVar(&f.TraceEvents, "trace-events", 0, "arm the per-job cycle tracer with a ring of this many events (0 = off)")
 	flag.StringVar(&f.SweepKernel, "sweepkernel", "word", "page-sweep implementation: word (batch kernel) or granule (per-granule differential oracle)")
 	flag.StringVar(&f.SimEngine, "simengine", "fast", "sim execution engine: fast (inline scheduler) or classic (channel-per-slice differential oracle)")
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a host CPU profile (pprof) to this file")
@@ -323,11 +347,40 @@ func AtomicWriteFile(path string, data []byte, mode os.FileMode) error {
 // returned — for a coordinator it drains the worker fleet (telling each
 // worker to exit) and shuts the protocol server down; for a local pool it
 // is a no-op. The coordinator's per-worker accounting is wired onto live
-// (/workers and the <tool>_dist_* metric families) when both exist.
+// (/workers, /fleet and the <tool>_dist_*/fleet_* metric families) when
+// both exist; a local pool serves /fleet as a single-worker fleet.
+//
+// With -journal, both backends emit the campaign journal through the one
+// pool seam (expt.PoolConfig.Journal); the closer flushes and closes it,
+// surfacing any write error the campaign would otherwise swallow.
 func (f *Flags) NewExecutor(tool, grid string, pcfg expt.PoolConfig, live *telemetry.Live) (expt.Executor, func() error, error) {
+	var jnl *journal.Writer
+	if f.Journal != "" {
+		var err error
+		if jnl, err = journal.Create(f.Journal, tool, grid); err != nil {
+			return nil, nil, err
+		}
+		pcfg.Journal = jnl
+	}
+	closeJournal := func() error {
+		if jnl == nil {
+			return nil
+		}
+		werr := jnl.Err()
+		cerr := jnl.Close()
+		if werr != nil {
+			return fmt.Errorf("cliflags: -journal %s: %w", f.Journal, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("cliflags: -journal %s: %w", f.Journal, cerr)
+		}
+		return nil
+	}
 	switch f.Exec {
 	case "", "local":
-		return expt.NewPool(pcfg), func() error { return nil }, nil
+		p := expt.NewPool(pcfg)
+		live.SetFleetSource(func() telemetry.FleetStats { return LocalFleet(p) })
+		return p, closeJournal, nil
 	case "net":
 		c := dist.NewCoordinator(dist.Config{
 			Tool:            tool,
@@ -346,6 +399,9 @@ func (f *Flags) NewExecutor(tool, grid string, pcfg expt.PoolConfig, live *telem
 		})
 		addr, err := c.Start(f.Listen)
 		if err != nil {
+			if jnl != nil {
+				jnl.Close()
+			}
 			return nil, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "%s: coordinator on %s (attach workers: worker -connect %s)\n", tool, addr, addr)
@@ -357,11 +413,15 @@ func (f *Flags) NewExecutor(tool, grid string, pcfg expt.PoolConfig, live *telem
 			// reads a torn address.
 			if err := AtomicWriteFile(f.AddrFile, []byte(addr+"\n"), 0o644); err != nil {
 				c.Close()
+				if jnl != nil {
+					jnl.Close()
+				}
 				return nil, nil, fmt.Errorf("cliflags: -addr-file: %w", err)
 			}
 		}
 		live.SetWorkerSource(c.Workers)
 		live.SetDistSource(c.DistStats)
+		live.SetFleetSource(c.Fleet)
 		closer := func() error {
 			c.Drain()
 			// Give drained workers a beat to observe the drain reply before
@@ -370,11 +430,159 @@ func (f *Flags) NewExecutor(tool, grid string, pcfg expt.PoolConfig, live *telem
 			if f.AddrFile != "" {
 				_ = os.Remove(f.AddrFile)
 			}
-			return c.Close()
+			err := c.Close()
+			if jerr := closeJournal(); err == nil {
+				err = jerr
+			}
+			return err
 		}
 		return c, closer, nil
 	}
+	if jnl != nil {
+		jnl.Close()
+	}
 	return nil, nil, fmt.Errorf("cliflags: unknown -exec backend %q (want local or net)", f.Exec)
+}
+
+// LocalFleet summarizes a local executor as a single-worker fleet, so
+// /fleet and the fleet_* metric families answer identically-shaped data
+// whether or not the campaign is distributed.
+func LocalFleet(ex expt.Executor) telemetry.FleetStats {
+	w := telemetry.FleetWorker{ID: "local", Name: "local pool"}
+	for _, c := range ex.Results() {
+		w.Jobs++
+		if c.Cached {
+			w.CacheHits++
+		}
+		w.HostMS += float64(c.Host) / float64(time.Millisecond)
+		if c.Result != nil {
+			w.SimCycles += c.Result.WallCycles
+			if c.Result.Telem != nil {
+				w.TraceEvents += uint64(len(c.Result.Telem.Trace))
+				w.TraceDropped += c.Result.Telem.TraceDropped
+			}
+		}
+	}
+	return telemetry.FleetStats{Workers: []telemetry.FleetWorker{w}}.Totaled()
+}
+
+// TimelineJobs assembles the -timeline rows from an executor's completed
+// results. Worker attribution comes from the executor when it can name
+// which worker ran each key (the dist coordinator); a local pool's jobs
+// all land on the "local" track.
+func TimelineJobs(ex expt.Executor) []journal.TimelineJob {
+	var workers map[string]string
+	if wm, ok := ex.(interface{ JobWorkers() map[string]string }); ok {
+		workers = wm.JobWorkers()
+	}
+	var out []journal.TimelineJob
+	for _, c := range ex.Results() {
+		r := c.Result
+		if r == nil {
+			continue
+		}
+		tj := journal.TimelineJob{
+			Key:        c.Key,
+			Workload:   r.Workload,
+			Condition:  r.Condition,
+			Seed:       r.Seed,
+			Worker:     workers[c.Key],
+			HostMS:     float64(c.Host) / float64(time.Millisecond),
+			WallCycles: r.WallCycles,
+			HzGHz:      r.HzGHz,
+		}
+		if r.Telem != nil {
+			tj.Trace = r.Telem.Trace
+			tj.TraceDropped = r.Telem.TraceDropped
+		}
+		out = append(out, tj)
+	}
+	return out
+}
+
+// WriteTimeline writes the merged Chrome/Perfetto campaign timeline if
+// -timeline was given. Call it after the closer has run (every result
+// in, fleet drained); a no-op when the flag is unset.
+func (f *Flags) WriteTimeline(tool string, ex expt.Executor) error {
+	if f.Timeline == "" {
+		return nil
+	}
+	out, err := os.Create(f.Timeline)
+	if err != nil {
+		return fmt.Errorf("cliflags: -timeline: %w", err)
+	}
+	if err := journal.WriteTimeline(out, TimelineJobs(ex), f.TimelineCanonical); err != nil {
+		out.Close()
+		return fmt.Errorf("cliflags: -timeline: %w", err)
+	}
+	if err := out.Close(); err != nil {
+		return fmt.Errorf("cliflags: -timeline: %w", err)
+	}
+	fmt.Printf("%s: wrote %s\n", tool, f.Timeline)
+	return nil
+}
+
+// LiveFlags is the live-server flag set for tools that are not campaign
+// drivers (cmd/hostbench, cmd/worker): -live binds a telemetry.Live
+// server, -live-linger keeps it up after the run for late scrapers, and
+// -metrics writes the same OpenMetrics body to a file at exit (usable
+// with or without -live).
+type LiveFlags struct {
+	Addr    string
+	Linger  time.Duration
+	Metrics string
+}
+
+// RegisterLive installs the live-server flags on the process flag set.
+// Call before flag.Parse.
+func RegisterLive() *LiveFlags {
+	lf := &LiveFlags{}
+	flag.StringVar(&lf.Addr, "live", "", "serve live introspection (/metrics, /jobs, /events) on this address (\":0\" = ephemeral)")
+	flag.DurationVar(&lf.Linger, "live-linger", 0, "keep the -live server up this long after the run completes")
+	flag.StringVar(&lf.Metrics, "metrics", "", "write the final OpenMetrics body to this file at exit")
+	return lf
+}
+
+// Start builds the live server the flags ask for: listening under -live,
+// collect-only under just -metrics, nil when neither was given (every
+// telemetry.Live method is nil-safe, so callers wire sources and Observe
+// unconditionally).
+func (lf *LiveFlags) Start(tool string) (*telemetry.Live, error) {
+	if lf.Addr == "" && lf.Metrics == "" {
+		return nil, nil
+	}
+	live := telemetry.NewLive(tool)
+	if lf.Addr != "" {
+		addr, err := live.Start(lf.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("cliflags: -live %s: %w", lf.Addr, err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: live introspection on http://%s/\n", tool, addr)
+	}
+	return live, nil
+}
+
+// Finish writes -metrics, lingers the server for -live-linger, and shuts
+// it down. Safe with a nil live (neither flag given).
+func (lf *LiveFlags) Finish(live *telemetry.Live) error {
+	if live == nil {
+		return nil
+	}
+	if lf.Metrics != "" {
+		out, err := os.Create(lf.Metrics)
+		if err != nil {
+			return fmt.Errorf("cliflags: -metrics: %w", err)
+		}
+		live.WriteMetrics(out)
+		if err := out.Close(); err != nil {
+			return fmt.Errorf("cliflags: -metrics: %w", err)
+		}
+	}
+	if lf.Addr != "" && lf.Linger > 0 {
+		fmt.Fprintf(os.Stderr, "lingering %s for late scrapes\n", lf.Linger)
+		time.Sleep(lf.Linger)
+	}
+	return live.Close()
 }
 
 // Finish lingers the live server for -http-linger, then shuts it down.

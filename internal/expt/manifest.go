@@ -332,5 +332,19 @@ func (m *Manifest) Len() int {
 	return len(m.done)
 }
 
+// Entries returns every completed job on record, sorted by key — the
+// postmortem reader's view of a campaign (cmd/obs). Cached is true on
+// every row: by definition a manifest entry was served from disk.
+func (m *Manifest) Entries() []Completed {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Completed, 0, len(m.done))
+	for k, e := range m.done {
+		out = append(out, Completed{Key: k, Result: e.res, Cached: true, Host: e.host})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
 // Close closes the underlying file.
 func (m *Manifest) Close() error { return m.f.Close() }

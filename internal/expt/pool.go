@@ -8,10 +8,13 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bus"
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/kernel"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workload/qps"
 )
 
@@ -103,6 +106,11 @@ type PoolConfig struct {
 	// pinned by the engine-equivalence tests — so the choice leaves job
 	// keys untouched and manifest entries are engine-agnostic.
 	SimEngine sim.EngineKind
+	// Journal, when non-nil, receives the campaign's job lifecycle
+	// (submit/start/retry/result). The pool is the one emission seam for
+	// local runs; internal/dist's coordinator shares the same writer and
+	// adds fleet-level events around these.
+	Journal *journal.Writer
 }
 
 // Pool executes jobs on a bounded set of host goroutines, memoizing by job
@@ -175,6 +183,12 @@ func RunJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel, ek sim.Engin
 	cfg.SimEngine = ek
 	if telem != nil {
 		cfg.Telem = telemetry.New(*telem)
+		if telem.TraceEvents > 0 {
+			// Per-job tracer, exported into the snapshot below. Tracing is
+			// passive and Job.Key excludes Trace, so results and manifest
+			// identity are unaffected.
+			cfg.Trace = trace.New(telem.TraceEvents)
+		}
 	}
 	r, err := harness.Run(w, j.Cond, cfg)
 	if err != nil {
@@ -190,9 +204,28 @@ func RunJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel, ek sim.Engin
 		if err := snap.CheckConservation(); err != nil {
 			return nil, fmt.Errorf("telemetry: %w", err)
 		}
+		exportTrace(snap, cfg.Trace)
 		jr.Telem = snap
 	}
 	return jr, nil
+}
+
+// exportTrace copies the tracer's retained ring into the snapshot so
+// traces survive manifest resume and distributed result shipping. The
+// ring is deterministic for a given job, so shipped traces are too.
+func exportTrace(snap *telemetry.Snapshot, tr *trace.Tracer) {
+	if !tr.Enabled() {
+		return
+	}
+	for _, ev := range tr.Events() {
+		snap.Trace = append(snap.Trace, telemetry.TraceSample{
+			Cycle: ev.Cycle, Core: int(ev.Core),
+			Agent: bus.Agent(ev.Agent).String(),
+			Kind:  ev.Kind.String(), Phase: ev.Phase.String(),
+			Epoch: ev.Epoch, Arg: ev.Arg, Arg2: ev.Arg2,
+		})
+	}
+	snap.TraceDropped = tr.Dropped()
 }
 
 // Prefetch schedules jobs for execution without waiting for them.
@@ -259,6 +292,10 @@ func (p *Pool) submit(j Job) *entry {
 	e := &entry{job: j, key: key, ready: make(chan struct{})}
 	p.entries[key] = e
 	p.stats.Submitted++
+	p.cfg.Journal.Emit(journal.Event{
+		Kind: journal.KindJobSubmit, Key: key,
+		Workload: j.Workload.String(), Condition: j.Cond.Name, Seed: j.Cfg.Seed,
+	})
 
 	// Manifest hits complete immediately, without occupying a worker. The
 	// recorded host time of the original run rides along, so slow cells
@@ -320,6 +357,16 @@ func (p *Pool) finishLocked(e *entry, status string) {
 	if status == "failed" {
 		ev.Err = ErrClass(e.err)
 	}
+	jev := journal.Event{
+		Kind: journal.KindJobResult, Key: e.key,
+		Workload: e.job.Workload.String(), Condition: e.job.Cond.Name,
+		Seed: e.job.Cfg.Seed, Status: status, Attempt: e.attempts,
+		HostMS: float64(e.host.Microseconds()) / 1e3, Err: ev.Err,
+	}
+	if e.res != nil {
+		jev.VCycles = e.res.WallCycles
+	}
+	p.cfg.Journal.Emit(jev)
 	close(e.ready)
 	if p.cfg.Progress != nil {
 		p.cfg.Progress(ev)
@@ -333,6 +380,9 @@ func (p *Pool) execute(e *entry) {
 		if d := p.retryDelay(attempt); d > 0 {
 			time.Sleep(d)
 		}
+		p.cfg.Journal.Emit(journal.Event{
+			Kind: journal.KindJobStart, Key: e.key, Attempt: attempt + 1,
+		})
 		start := time.Now()
 		res, runHost, err := p.attempt(e.job)
 		host := time.Since(start)
@@ -373,6 +423,10 @@ func (p *Pool) execute(e *entry) {
 		willRetry := attempt < p.cfg.Retries
 		if willRetry {
 			p.stats.Retries++
+			p.cfg.Journal.Emit(journal.Event{
+				Kind: journal.KindJobRetry, Key: e.key, Attempt: attempt + 1,
+				Err: ErrClass(err), HostMS: float64(host.Microseconds()) / 1e3,
+			})
 			// Emit while still holding p.mu: finishLocked emits under the
 			// lock, so releasing it first would let a retry event race a
 			// concurrent completion into the callback.

@@ -1,0 +1,242 @@
+// The merged campaign timeline: every job of a campaign rendered into
+// one Chrome trace_event / Perfetto document, with each worker a named
+// process track and each job's shipped trace-ring samples re-based onto
+// the campaign timeline.
+//
+// Two modes:
+//
+//   - live: jobs are grouped by the worker that ran them (process per
+//     worker, "local" for pool runs), with host-side detail (host_ms,
+//     worker) in the span args. Useful for seeing fleet utilization.
+//   - canonical: every host-side artifact is stripped — one "campaign"
+//     process, jobs sorted by key and laid head-to-tail in simulated
+//     time — so the timeline is byte-identical for a given grid and
+//     seed no matter how many workers ran it. This is the document the
+//     byte-identity tests and obs-smoke pin.
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/telemetry"
+)
+
+// TimelineJob is one completed job's contribution to the merged
+// timeline. Trace holds the job's shipped trace-ring export (may be
+// empty when the campaign ran without -trace-events).
+type TimelineJob struct {
+	Key       string
+	Workload  string
+	Condition string
+	Seed      int64
+	// Worker names the process track in live mode ("" renders as
+	// "local"); ignored in canonical mode.
+	Worker string
+	HostMS float64
+	// WallCycles and HzGHz place the job in simulated time.
+	WallCycles   uint64
+	HzGHz        float64
+	Trace        []telemetry.TraceSample
+	TraceDropped uint64
+}
+
+// TimelineSchema names the merged-timeline document in otherData.
+const TimelineSchema = "cornucopia-timeline/v1"
+
+// machineTID mirrors trace's thread id for machine-wide events,
+// offset like the per-core tids to keep tid 0 for the jobs track.
+const machineTID = 1001
+
+// timelineEvent is one trace_event record (times in microseconds).
+type timelineEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// sampleTID maps a trace sample's core to its thread track: tid 0 is
+// the per-process jobs track, cores take 1+core, machine-wide events
+// (core -1) land on machineTID.
+func sampleTID(core int) int {
+	if core < 0 {
+		return machineTID
+	}
+	return 1 + core
+}
+
+// WriteTimeline renders the jobs as one merged Chrome trace_event JSON
+// document. See the file comment for the live/canonical split.
+func WriteTimeline(w io.Writer, jobs []TimelineJob, canonical bool) error {
+	sorted := append([]TimelineJob(nil), jobs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+
+	// Partition into process tracks.
+	type track struct {
+		name string
+		jobs []TimelineJob
+	}
+	var tracks []track
+	if canonical {
+		tracks = []track{{name: "campaign", jobs: sorted}}
+	} else {
+		byWorker := map[string][]TimelineJob{}
+		var names []string
+		for _, j := range sorted {
+			name := j.Worker
+			if name == "" {
+				name = "local"
+			}
+			if _, ok := byWorker[name]; !ok {
+				names = append(names, name)
+			}
+			byWorker[name] = append(byWorker[name], j)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			tracks = append(tracks, track{name: n, jobs: byWorker[n]})
+		}
+	}
+
+	var out []timelineEvent
+	for pi, tr := range tracks {
+		pid := pi + 1
+		out = append(out, timelineEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": tr.name},
+		})
+		// Thread metadata: the jobs track plus every tid the shipped
+		// samples touch, in deterministic (sorted) order.
+		tids := map[int]string{0: "jobs"}
+		for _, j := range tr.jobs {
+			for _, s := range j.Trace {
+				tid := sampleTID(s.Core)
+				if _, ok := tids[tid]; !ok {
+					if tid == machineTID {
+						tids[tid] = "machine"
+					} else {
+						tids[tid] = fmt.Sprintf("core %d", tid-1)
+					}
+				}
+			}
+		}
+		order := make([]int, 0, len(tids))
+		for tid := range tids {
+			order = append(order, tid)
+		}
+		sort.Ints(order)
+		for _, tid := range order {
+			out = append(out, timelineEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: tid,
+				Args: map[string]any{"name": tids[tid]},
+			})
+		}
+
+		// Jobs laid head-to-tail in simulated time.
+		var cursor float64
+		for _, j := range tr.jobs {
+			hz := j.HzGHz
+			if hz <= 0 {
+				hz = 1
+			}
+			toUS := func(cycle uint64) float64 { return float64(cycle) / (hz * 1e3) }
+			args := map[string]any{"key": j.Key}
+			if !canonical {
+				args["host_ms"] = j.HostMS
+				args["worker"] = tr.name
+				if j.TraceDropped > 0 {
+					args["trace_dropped"] = j.TraceDropped
+				}
+			}
+			out = append(out, timelineEvent{
+				Name: fmt.Sprintf("%s/%s seed=%d", j.Workload, j.Condition, j.Seed),
+				Cat:  "job", Ph: "X", Ts: cursor, Dur: toUS(j.WallCycles),
+				Pid: pid, Tid: 0, Args: args,
+			})
+			out = appendSamples(out, j.Trace, pid, cursor, toUS)
+			cursor += toUS(j.WallCycles)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     out,
+		"displayTimeUnit": "ns",
+		"otherData": map[string]any{
+			"schema": TimelineSchema,
+			"source": "repro/internal/journal",
+		},
+	})
+}
+
+// appendSamples renders one job's trace samples at the given campaign
+// offset, pairing Begin/End per (tid, kind) into complete spans exactly
+// as trace.WriteChrome does (orphans from ring wrap are dropped).
+func appendSamples(out []timelineEvent, samples []telemetry.TraceSample, pid int, offset float64, toUS func(uint64) float64) []timelineEvent {
+	type skey struct {
+		tid  int
+		kind string
+	}
+	type open struct {
+		s   telemetry.TraceSample
+		idx int // reserved slot, filled when the End arrives
+	}
+	stacks := map[skey][]open{}
+	sampleArgs := func(s telemetry.TraceSample) map[string]any {
+		args := map[string]any{"agent": s.Agent, "epoch": s.Epoch}
+		if s.Arg != 0 {
+			args["arg"] = s.Arg
+		}
+		if s.Arg2 != 0 {
+			args["arg2"] = s.Arg2
+		}
+		return args
+	}
+	for _, s := range samples {
+		key := skey{sampleTID(s.Core), s.Kind}
+		switch s.Phase {
+		case "B":
+			out = append(out, timelineEvent{}) // placeholder keeps nesting order
+			stacks[key] = append(stacks[key], open{s: s, idx: len(out) - 1})
+		case "E":
+			st := stacks[key]
+			if len(st) == 0 {
+				continue // Begin lost to ring wrap
+			}
+			o := st[len(st)-1]
+			stacks[key] = st[:len(st)-1]
+			args := sampleArgs(o.s)
+			// End-side args carry the totals.
+			for k, v := range sampleArgs(s) {
+				args[k] = v
+			}
+			out[o.idx] = timelineEvent{
+				Name: s.Kind, Cat: s.Kind, Ph: "X",
+				Ts: offset + toUS(o.s.Cycle), Dur: toUS(s.Cycle) - toUS(o.s.Cycle),
+				Pid: pid, Tid: key.tid, Args: args,
+			}
+		default:
+			out = append(out, timelineEvent{
+				Name: s.Kind, Cat: s.Kind, Ph: "i",
+				Ts: offset + toUS(s.Cycle), Pid: pid, Tid: key.tid, S: "t",
+				Args: sampleArgs(s),
+			})
+		}
+	}
+	// Drop placeholders whose End never arrived (still-open spans).
+	final := out[:0]
+	for _, ev := range out {
+		if ev.Ph != "" {
+			final = append(final, ev)
+		}
+	}
+	return final
+}

@@ -3,6 +3,7 @@ package telemetry
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -70,6 +71,50 @@ type DistStats struct {
 	NetfaultInjections map[string]uint64 `json:"netfault_injections,omitempty"`
 }
 
+// FleetWorker is one worker's contribution to the campaign's merged
+// observability view: how many jobs it completed and where its host and
+// simulated time went. A local (non-distributed) campaign publishes a
+// single synthetic "local" worker.
+type FleetWorker struct {
+	ID        string  `json:"id"`
+	Name      string  `json:"name"`
+	Jobs      uint64  `json:"jobs"`
+	CacheHits uint64  `json:"cache_hits,omitempty"`
+	HostMS    float64 `json:"host_ms"`
+	SimCycles uint64  `json:"sim_cycles"`
+	// TraceEvents/TraceDropped count trace-ring events shipped and
+	// overwritten across the worker's jobs (Options.TraceEvents).
+	TraceEvents  uint64 `json:"trace_events,omitempty"`
+	TraceDropped uint64 `json:"trace_dropped,omitempty"`
+}
+
+// FleetStats is the fleet-level aggregate served on /fleet and exported
+// as the fleet_* OpenMetrics families: per-worker rows plus totals.
+// Published through SetFleetSource by the dist coordinator (or a local
+// pool adapter); defined here so telemetry imports neither.
+type FleetStats struct {
+	Workers      []FleetWorker `json:"workers"`
+	Jobs         uint64        `json:"jobs"`
+	HostMS       float64       `json:"host_ms"`
+	SimCycles    uint64        `json:"sim_cycles"`
+	TraceEvents  uint64        `json:"trace_events"`
+	TraceDropped uint64        `json:"trace_dropped"`
+}
+
+// Totaled returns a copy with the totals recomputed from the per-worker
+// rows, so sources only need to fill Workers.
+func (f FleetStats) Totaled() FleetStats {
+	f.Jobs, f.HostMS, f.SimCycles, f.TraceEvents, f.TraceDropped = 0, 0, 0, 0, 0
+	for _, w := range f.Workers {
+		f.Jobs += w.Jobs
+		f.HostMS += w.HostMS
+		f.SimCycles += w.SimCycles
+		f.TraceEvents += w.TraceEvents
+		f.TraceDropped += w.TraceDropped
+	}
+	return f
+}
+
 // liveEvent is a JobUpdate stamped with host receive order/time.
 type liveEvent struct {
 	Seq  int       `json:"seq"`
@@ -83,11 +128,15 @@ const maxRecentEvents = 256
 // Live is the introspection HTTP server mounted by cmd/sweep and
 // cmd/chaos under -http. It serves:
 //
-//	/           human-readable status summary
-//	/metrics    OpenMetrics: host-side campaign progress counters, plus
-//	            the merged simulated-metric families when a source is set
+//	/           human-readable status summary + endpoint index
+//	/metrics    OpenMetrics: host-side campaign progress counters, the
+//	            fleet_* families, plus the merged simulated-metric
+//	            families when a source is set
 //	/jobs       JSON: last known status of every observed job
 //	/events     JSON: the most recent progress events (ring of 256)
+//	/workers    JSON: per-worker lease accounting (empty when local)
+//	/dist       JSON: coordinator degraded-mode stats (empty when local)
+//	/fleet      JSON: fleet-level merged telemetry aggregate
 //	/healthz    "ok"
 //
 // Live runs on the host side and is the one telemetry component that is
@@ -108,6 +157,7 @@ type Live struct {
 	source  func() *Snapshot
 	workers func() []WorkerStatus
 	dist    func() DistStats
+	fleet   func() FleetStats
 
 	srv *http.Server
 	ln  net.Listener
@@ -187,6 +237,19 @@ func (l *Live) SetDistSource(fn func() DistStats) {
 	l.mu.Unlock()
 }
 
+// SetFleetSource installs a provider of fleet-level merged telemetry
+// (per-worker job/host-cost/sim-cycle/trace accounting). When set,
+// /fleet serves the snapshot and /metrics grows the fleet_* families.
+// Called per scrape; must be safe for concurrent use.
+func (l *Live) SetFleetSource(fn func() FleetStats) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.fleet = fn
+	l.mu.Unlock()
+}
+
 // Handler returns the HTTP mux.
 func (l *Live) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -196,7 +259,9 @@ func (l *Live) Handler() http.Handler {
 	mux.HandleFunc("/events", l.handleEvents)
 	mux.HandleFunc("/workers", l.handleWorkers)
 	mux.HandleFunc("/dist", l.handleDist)
+	mux.HandleFunc("/fleet", l.handleFleet)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
 	return mux
@@ -223,6 +288,21 @@ func (l *Live) Close() error {
 	return l.srv.Close()
 }
 
+// endpointIndex describes every endpoint the server can mount, in the
+// order the root index lists them.
+var endpointIndex = []struct {
+	path, desc string
+	distOnly   bool
+}{
+	{"/metrics", "OpenMetrics exposition (campaign progress, fleet, merged simulated metrics)", false},
+	{"/jobs", "JSON: last known status of every observed job", false},
+	{"/events", "JSON: most recent progress events (ring of 256)", false},
+	{"/workers", "JSON: per-worker lease accounting (distributed campaigns)", true},
+	{"/dist", "JSON: coordinator degraded-mode stats (distributed campaigns)", true},
+	{"/fleet", "JSON: fleet-level merged telemetry (per-worker host/sim cost)", false},
+	{"/healthz", "liveness probe", false},
+}
+
 func (l *Live) handleRoot(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Path != "/" {
 		http.NotFound(w, r)
@@ -230,6 +310,7 @@ func (l *Live) handleRoot(w http.ResponseWriter, r *http.Request) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "%s: %d/%d jobs done, up %s\n", l.tool, l.done, l.total,
 		time.Since(l.start).Round(time.Second))
 	stats := make([]string, 0, len(l.byStat))
@@ -240,14 +321,25 @@ func (l *Live) handleRoot(w http.ResponseWriter, r *http.Request) {
 	for _, s := range stats {
 		fmt.Fprintf(w, "  %-8s %d\n", s, l.byStat[s])
 	}
-	if l.workers != nil {
-		fmt.Fprintln(w, "endpoints: /metrics /jobs /events /workers /healthz")
-		return
+	fmt.Fprintln(w, "endpoints:")
+	for _, ep := range endpointIndex {
+		note := ""
+		if ep.distOnly && l.workers == nil {
+			note = " (inactive: campaign is not distributed)"
+		}
+		fmt.Fprintf(w, "  %-9s %s%s\n", ep.path, ep.desc, note)
 	}
-	fmt.Fprintln(w, "endpoints: /metrics /jobs /events /healthz")
 }
 
 func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+	l.WriteMetrics(w)
+}
+
+// WriteMetrics writes the full OpenMetrics exposition (the /metrics
+// body, "# EOF" included) to w. Exported so -metrics FILE dumps and the
+// HTTP handler share one implementation.
+func (l *Live) WriteMetrics(w io.Writer) {
 	l.mu.Lock()
 	done, total := l.done, l.total
 	byStat := map[string]int{}
@@ -257,9 +349,9 @@ func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	source := l.source
 	workers := l.workers
 	dist := l.dist
+	fleet := l.fleet
 	l.mu.Unlock()
 
-	w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
 	fmt.Fprintf(w, "# HELP %s_jobs_total jobs in the campaign grid\n# TYPE %s_jobs_total gauge\n%s_jobs_total %d\n",
 		l.tool, l.tool, l.tool, total)
 	fmt.Fprintf(w, "# HELP %s_jobs_done jobs completed (ran or cached)\n# TYPE %s_jobs_done gauge\n%s_jobs_done %d\n",
@@ -329,44 +421,99 @@ func (l *Live) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			}
 		}
 	}
+	if fleet != nil {
+		fs := fleet()
+		for _, fam := range []struct {
+			name, help string
+			value      func(FleetWorker) string
+		}{
+			{"fleet_worker_jobs_total", "jobs completed by the worker", func(s FleetWorker) string { return fmt.Sprint(s.Jobs) }},
+			{"fleet_worker_host_ms_total", "host milliseconds spent by the worker", func(s FleetWorker) string { return fmtVal(s.HostMS) }},
+			{"fleet_worker_sim_cycles_total", "simulated wall cycles produced by the worker", func(s FleetWorker) string { return fmt.Sprint(s.SimCycles) }},
+			{"fleet_worker_trace_events_total", "trace events shipped by the worker", func(s FleetWorker) string { return fmt.Sprint(s.TraceEvents) }},
+			{"fleet_worker_trace_dropped_total", "trace events lost to ring wrap on the worker", func(s FleetWorker) string { return fmt.Sprint(s.TraceDropped) }},
+		} {
+			fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s counter\n", l.tool, fam.name, fam.help, l.tool, fam.name)
+			for _, s := range fs.Workers {
+				fmt.Fprintf(w, "%s_%s{worker=\"%s\",name=\"%s\"} %s\n", l.tool, fam.name, s.ID, s.Name, fam.value(s))
+			}
+		}
+		for _, fam := range []struct {
+			name, help, kind, value string
+		}{
+			{"fleet_workers", "workers contributing to the fleet aggregate", "gauge", fmt.Sprint(len(fs.Workers))},
+			{"fleet_jobs_total", "jobs completed fleet-wide", "counter", fmt.Sprint(fs.Jobs)},
+			{"fleet_host_ms_total", "host milliseconds spent fleet-wide", "counter", fmtVal(fs.HostMS)},
+			{"fleet_sim_cycles_total", "simulated wall cycles produced fleet-wide", "counter", fmt.Sprint(fs.SimCycles)},
+			{"fleet_trace_events_total", "trace events shipped fleet-wide", "counter", fmt.Sprint(fs.TraceEvents)},
+			{"fleet_trace_dropped_total", "trace events lost to ring wrap fleet-wide", "counter", fmt.Sprint(fs.TraceDropped)},
+		} {
+			fmt.Fprintf(w, "# HELP %s_%s %s\n# TYPE %s_%s %s\n%s_%s %s\n",
+				l.tool, fam.name, fam.help, l.tool, fam.name, fam.kind, l.tool, fam.name, fam.value)
+		}
+	}
 	if source != nil {
 		if snap := source(); snap != nil {
+			fmt.Fprintf(w, "# HELP %s_trace_dropped_total trace events lost to ring wrap across merged jobs\n# TYPE %s_trace_dropped_total counter\n%s_trace_dropped_total %d\n",
+				l.tool, l.tool, l.tool, snap.TraceDropped)
 			_ = snap.WriteOpenMetrics(w, false)
 		}
 	}
 	fmt.Fprintln(w, "# EOF")
 }
 
-// handleWorkers serves the distributed-worker snapshot; 404 when the
-// campaign is not distributed (no source installed).
-func (l *Live) handleWorkers(w http.ResponseWriter, r *http.Request) {
+// handleWorkers serves the distributed-worker snapshot. When the
+// campaign is not distributed (no source installed) it serves an empty
+// JSON array rather than a 404, so scrapers need no special-casing.
+func (l *Live) handleWorkers(w http.ResponseWriter, _ *http.Request) {
 	l.mu.Lock()
 	workers := l.workers
 	l.mu.Unlock()
-	if workers == nil {
-		http.NotFound(w, r)
-		return
+	ws := []WorkerStatus{}
+	if workers != nil {
+		if got := workers(); got != nil {
+			ws = got
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(workers())
+	_ = enc.Encode(ws)
 }
 
-// handleDist serves the coordinator-level degraded-mode snapshot; 404
-// when the campaign is not distributed (no source installed).
-func (l *Live) handleDist(w http.ResponseWriter, r *http.Request) {
+// handleDist serves the coordinator-level degraded-mode snapshot, or an
+// empty JSON object when the campaign is not distributed.
+func (l *Live) handleDist(w http.ResponseWriter, _ *http.Request) {
 	l.mu.Lock()
 	dist := l.dist
 	l.mu.Unlock()
-	if dist == nil {
-		http.NotFound(w, r)
-		return
+	var st DistStats
+	if dist != nil {
+		st = dist()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(dist())
+	_ = enc.Encode(st)
+}
+
+// handleFleet serves the fleet-level merged telemetry aggregate, or an
+// empty JSON object when no fleet source is installed.
+func (l *Live) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	fleet := l.fleet
+	l.mu.Unlock()
+	var fs FleetStats
+	if fleet != nil {
+		fs = fleet()
+	}
+	if fs.Workers == nil {
+		fs.Workers = []FleetWorker{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(fs)
 }
 
 func (l *Live) handleJobs(w http.ResponseWriter, _ *http.Request) {

@@ -103,16 +103,16 @@ func TestLiveEndpoints(t *testing.T) {
 	}
 }
 
-// TestLiveWorkers pins the distributed-campaign surface: /workers is 404
-// until a source is installed, then serves the coordinator's per-worker
-// snapshot, and /metrics grows the <tool>_dist_* families.
+// TestLiveWorkers pins the distributed-campaign surface: /workers serves
+// an empty JSON array until a source is installed, then the coordinator's
+// per-worker snapshot, and /metrics grows the <tool>_dist_* families.
 func TestLiveWorkers(t *testing.T) {
 	l := NewLive("sweep")
 	srv := httptest.NewServer(l.Handler())
 	defer srv.Close()
 
-	if code, _ := liveGet(t, srv, "/workers"); code != 404 {
-		t.Fatalf("/workers before a source = %d, want 404 (campaign not distributed)", code)
+	if code, body := liveGet(t, srv, "/workers"); code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("/workers before a source = %d %q, want 200 with an empty JSON array", code, body)
 	}
 	if _, body := liveGet(t, srv, "/metrics"); strings.Contains(body, "dist_worker") {
 		t.Fatal("dist families emitted without a worker source")
@@ -153,16 +153,17 @@ func TestLiveWorkers(t *testing.T) {
 	}
 }
 
-// TestLiveDistStats pins the degraded-mode surface: /dist is 404 until a
-// source is installed, then serves the coordinator's fleet-level snapshot,
-// and /metrics grows the breaker/cache/fallback/netfault families.
+// TestLiveDistStats pins the degraded-mode surface: /dist serves a
+// zero-valued JSON object until a source is installed, then the
+// coordinator's fleet-level snapshot, and /metrics grows the
+// breaker/cache/fallback/netfault families.
 func TestLiveDistStats(t *testing.T) {
 	l := NewLive("sweep")
 	srv := httptest.NewServer(l.Handler())
 	defer srv.Close()
 
-	if code, _ := liveGet(t, srv, "/dist"); code != 404 {
-		t.Fatalf("/dist before a source = %d, want 404", code)
+	if code, body := liveGet(t, srv, "/dist"); code != 200 || !strings.Contains(body, `"workers_live": 0`) {
+		t.Fatalf("/dist before a source = %d %q, want 200 with a zero snapshot", code, body)
 	}
 	if _, body := liveGet(t, srv, "/metrics"); strings.Contains(body, "dist_workers_live") {
 		t.Fatal("dist fleet families emitted without a source")
@@ -221,6 +222,87 @@ func TestLiveDistStats(t *testing.T) {
 	}
 }
 
+// TestLiveFleet pins the fleet observability surface: /fleet serves an
+// empty aggregate until a source is installed, then the merged per-worker
+// view, /metrics grows the fleet_* families, and the root index
+// advertises every endpoint with the right Content-Type.
+func TestLiveFleet(t *testing.T) {
+	l := NewLive("sweep")
+	srv := httptest.NewServer(l.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/ Content-Type = %q, want text/plain", ct)
+	}
+	for _, ep := range []string{"/metrics", "/jobs", "/events", "/workers", "/dist", "/fleet", "/healthz"} {
+		if !strings.Contains(string(body), ep) {
+			t.Errorf("/ index missing %s:\n%s", ep, body)
+		}
+	}
+	if !strings.Contains(string(body), "inactive: campaign is not distributed") {
+		t.Errorf("/ index does not mark dist-only endpoints inactive:\n%s", body)
+	}
+
+	code, fbody := liveGet(t, srv, "/fleet")
+	if code != 200 || !strings.Contains(fbody, `"workers": []`) {
+		t.Fatalf("/fleet before a source = %d %q, want 200 with an empty aggregate", code, fbody)
+	}
+	if _, mbody := liveGet(t, srv, "/metrics"); strings.Contains(mbody, "fleet_") {
+		t.Fatal("fleet families emitted without a source")
+	}
+
+	l.SetFleetSource(func() FleetStats {
+		return FleetStats{Workers: []FleetWorker{
+			{ID: "w001", Name: "alpha", Jobs: 5, CacheHits: 1, HostMS: 120.5, SimCycles: 9000, TraceEvents: 64, TraceDropped: 3},
+			{ID: "w002", Name: "beta", Jobs: 3, HostMS: 80, SimCycles: 4000, TraceEvents: 32},
+		}}.Totaled()
+	})
+	code, fbody = liveGet(t, srv, "/fleet")
+	if code != 200 {
+		t.Fatalf("/fleet = %d", code)
+	}
+	var fs FleetStats
+	if err := json.Unmarshal([]byte(fbody), &fs); err != nil {
+		t.Fatalf("/fleet is not JSON: %v", err)
+	}
+	if len(fs.Workers) != 2 || fs.Jobs != 8 || fs.SimCycles != 13000 || fs.TraceDropped != 3 {
+		t.Fatalf("/fleet totals wrong: %+v", fs)
+	}
+
+	_, mbody := liveGet(t, srv, "/metrics")
+	for _, want := range []string{
+		`sweep_fleet_worker_jobs_total{worker="w001",name="alpha"} 5`,
+		`sweep_fleet_worker_sim_cycles_total{worker="w002",name="beta"} 4000`,
+		`sweep_fleet_worker_trace_dropped_total{worker="w001",name="alpha"} 3`,
+		`sweep_fleet_workers 2`,
+		`sweep_fleet_jobs_total 8`,
+		`sweep_fleet_sim_cycles_total 13000`,
+		`sweep_fleet_trace_events_total 96`,
+		`sweep_fleet_trace_dropped_total 3`,
+	} {
+		if !strings.Contains(mbody, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, mbody)
+		}
+	}
+
+	// The merged-snapshot trace-loss counter is a separate satellite: the
+	// end-of-run summary and scrapers both read <tool>_trace_dropped_total.
+	l.SetMetricsSource(func() *Snapshot {
+		s := synthSnap(1)
+		s.TraceDropped = 42
+		return s
+	})
+	if _, mbody := liveGet(t, srv, "/metrics"); !strings.Contains(mbody, "sweep_trace_dropped_total 42") {
+		t.Errorf("/metrics missing merged trace-dropped counter:\n%s", mbody)
+	}
+}
+
 // TestLiveConcurrentObserve hammers Observe from many goroutines while
 // scraping; run with -race to catch lock violations.
 func TestLiveConcurrentObserve(t *testing.T) {
@@ -240,6 +322,9 @@ func TestLiveConcurrentObserve(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		if code, _ := liveGet(t, srv, "/metrics"); code != 200 {
 			t.Fatalf("/metrics = %d mid-campaign", code)
+		}
+		if code, _ := liveGet(t, srv, "/fleet"); code != 200 {
+			t.Fatalf("/fleet = %d mid-campaign", code)
 		}
 	}
 	wg.Wait()

@@ -30,6 +30,27 @@ type Snapshot struct {
 	Series []SeriesSnap `json:"series"`
 	// Rows is the sampled time series (omitted from merges).
 	Rows []RowSnap `json:"rows,omitempty"`
+	// Trace is the exported trace-ring contents when the run was traced
+	// (Options.TraceEvents > 0); like Rows it is per-job data and is
+	// dropped from merges. TraceDropped counts ring overwrites and does
+	// survive merges, so silent truncation stays visible fleet-wide.
+	Trace        []TraceSample `json:"trace,omitempty"`
+	TraceDropped uint64        `json:"trace_dropped,omitempty"`
+}
+
+// TraceSample is one exported trace event, shaped after trace.Event but
+// defined here (with the enums rendered as their export names) so
+// telemetry does not import trace and snapshots stay self-describing
+// across processes.
+type TraceSample struct {
+	Cycle uint64 `json:"cycle"`
+	Core  int    `json:"core"`
+	Agent string `json:"agent,omitempty"`
+	Kind  string `json:"kind"`
+	Phase string `json:"phase"` // B | E | i
+	Epoch uint64 `json:"epoch,omitempty"`
+	Arg   uint64 `json:"arg,omitempty"`
+	Arg2  uint64 `json:"arg2,omitempty"`
 }
 
 // StackSample is attributed cycles for one component stack on one core.
@@ -178,7 +199,8 @@ type Keyed struct {
 // first, so the result is identical regardless of the order jobs finished
 // in — the property behind byte-identical exports at any -workers count.
 // Counters and gauges sum; histograms sum bucket-wise; per-job time-series
-// rows are dropped (use WriteSeriesCSV for those).
+// rows and trace events are dropped (use WriteSeriesCSV / the timeline
+// exporter for those) while TraceDropped counts sum.
 func Merge(snaps []Keyed) *Snapshot {
 	sorted := append([]Keyed(nil), snaps...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
@@ -197,6 +219,7 @@ func Merge(snaps []Keyed) *Snapshot {
 			out.Cores = sn.Cores
 		}
 		out.SampleEvery = sn.SampleEvery
+		out.TraceDropped += sn.TraceDropped
 		grow := func(dst []uint64, n int) []uint64 {
 			for len(dst) < n {
 				dst = append(dst, 0)

@@ -92,6 +92,11 @@ type Options struct {
 	// is downsampled 2:1 and the interval doubled (deterministically).
 	// Zero selects DefaultMaxRows.
 	MaxRows int
+	// TraceEvents, when positive, arms a per-job trace.Tracer ring of
+	// that capacity; the retained events are exported into the job's
+	// Snapshot (Snapshot.Trace) so traces survive manifest resume and
+	// distributed shipping. Zero leaves tracing off.
+	TraceEvents int
 }
 
 // Defaults for Options.
