@@ -11,7 +11,7 @@ RACE_PKGS = ./internal/bus ./internal/ca ./internal/dist/netfault \
             ./internal/expt/cliflags ./internal/fault ./internal/journal \
             ./internal/metrics ./internal/oracle ./internal/shadow \
             ./internal/sim ./internal/telemetry ./internal/tmem \
-            ./internal/trace ./internal/vm
+            ./internal/trace ./internal/vm ./internal/workload/heapscale
 
 .PHONY: all build vet test race verify chaos sweep-bench telemetry-smoke \
         hostbench hostbench-smoke dist-smoke dist-chaos-smoke obs-smoke
@@ -84,14 +84,17 @@ obs-smoke:
 # the simulator spends real CPU, complementing the simulated-cycle
 # documents. Runs every microbenchmark and campaign through cmd/hostbench
 # and enforces the word kernel's speedup floors (sweep_kernel >= 3x,
-# campaign >= 1.5x) and the fast sim engine's (sim_campaign >= 3x).
+# campaign >= 1.5x), the fast sim engine's (sim_campaign >= 3x) and the
+# sparse memory representations' (heap_sweep >= 5x, fleet_setup >= 2x).
 hostbench: BENCH_host.json
 BENCH_host.json: FORCE
 	$(GO) run ./cmd/hostbench -check -out $@
 
 # hostbench-smoke: CI liveness for the rig — every benchmark body runs
-# once, and the differential suites pin that the word and granule kernels
-# — and the fast and classic sim engines — still produce identical
+# once (including the heap-scale million-frame sweep and the
+# allocation-bound fleet-setup pair), and the differential suites pin
+# that the word and granule kernels, the fast and classic sim engines,
+# and the sparse and flat memory representations still produce identical
 # simulated results.
 hostbench-smoke:
 	$(GO) test ./internal/hostbench -bench . -benchtime=1x -count=1
@@ -99,6 +102,7 @@ hostbench-smoke:
 	$(GO) test ./internal/revoke -run TestFastEngineMatchesClassic -count=1
 	$(GO) test ./internal/expt -run TestDocumentIdenticalAcrossKernels -count=1
 	$(GO) test ./internal/expt -run TestDocumentIdenticalAcrossEngines -count=1
+	$(GO) test ./internal/expt -run TestDocumentIdenticalAcrossMemPaths -count=1
 
 # BENCH_sweep.json: one reduced-rep pass over every figure and table,
 # emitted as the machine-readable cornucopia-sweep/v1 document for

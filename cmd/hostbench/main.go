@@ -37,9 +37,21 @@
 //     this is where the classic engine's two channel crossings per slice
 //     and O(threads) sleeper scan per dispatch show up end to end.
 //
-// -check exits nonzero unless sweep_kernel ≥ 3, campaign ≥ 1.5 and
-// sim_campaign ≥ 3, the acceptance floors the committed BENCH_host.json
-// is regenerated under.
+// plus the speedup of the sparse memory representations over their flat
+// differential oracles (-mempath):
+//
+//   - heap_sweep: HeapSweepFlat / HeapSweepSparse, a whole-bank audit
+//     sweep over a million-frame bank with sparse tags. The sparse walk
+//     descends the region → frame-group summary tree in O(live tags);
+//     the flat oracle scans every frame struct.
+//   - fleet_setup: FleetSetupFlat / FleetSetupFast, an allocation-bound
+//     connection-fleet campaign (large per-connection session pools)
+//     under each -mempath. Word-masked tag clears, shadow chunk
+//     recycling and O(1) vpn appends against the flat per-granule paths.
+//
+// -check exits nonzero unless sweep_kernel ≥ 3, campaign ≥ 1.5,
+// sim_campaign ≥ 3, heap_sweep ≥ 5 and fleet_setup ≥ 2, the acceptance
+// floors the committed BENCH_host.json is regenerated under.
 package main
 
 import (
@@ -93,6 +105,8 @@ var ratioDefs = []struct {
 	{"campaign", hostbench.NameCampaignGranule, hostbench.NameCampaignWord},
 	{"sim_campaign_kernel", hostbench.NameSimCampaignGranule, hostbench.NameSimCampaignWord},
 	{"sim_campaign", hostbench.NameSimCampaignClassic, hostbench.NameSimCampaignFast},
+	{"heap_sweep", hostbench.NameHeapSweepFlat, hostbench.NameHeapSweepSparse},
+	{"fleet_setup", hostbench.NameFleetSetupFlat, hostbench.NameFleetSetupFast},
 }
 
 func main() {
@@ -100,7 +114,7 @@ func main() {
 	log.SetPrefix("hostbench: ")
 	out := flag.String("out", "BENCH_host.json", "write the benchmark document to this file ('-' for stdout)")
 	run := flag.String("run", "", "only run benchmarks matching this regexp")
-	check := flag.Bool("check", false, "exit nonzero unless sweep_kernel >= 3, campaign >= 1.5 and sim_campaign >= 3")
+	check := flag.Bool("check", false, "exit nonzero unless sweep_kernel >= 3, campaign >= 1.5, sim_campaign >= 3, heap_sweep >= 5 and fleet_setup >= 2")
 	lf := cliflags.RegisterLive()
 	flag.Parse()
 
@@ -184,7 +198,7 @@ func main() {
 
 	if *check {
 		fail := false
-		for key, min := range map[string]float64{"sweep_kernel": 3, "campaign": 1.5, "sim_campaign": 3} {
+		for key, min := range map[string]float64{"sweep_kernel": 3, "campaign": 1.5, "sim_campaign": 3, "heap_sweep": 5, "fleet_setup": 2} {
 			r, ok := doc.Ratios[key]
 			if !ok {
 				log.Printf("check: ratio %s not measured (filtered out?)", key)

@@ -104,7 +104,7 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("sweep: ")
-	figures := flag.String("figures", "all", "comma-separated figure ids (fig1..fig9, table1, table2) or 'all'")
+	figures := flag.String("figures", "all", "comma-separated figure ids (fig1..fig9, table1, table2, heapscale) or 'all'")
 	list := flag.Bool("list", false, "list figure ids and exit")
 	shared := cliflags.Register()
 	out := flag.String("out", "", "write machine-readable JSON results to this file")

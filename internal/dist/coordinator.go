@@ -12,6 +12,7 @@ import (
 	"repro/internal/dist/netfault"
 	"repro/internal/expt"
 	"repro/internal/journal"
+	"repro/internal/kernel"
 	"repro/internal/telemetry"
 )
 
@@ -221,7 +222,7 @@ func NewCoordinator(cfg Config) *Coordinator {
 			}
 		}()
 		start := time.Now()
-		res, err = expt.RunJob(j, cfg.Pool.Telemetry, cfg.Pool.SweepKernel, cfg.Pool.SimEngine)
+		res, err = expt.RunJob(j, cfg.Pool.Telemetry, cfg.Pool.SweepKernel, cfg.Pool.SimEngine, cfg.Pool.MemPath)
 		return res, time.Since(start), err
 	}
 	return c
@@ -608,6 +609,15 @@ func (c *Coordinator) handleHello(w http.ResponseWriter, r *http.Request) {
 			"campaign requires sim engine %q; worker supports %v", ek, req.SimEngines)})
 		return
 	}
+	// Mem-path support is a protocol extension: workers predating it omit
+	// MemPaths and implicitly run the fast path, so only a non-default
+	// campaign path needs explicit support.
+	mp := c.cfg.Pool.MemPath.String()
+	if c.cfg.Pool.MemPath != kernel.MemPathFast && !contains(req.MemPaths, mp) {
+		reply(w, HelloReply{OK: false, Reason: fmt.Sprintf(
+			"campaign requires mem path %q; worker supports %v", mp, req.MemPaths)})
+		return
+	}
 	name := req.Name
 	if name == "" {
 		name = "anonymous"
@@ -626,6 +636,7 @@ func (c *Coordinator) handleHello(w http.ResponseWriter, r *http.Request) {
 		Grid:        c.cfg.Grid,
 		SweepKernel: sk,
 		SimEngine:   ek,
+		MemPath:     mp,
 		HeartbeatMS: c.hbEvery.Milliseconds(),
 	}
 	if t := c.cfg.Pool.Telemetry; t != nil {

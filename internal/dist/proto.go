@@ -65,6 +65,11 @@ type Hello struct {
 	// workers that cannot run the campaign's configured pair.
 	SweepKernels []string `json:"sweep_kernels"`
 	SimEngines   []string `json:"sim_engines"`
+	// MemPaths lists the memory-model representations the worker supports
+	// (cornucopia-dist/v1 extension). An old worker omits the field and is
+	// assumed to support only the default fast path; the coordinator
+	// refuses it only when the campaign demands another path.
+	MemPaths []string `json:"mem_paths,omitempty"`
 }
 
 // TelemetryOptions mirrors telemetry.Options on the wire. TraceEvents
@@ -91,9 +96,13 @@ type HelloReply struct {
 	// SweepKernel and SimEngine are the implementations every leased job
 	// must run under; Telemetry, when non-nil, arms per-job recording so
 	// snapshots ride back inside the JobResult.
-	SweepKernel string            `json:"sweep_kernel,omitempty"`
-	SimEngine   string            `json:"sim_engine,omitempty"`
-	Telemetry   *TelemetryOptions `json:"telemetry,omitempty"`
+	SweepKernel string `json:"sweep_kernel,omitempty"`
+	SimEngine   string `json:"sim_engine,omitempty"`
+	// MemPath is the memory-model representation every leased job must run
+	// under (cornucopia-dist/v1 extension; empty = fast). Old workers
+	// ignore it, which is benign: paths are simulated-identical.
+	MemPath   string            `json:"mem_path,omitempty"`
+	Telemetry *TelemetryOptions `json:"telemetry,omitempty"`
 	// HeartbeatMS is how often the worker must renew each held lease.
 	HeartbeatMS int64 `json:"heartbeat_ms,omitempty"`
 }

@@ -84,6 +84,7 @@ type Worker struct {
 	telem      *telemetry.Options
 	sk         kernel.SweepKernel
 	ek         sim.EngineKind
+	mp         kernel.MemPath
 	tool, grid string
 	cache      *expt.Manifest
 	backoff    expt.Backoff
@@ -133,7 +134,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		}
 	}
 	w.run = func(j expt.Job) (*expt.JobResult, error) {
-		return expt.RunJob(j, w.telem, w.sk, w.ek)
+		return expt.RunJob(j, w.telem, w.sk, w.ek, w.mp)
 	}
 	return w
 }
@@ -215,6 +216,9 @@ func (w *Worker) hello() error {
 		SimEngines: []string{
 			sim.EngineFast.String(), sim.EngineClassic.String(),
 		},
+		MemPaths: []string{
+			kernel.MemPathFast.String(), kernel.MemPathFlat.String(),
+		},
 	}
 	deadline := time.Now().Add(w.cfg.HelloTimeout)
 	for attempt := 1; ; attempt++ {
@@ -242,8 +246,11 @@ func (w *Worker) hello() error {
 			if w.ek, err = sim.ParseEngineKind(rep.SimEngine); err != nil {
 				return fmt.Errorf("dist: coordinator sent unusable engine: %w", err)
 			}
-			w.logf("worker %s joined %s campaign %q (kernel=%s engine=%s heartbeat=%s)",
-				w.id, rep.Tool, rep.Grid, w.sk, w.ek, w.hb)
+			if w.mp, err = kernel.ParseMemPath(rep.MemPath); err != nil {
+				return fmt.Errorf("dist: coordinator sent unusable mem path: %w", err)
+			}
+			w.logf("worker %s joined %s campaign %q (kernel=%s engine=%s mempath=%s heartbeat=%s)",
+				w.id, rep.Tool, rep.Grid, w.sk, w.ek, w.mp, w.hb)
 			return nil
 		}
 		if time.Now().After(deadline) {

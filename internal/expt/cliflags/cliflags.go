@@ -3,7 +3,7 @@
 // -timeout, -retries, -retry-backoff), manifest resume (-resume,
 // -compact), per-job progress lines (-progress), the live introspection
 // server (-http, -http-linger), the simulation implementation seams
-// (-sweepkernel, -simengine), the execution backend (-exec, -listen,
+// (-sweepkernel, -simengine, -mempath), the execution backend (-exec, -listen,
 // -addr-file, -heartbeat), and the observability plane (-journal,
 // -timeline, -timeline-canonical, -trace-events). Both commands register
 // the same flags with the same defaults and get the same progress
@@ -112,6 +112,9 @@ type Flags struct {
 	// SimEngine names the sim execution engine ("fast" or "classic");
 	// resolve it with ParseSimEngine.
 	SimEngine string
+	// MemPath names the memory-model host representation ("fast" or
+	// "flat"); resolve it with ParseMemPath.
+	MemPath string
 	// CPUProfile/MemProfile, when non-empty, write host-side pprof
 	// profiles — the complement of the simulated-cycle profiler
 	// (internal/telemetry), which attributes virtual time, not host time.
@@ -154,6 +157,7 @@ func Register() *Flags {
 	flag.IntVar(&f.TraceEvents, "trace-events", 0, "arm the per-job cycle tracer with a ring of this many events (0 = off)")
 	flag.StringVar(&f.SweepKernel, "sweepkernel", "word", "page-sweep implementation: word (batch kernel) or granule (per-granule differential oracle)")
 	flag.StringVar(&f.SimEngine, "simengine", "fast", "sim execution engine: fast (inline scheduler) or classic (channel-per-slice differential oracle)")
+	flag.StringVar(&f.MemPath, "mempath", "fast", "memory-model host representation: fast (sparse hierarchical) or flat (differential oracle)")
 	flag.StringVar(&f.CPUProfile, "cpuprofile", "", "write a host CPU profile (pprof) to this file")
 	flag.StringVar(&f.MemProfile, "memprofile", "", "write a host heap profile (pprof) to this file at exit")
 	return f
@@ -167,6 +171,11 @@ func (f *Flags) ParseSweepKernel() (kernel.SweepKernel, error) {
 // ParseSimEngine resolves the -simengine flag value.
 func (f *Flags) ParseSimEngine() (sim.EngineKind, error) {
 	return sim.ParseEngineKind(f.SimEngine)
+}
+
+// ParseMemPath resolves the -mempath flag value.
+func (f *Flags) ParseMemPath() (kernel.MemPath, error) {
+	return kernel.ParseMemPath(f.MemPath)
 }
 
 // StartProfiles begins host CPU profiling if -cpuprofile was given. The
@@ -249,6 +258,10 @@ func (f *Flags) PoolConfig(tool string, manifest *expt.Manifest) (expt.PoolConfi
 	if err != nil {
 		return expt.PoolConfig{}, nil, err
 	}
+	mp, err := f.ParseMemPath()
+	if err != nil {
+		return expt.PoolConfig{}, nil, err
+	}
 	cfg := expt.PoolConfig{
 		Workers:      f.Workers,
 		Timeout:      f.Timeout,
@@ -258,6 +271,7 @@ func (f *Flags) PoolConfig(tool string, manifest *expt.Manifest) (expt.PoolConfi
 		Manifest:     manifest,
 		SweepKernel:  sk,
 		SimEngine:    ek,
+		MemPath:      mp,
 	}
 	var live *telemetry.Live
 	if f.HTTPAddr != "" {

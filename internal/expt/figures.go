@@ -14,6 +14,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/revoke"
+	"repro/internal/workload/heapscale"
 	"repro/internal/workload/spec"
 )
 
@@ -74,6 +75,7 @@ func Figures() []Figure {
 		{"fig8", "gRPC QPS latency percentiles", fig8Build},
 		{"fig9", "revocation phase time distributions", fig9Build},
 		{"table2", "Reloaded revocation rate statistics", table2Build},
+		{"heapscale", "heap-scale sweep and allocation costs", heapscaleBuild},
 	}
 }
 
@@ -800,5 +802,57 @@ func table2Build(o Options, g Getter) (*harness.Table, error) {
 	}
 	addRow("gRPC QPS", qrs)
 	t.AddNote("footprints scaled by 1/64 (pgbench 1/8) and churn by a further 1/8; F:A orderings are preserved, absolute rev/sec compresses (see EXPERIMENTS.md)")
+	return t, nil
+}
+
+// heapscaleBuild builds the heap-scale axis (not a paper figure): a
+// million-allocation, GB-scale heap (at scale 1) under the three sweeping
+// strategies, reporting wall, total-CPU and peak-RSS overheads plus the
+// revocation count. This is the extent-stress companion to the rate-stress
+// SPEC grid — the regime where sweep and allocation costs are dominated by
+// how *much* memory is live rather than how fast it churns.
+func heapscaleBuild(o Options, g Getter) (*harness.Table, error) {
+	w := heapscale.New(1<<20, 1<<18)
+	cfg := o.SpecCfg
+	if cfg.Scale == 0 {
+		cfg.Scale = 64
+	}
+	if mf := w.MaxFrames(cfg.Scale); mf > cfg.Machine.MaxFrames {
+		cfg.Machine.MaxFrames = mf
+	}
+	wref := HeapScaleWorkload(w.LiveAllocs, w.ChurnOps)
+	conds := append([]harness.Condition{harness.Baseline()}, harness.SweepConditions()...)
+	grids := make([][]Job, len(conds))
+	for i, c := range conds {
+		grids[i] = repeatJobs(wref, c, cfg, o.Reps, strideRepeat)
+		g.Prefetch(grids[i])
+	}
+	var base []*harness.Result
+	t := &harness.Table{
+		Title:  "Heap scale: million-allocation heap overheads vs CHERI baseline",
+		Header: []string{"condition", "wall", "totalCPU", "peakRSS", "revocations"},
+	}
+	for i, c := range conds {
+		rs, err := collect(g, grids[i])
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			base = rs
+			t.AddRow("Baseline", "--", "--",
+				fmt.Sprintf("%.1fMiB", harness.MeanRSS(rs)*4096/(1<<20)), "--")
+			continue
+		}
+		var revs metrics.Samples
+		for _, r := range rs {
+			revs.Add(float64(len(r.Epochs)))
+		}
+		t.AddRow(c.Name,
+			pct(metrics.Overhead(harness.MeanWall(rs), harness.MeanWall(base))),
+			pct(metrics.Overhead(harness.MeanCPU(rs), harness.MeanCPU(base))),
+			f3(metrics.Ratio(harness.MeanRSS(rs), harness.MeanRSS(base))),
+			f1(revs.Mean()))
+	}
+	t.AddNote("full scale is 2^20 live allocations (~1 GiB heap); the run divides by Scale (%d here)", cfg.Scale)
 	return t, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/workload"
 	"repro/internal/workload/chaos"
+	"repro/internal/workload/heapscale"
 	"repro/internal/workload/pgbench"
 	"repro/internal/workload/qps"
 	"repro/internal/workload/spec"
@@ -17,7 +18,7 @@ import (
 // WorkloadRef names a workload declaratively, so a job can be hashed,
 // serialized, and re-instantiated. Exactly one Kind is meaningful per ref.
 type WorkloadRef struct {
-	// Kind is "spec", "pgbench" or "qps".
+	// Kind is "spec", "pgbench", "qps", "chaos" or "heapscale".
 	Kind string `json:"kind"`
 	// Name is the SPEC profile name ("xalancbmk", "astar lakes", …).
 	Name string `json:"name,omitempty"`
@@ -28,8 +29,11 @@ type WorkloadRef struct {
 	// Measure and Warmup are the gRPC QPS windows, in cycles.
 	Measure uint64 `json:"measure,omitempty"`
 	Warmup  uint64 `json:"warmup,omitempty"`
-	// Ops is the chaos workload's churn step count.
+	// Ops is the chaos workload's churn step count (also the heapscale
+	// workload's full-scale churn count).
 	Ops int `json:"ops,omitempty"`
+	// Allocs is the heapscale workload's full-scale live allocation count.
+	Allocs int `json:"allocs,omitempty"`
 }
 
 // SpecWorkload references a SPEC surrogate by profile name ("xalancbmk")
@@ -51,6 +55,14 @@ func QPSWorkload(measure, warmup uint64) WorkloadRef {
 
 // ChaosWorkload references an adversarial fault-campaign run (cmd/chaos).
 func ChaosWorkload(ops int) WorkloadRef { return WorkloadRef{Kind: "chaos", Ops: ops} }
+
+// HeapScaleWorkload references a heap-scale run: allocs full-scale live
+// allocations with ops full-scale churn steps (both divided by the job's
+// Scale). Jobs built from this ref should size Machine.MaxFrames with
+// heapscale.Workload.MaxFrames.
+func HeapScaleWorkload(allocs, ops int) WorkloadRef {
+	return WorkloadRef{Kind: "heapscale", Allocs: allocs, Ops: ops}
+}
 
 // Instantiate builds a fresh workload instance. Workloads are stateful
 // (qps counts its measured messages), so every run needs its own.
@@ -75,6 +87,8 @@ func (w WorkloadRef) Instantiate() (workload.Workload, error) {
 		return qps.New(w.Measure, w.Warmup), nil
 	case "chaos":
 		return chaos.New(w.Ops), nil
+	case "heapscale":
+		return heapscale.New(w.Allocs, w.Ops), nil
 	}
 	return nil, fmt.Errorf("expt: unknown workload kind %q", w.Kind)
 }
@@ -93,6 +107,8 @@ func (w WorkloadRef) String() string {
 		return "grpc-qps"
 	case "chaos":
 		return "chaos"
+	case "heapscale":
+		return "heapscale"
 	}
 	return w.Kind
 }

@@ -1,0 +1,70 @@
+package expt
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/kernel"
+)
+
+// TestDocumentIdenticalAcrossMemPaths is the orchestrator-level acceptance
+// check for the sparse memory representations (hierarchical tag
+// summaries, chunked shadow with recycling, O(1)-append vpn list): the
+// same grid run under -mempath=fast and -mempath=flat must emit
+// byte-identical cornucopia-sweep/v1 documents. The grid mixes pgbench (a
+// revocation-heavy server) with the heapscale workload (the
+// million-allocation axis the sparse paths exist for), under the two
+// sweeping strategies that exercise the load barrier and the STW sweep.
+// Host wall-time is the one legitimately nondeterministic field, so it is
+// zeroed before comparison.
+func TestDocumentIdenticalAcrossMemPaths(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	var jobs []Job
+	for _, cond := range harness.SweepConditions()[:2] {
+		cfg := harness.DefaultConfig()
+		cfg.Scale = 256
+		cfg.Seed = 1
+		jobs = append(jobs, Job{Workload: PgbenchWorkload(200), Cond: cond, Cfg: cfg})
+
+		hcfg := harness.DefaultConfig()
+		hcfg.Scale = 128
+		hcfg.Seed = 7
+		jobs = append(jobs, Job{Workload: HeapScaleWorkload(1<<20, 1<<17), Cond: cond, Cfg: hcfg})
+	}
+
+	build := func(mp kernel.MemPath) []byte {
+		p := NewPool(PoolConfig{Workers: 4, MemPath: mp})
+		p.Prefetch(jobs)
+		for _, j := range jobs {
+			if _, err := p.Get(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		doc := BuildDocument(p, nil, 1, 1, 256)
+		for i := range doc.Jobs {
+			doc.Jobs[i].HostMillis = 0
+		}
+		var buf bytes.Buffer
+		if err := doc.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	ref := build(kernel.MemPathFast)
+	if got := build(kernel.MemPathFlat); !bytes.Equal(ref, got) {
+		t.Errorf("flat mem path document differs from fast reference (%d vs %d bytes)", len(got), len(ref))
+	}
+
+	// The path choice must also be invisible to job identity: a manifest
+	// entry computed under either path has to satisfy the other.
+	k := jobs[0].Key()
+	j2 := jobs[0]
+	j2.Cfg.MemPath = kernel.MemPathFlat
+	if j2.Key() != k {
+		t.Fatal("MemPath leaked into the job content hash")
+	}
+}

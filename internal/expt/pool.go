@@ -106,6 +106,12 @@ type PoolConfig struct {
 	// pinned by the engine-equivalence tests — so the choice leaves job
 	// keys untouched and manifest entries are engine-agnostic.
 	SimEngine sim.EngineKind
+	// MemPath selects the memory-model host representation for every
+	// executed job (zero value = the sparse fast path). Paths are
+	// simulated-identical — pinned by the mem-path equivalence tests — so
+	// the choice leaves job keys untouched and manifest entries are
+	// path-agnostic.
+	MemPath kernel.MemPath
 	// Journal, when non-nil, receives the campaign's job lifecycle
 	// (submit/start/retry/result). The pool is the one emission seam for
 	// local runs; internal/dist's coordinator shares the same writer and
@@ -153,7 +159,7 @@ func NewPool(cfg PoolConfig) *Pool {
 		entries: map[string]*entry{},
 	}
 	p.run = func(j Job) (*JobResult, time.Duration, error) {
-		r, err := RunJob(j, cfg.Telemetry, cfg.SweepKernel, cfg.SimEngine)
+		r, err := RunJob(j, cfg.Telemetry, cfg.SweepKernel, cfg.SimEngine, cfg.MemPath)
 		return r, 0, err
 	}
 	return p
@@ -172,7 +178,7 @@ func (p *Pool) SetRun(run func(Job) (*JobResult, time.Duration, error)) {
 // snapshot must conserve cycles. This is the one true execution path —
 // local pool workers and internal/dist network workers both call it, so
 // a job computes the same result wherever it runs.
-func RunJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel, ek sim.EngineKind) (*JobResult, error) {
+func RunJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel, ek sim.EngineKind, mp kernel.MemPath) (*JobResult, error) {
 	w, err := j.Workload.Instantiate()
 	if err != nil {
 		return nil, err
@@ -181,6 +187,7 @@ func RunJob(j Job, telem *telemetry.Options, sk kernel.SweepKernel, ek sim.Engin
 	cfg.Trace = nil
 	cfg.SweepKernel = sk
 	cfg.SimEngine = ek
+	cfg.MemPath = mp
 	if telem != nil {
 		cfg.Telem = telemetry.New(*telem)
 		if telem.TraceEvents > 0 {

@@ -89,7 +89,7 @@ func TestJobResultHarnessRoundTrip(t *testing.T) {
 		Cond:     harness.StandardConditions()[1],
 		Cfg:      harness.PgbenchConfig(),
 	}
-	jr, err := RunJob(j, nil, kernel.SweepKernelWord, sim.EngineFast)
+	jr, err := RunJob(j, nil, kernel.SweepKernelWord, sim.EngineFast, kernel.MemPathFast)
 	if err != nil {
 		t.Fatal(err)
 	}

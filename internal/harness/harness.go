@@ -168,6 +168,11 @@ type Config struct {
 	// the engine-equivalence tests — so, like SweepKernel, the choice is
 	// excluded from JSON and job keys stay stable.
 	SimEngine sim.EngineKind `json:"-"`
+	// MemPath selects the memory-model host representation (zero value =
+	// sparse fast path). Both paths produce identical simulated results —
+	// pinned by the mem-path equivalence tests — so, like SweepKernel, the
+	// choice is excluded from JSON and job keys stay stable.
+	MemPath kernel.MemPath `json:"-"`
 }
 
 // DefaultConfig returns the standard experiment configuration.
@@ -196,6 +201,7 @@ func Run(w workload.Workload, cond Condition, cfg Config) (*Result, error) {
 	m.Trace = cfg.Trace // before NewProcess: wires the MMU shootdown hook
 	m.Telem = cfg.Telem
 	m.Sweep = cfg.SweepKernel
+	m.Mem = cfg.MemPath
 	cfg.Telem.Bind(m.Eng)
 	p := m.NewProcess(cfg.Seed)
 	h := alloc.NewHeap(p)

@@ -47,6 +47,10 @@ const (
 	NameSimCampaignGranule = "SimCampaignGranule"
 	NameSimCampaignFast    = "SimCampaignFast"
 	NameSimCampaignClassic = "SimCampaignClassic"
+	NameHeapSweepSparse    = "HeapSweepSparse"
+	NameHeapSweepFlat      = "HeapSweepFlat"
+	NameFleetSetupFast     = "FleetSetupFast"
+	NameFleetSetupFlat     = "FleetSetupFlat"
 	NameCampaignOpsField   = "sweepstorm" // workload name inside the sim campaign
 )
 
@@ -68,6 +72,10 @@ var Benchmarks = []struct {
 	{NameSimCampaignGranule, SimCampaignGranule},
 	{NameSimCampaignFast, SimCampaignFast},
 	{NameSimCampaignClassic, SimCampaignClassic},
+	{NameHeapSweepSparse, HeapSweepSparse},
+	{NameHeapSweepFlat, HeapSweepFlat},
+	{NameFleetSetupFast, FleetSetupFast},
+	{NameFleetSetupFlat, FleetSetupFlat},
 }
 
 // heapBase places the microbenchmark "heap" away from zero, like real
@@ -485,3 +493,108 @@ func SimCampaignFast(b *testing.B) { simFleetRun(b, sim.EngineFast) }
 // SimCampaignClassic times the identical campaign under the classic
 // channel-per-slice engine, the differential oracle.
 func SimCampaignClassic(b *testing.B) { simFleetRun(b, sim.EngineClassic) }
+
+// The heap-scale sweep pair: a million-frame bank (4 GiB of simulated
+// memory) of which a sparse minority of frames holds tags — the geometry
+// of a million-allocation heap whose pointer-bearing granules are rare
+// relative to its data bulk. The sparse walk descends the region →
+// frame-group summary tree and touches only tagged frames, O(live tags);
+// the flat oracle scans every frame struct, O(bank). This is the pair
+// `make hostbench` enforces the heap_sweep ≥5× floor on; the two walks
+// visit identical (frame, granule) sequences (the tmem sparse-vs-flat
+// equivalence suite).
+const (
+	heapFrames    = 1 << 20 // 4 GiB simulated memory
+	heapTagStride = 128     // one tagged frame per 128 (8192 tagged frames)
+)
+
+func newHeapScaleBank() *tmem.Phys {
+	p := tmem.NewPhys(heapFrames)
+	for i := 0; i < heapFrames; i++ {
+		f, err := p.AllocFrame()
+		if err != nil {
+			panic(err)
+		}
+		if i%heapTagStride == 0 {
+			base := uint64(heapBase) + uint64(i)*tmem.PageSize
+			p.StoreCap(f, i%tmem.GranulesPerPage, ca.NewRoot(base, ca.GranuleSize, ca.PermsData))
+		}
+	}
+	return p
+}
+
+// heapSweepEpochs runs whole-bank audit sweeps (every tagged granule
+// visited, read-only) under the chosen bank iterator.
+func heapSweepEpochs(b *testing.B, sparse bool) {
+	p := newHeapScaleBank()
+	visited := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		visited = 0
+		count := func(id tmem.FrameID) bool {
+			p.ForEachTag(id, func(int, ca.Capability) { visited++ })
+			return true
+		}
+		if sparse {
+			p.ForEachTaggedFrame(count)
+		} else {
+			p.ForEachTaggedFrameFlat(count)
+		}
+		if visited != heapFrames/heapTagStride {
+			b.Fatalf("visited %d tagged granules, want %d", visited, heapFrames/heapTagStride)
+		}
+	}
+	sink = visited
+	b.ReportMetric(float64(visited), "caps-visited")
+}
+
+// HeapSweepSparse times the whole-bank sweep through the summary tree.
+func HeapSweepSparse(b *testing.B) { heapSweepEpochs(b, true) }
+
+// HeapSweepFlat times the identical sweep through the flat frame-table
+// scan, the differential oracle and perf baseline.
+func HeapSweepFlat(b *testing.B) { heapSweepEpochs(b, false) }
+
+// The fleet-setup pair: the same open-loop connection fleet as the
+// SimCampaign engine pair, but allocation-bound instead of
+// scheduler-bound — fewer connections, each building a large session pool
+// (8 slots × 16 KiB) and churning it, with a few requests of steady
+// state. Memory-model host costs dominate: data-store tag clears
+// (word-masked vs per-granule), shadow paint/unpaint on session frees
+// (word-masked + chunk recycling vs granule-by-granule), capability-array
+// population (recycled vs fresh-and-zeroed), and the sorted vpn list
+// (O(1) ascending append). Both paths compute bit-identical campaigns
+// (TestFleetSetupMemPathsAgree, TestDocumentIdenticalAcrossMemPaths);
+// `make hostbench` enforces the fleet_setup ≥2× floor on this pair.
+func fleetSetupRun(b *testing.B, mp kernel.MemPath) {
+	cond := harness.Condition{
+		Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded,
+		RevokerCores: []int{2},
+		Policy:       quarantine.Policy{HeapFraction: 0.001, MinBytes: 1 << 20, BlockFactor: 1000},
+	}
+	cfg := harness.DefaultConfig()
+	cfg.MemPath = mp
+	cfg.AppCores = []int{0, 1, 3}
+	w := fleet.New(1024, 16)
+	w.SessionSlots = 8
+	w.SessionBytes = 16384
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := harness.Run(w, cond, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if w.Messages == 0 || r.WallCycles == 0 {
+			b.Fatalf("campaign degenerate: %d messages", w.Messages)
+		}
+	}
+	b.ReportMetric(float64(w.Messages), "messages")
+}
+
+// FleetSetupFast times the setup-weighted fleet campaign under the sparse
+// fast memory path.
+func FleetSetupFast(b *testing.B) { fleetSetupRun(b, kernel.MemPathFast) }
+
+// FleetSetupFlat times the identical campaign under the flat differential
+// path, the perf baseline.
+func FleetSetupFlat(b *testing.B) { fleetSetupRun(b, kernel.MemPathFlat) }

@@ -30,6 +30,10 @@ func BenchmarkSimCampaignWord(b *testing.B)      { SimCampaignWord(b) }
 func BenchmarkSimCampaignGranule(b *testing.B)   { SimCampaignGranule(b) }
 func BenchmarkSimCampaignFast(b *testing.B)      { SimCampaignFast(b) }
 func BenchmarkSimCampaignClassic(b *testing.B)   { SimCampaignClassic(b) }
+func BenchmarkHeapSweepSparse(b *testing.B)      { HeapSweepSparse(b) }
+func BenchmarkHeapSweepFlat(b *testing.B)        { HeapSweepFlat(b) }
+func BenchmarkFleetSetupFast(b *testing.B)       { FleetSetupFast(b) }
+func BenchmarkFleetSetupFlat(b *testing.B)       { FleetSetupFlat(b) }
 
 // TestCampaignKernelsAgree sweeps the heap-scale campaign fixture once
 // under each kernel and requires identical visited/revoked counts and an
@@ -135,5 +139,43 @@ func TestSimFleetEnginesAgree(t *testing.T) {
 	}
 	if fe == 0 || fm == 0 {
 		t.Fatalf("campaign degenerate: %d epochs, %d messages", fe, fm)
+	}
+}
+
+// TestFleetSetupMemPathsAgree reruns a scaled-down setup-weighted fleet
+// campaign under both memory paths and requires identical simulated
+// results, so the FleetSetupFast/Flat benchmarks can never drift into
+// timing unequal work. (The exhaustive path-equivalence suites live in
+// internal/tmem, internal/shadow and internal/expt; this pins the
+// benchmark fixture.)
+func TestFleetSetupMemPathsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real simulations")
+	}
+	run := func(mp kernel.MemPath) (wall, msgs uint64) {
+		cond := harness.Condition{
+			Name: "Reloaded", Shimmed: true, Strategy: revoke.Reloaded,
+			RevokerCores: []int{2},
+			Policy:       quarantine.Policy{HeapFraction: 0.001, MinBytes: 1 << 20, BlockFactor: 1000},
+		}
+		cfg := harness.DefaultConfig()
+		cfg.MemPath = mp
+		cfg.AppCores = []int{0, 1, 3}
+		w := fleet.New(64, 4)
+		w.SessionSlots = 8
+		w.SessionBytes = 16384
+		r, err := harness.Run(w, cond, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.WallCycles, w.Messages
+	}
+	fw, fm := run(kernel.MemPathFast)
+	lw, lm := run(kernel.MemPathFlat)
+	if fw != lw || fm != lm {
+		t.Fatalf("campaign diverged between memory paths: wall %d vs %d, messages %d vs %d", fw, lw, fm, lm)
+	}
+	if fm == 0 {
+		t.Fatal("campaign degenerate: no messages")
 	}
 }

@@ -1,0 +1,59 @@
+package kernel
+
+import "fmt"
+
+// MemPath selects the memory-model host representation: the sparse fast
+// path or the flat differential path.
+//
+// Both paths compute identical simulated results — the same tag state,
+// the same bitmap state, the same page tables, the same cost accounting —
+// so, like SweepKernel, the selection never changes what a run computes,
+// only what it costs the host. The fast path is the default; the flat
+// path is retained as a differential oracle (see the mem-path equivalence
+// tests) and as the perf baseline hostbench's heap-scale and fleet-setup
+// floors are measured against.
+//
+// The seam fans out to three representations:
+//
+//   - tmem.Phys.FlatAlloc — flat allocates fresh zeroed capability arrays
+//     per frame and clears data-store tag spans granule by granule; fast
+//     recycles freed frames' arrays (reads are tag-guarded, so recycled
+//     contents are unobservable) and clears word-masked spans.
+//   - shadow.Bitmap.FlatSet — flat paints granule by granule with fresh
+//     chunk allocation; fast applies whole word-masks and recycles
+//     emptied chunks (freed chunks are all-zero by construction).
+//   - vm.AddressSpace.FlatVPNs — flat keeps the sorted vpn list with a
+//     copy-shift insert per page (O(pages²) for a growing heap); fast
+//     appends in O(1) when mappings arrive in ascending order, which a
+//     bump-pointer reservation layout makes the overwhelmingly common
+//     case.
+type MemPath int
+
+const (
+	// MemPathFast is the sparse hierarchical representation with
+	// recycling allocation paths.
+	MemPathFast MemPath = iota
+	// MemPathFlat is the flat differential path.
+	MemPathFlat
+)
+
+func (m MemPath) String() string {
+	switch m {
+	case MemPathFast:
+		return "fast"
+	case MemPathFlat:
+		return "flat"
+	}
+	return fmt.Sprintf("mempath(%d)", int(m))
+}
+
+// ParseMemPath parses a -mempath flag value.
+func ParseMemPath(s string) (MemPath, error) {
+	switch s {
+	case "", "fast":
+		return MemPathFast, nil
+	case "flat":
+		return MemPathFlat, nil
+	}
+	return 0, fmt.Errorf("kernel: unknown mem path %q (want fast or flat)", s)
+}

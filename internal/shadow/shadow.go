@@ -9,9 +9,16 @@
 // whose bounds cover the painted range, so allocators can only quarantine
 // their own heaps.
 //
-// Storage is chunked and sparse. VAOf exposes the virtual address of the
-// bitmap word covering a heap address so callers can charge memory-system
-// costs for paints and probes at the right locations.
+// Storage is chunked, sparse and hierarchical: each 512 KiB chunk carries a
+// nonzero-word summary (one bit per 64-granule word), and a chunk-group
+// index (one bit per present chunk, 64 chunks — 32 MiB — per group word)
+// sits above the chunk map. Whole-bitmap iteration therefore skips empty
+// spans at every level and costs O(painted words), not O(address-space
+// size); chunks whose last bit is cleared are freed back to a pool, so the
+// bitmap's footprint tracks the quarantine, not the heap's high-water
+// mark. VAOf exposes the virtual address of the bitmap word covering a
+// heap address so callers can charge memory-system costs for paints and
+// probes at the right locations.
 package shadow
 
 import (
@@ -27,9 +34,23 @@ import (
 const chunkGranules = 32768
 const chunkWords = chunkGranules / 64
 
+// chunkSumWords is the size of a chunk's nonzero-word summary: one bit per
+// 64-bit word of the chunk.
+const chunkSumWords = chunkWords / 64
+
 // Base is the virtual address at which the revocation bitmap is mapped in
 // simulated processes. Only used for cost attribution.
 const Base = 0x4000_0000_0000
+
+// chunk is one 512 KiB span's worth of bitmap. sum is the nonzero-word
+// summary (bit w set iff words[w] != 0) and painted counts the chunk's set
+// bits, so an emptied chunk is detected in O(1) and iteration descends
+// only to nonzero words.
+type chunk struct {
+	words   [chunkWords]uint64
+	sum     [chunkSumWords]uint64
+	painted int
+}
 
 // Bitmap is a process's revocation bitmap.
 //
@@ -37,26 +58,44 @@ const Base = 0x4000_0000_0000
 // revocation sweep probes capability bases in allocation-address order, so
 // consecutive probes overwhelmingly land in the same 512 KiB chunk and the
 // chunk-map lookup amortizes away. The cache also remembers misses (a nil
-// chunk), since huge unpainted spans are the common case. Reads populate
-// the cache, so Bitmap methods — like the rest of the simulated machine —
-// are not safe for concurrent host access; the engine's
+// chunk), since huge unpainted spans are the common case. Every mutation
+// path (set, and chunk freeing inside it) invalidates the cache — a freed
+// chunk must never be readable through a stale positive entry. Reads
+// populate the cache, so Bitmap methods — like the rest of the simulated
+// machine — are not safe for concurrent host access; the engine's
 // one-thread-at-a-time execution provides the exclusion.
 type Bitmap struct {
-	chunks  map[uint64]*[chunkWords]uint64
-	painted uint64 // currently-set bits
+	chunks  map[uint64]*chunk
+	groups  map[uint64]uint64 // group index → present-chunk mask
+	painted uint64            // currently-set bits
+
+	// chunkFree recycles freed chunks. A chunk is freed only when its
+	// last bit clears, so a recycled chunk is all-zero by construction
+	// and needs no re-zeroing. Disabled under FlatSet.
+	chunkFree []*chunk
+
+	// FlatSet selects the flat differential paint path (the kernel's
+	// MemPathFlat): Paint/Unpaint walk granule by granule and chunks are
+	// freshly allocated instead of recycled, reproducing the pre-sparse
+	// storage behaviour. Both paths produce identical bitmap state; the
+	// flat one is kept as the perf baseline and correctness oracle.
+	FlatSet bool
 
 	cacheKey   uint64
-	cacheChunk *[chunkWords]uint64 // nil = chunk absent (negative entry)
+	cacheChunk *chunk // nil = chunk absent (negative entry)
 	cacheOK    bool
 }
 
 // New creates an empty bitmap.
 func New() *Bitmap {
-	return &Bitmap{chunks: make(map[uint64]*[chunkWords]uint64)}
+	return &Bitmap{
+		chunks: make(map[uint64]*chunk),
+		groups: make(map[uint64]uint64),
+	}
 }
 
 // coords converts a heap address to chunk/word/bit coordinates.
-func coords(addr uint64) (chunk uint64, word int, bit uint) {
+func coords(addr uint64) (ck uint64, word int, bit uint) {
 	g := addr / ca.GranuleSize
 	return g / chunkGranules, int(g%chunkGranules) / 64, uint(g % 64)
 }
@@ -115,30 +154,141 @@ func (b *Bitmap) Unpaint(auth ca.Capability, addr, length uint64) error {
 	return nil
 }
 
-func (b *Bitmap) set(addr, length uint64, v bool) {
-	// Paints can materialize chunks, invalidating a negative cache entry;
-	// drop the cache rather than track which case applies.
+// addChunk materializes chunk ck, registering it in the group index.
+func (b *Bitmap) addChunk(ck uint64) *chunk {
+	var c *chunk
+	if n := len(b.chunkFree); n > 0 && !b.FlatSet {
+		c = b.chunkFree[n-1]
+		b.chunkFree[n-1] = nil
+		b.chunkFree = b.chunkFree[:n-1]
+	} else {
+		c = new(chunk)
+	}
+	b.chunks[ck] = c
+	b.groups[ck>>6] |= 1 << uint(ck&63)
+	return c
+}
+
+// freeChunk releases an emptied chunk: it leaves the map and group index
+// and (on the fast path) joins the recycle pool. The single-entry cache
+// may hold a positive entry for exactly this chunk, so it is dropped here
+// — set already invalidates on entry, but freeing must be safe on its own.
+func (b *Bitmap) freeChunk(ck uint64, c *chunk) {
+	delete(b.chunks, ck)
+	g := ck >> 6
+	b.groups[g] &^= 1 << uint(ck&63)
+	if b.groups[g] == 0 {
+		delete(b.groups, g)
+	}
+	if !b.FlatSet {
+		b.chunkFree = append(b.chunkFree, c)
+	}
 	b.cacheOK = false
+}
+
+// set writes [addr, addr+length)'s bits. The fast path applies whole
+// word-masks — a 256-byte quarantine paint is one masked OR instead of 16
+// bit loops — and skips absent chunks in O(1) when clearing.
+func (b *Bitmap) set(addr, length uint64, v bool) {
+	// Mutations can materialize or free chunks, invalidating positive and
+	// negative cache entries alike; drop the cache rather than track which
+	// case applies.
+	b.cacheOK = false
+	if b.FlatSet {
+		b.setFlat(addr, length, v)
+		return
+	}
+	g := addr / ca.GranuleSize
+	end := (addr + length) / ca.GranuleSize
+	for g < end {
+		ck := g / chunkGranules
+		c := b.chunks[ck]
+		if c == nil {
+			if !v {
+				g = (ck + 1) * chunkGranules // nothing to clear here
+				continue
+			}
+			c = b.addChunk(ck)
+		}
+		stop := (ck + 1) * chunkGranules
+		if stop > end {
+			stop = end
+		}
+		for g < stop {
+			word, bit := int(g%chunkGranules)/64, uint64(g%64)
+			n := 64 - bit
+			if g+n > stop {
+				n = stop - g
+			}
+			mask := ^uint64(0)
+			if n < 64 {
+				mask = 1<<n - 1
+			}
+			mask <<= bit
+			old := c.words[word]
+			if v {
+				if nw := old | mask; nw != old {
+					delta := bits.OnesCount64(nw &^ old)
+					b.painted += uint64(delta)
+					c.painted += delta
+					c.words[word] = nw
+					if old == 0 {
+						c.sum[word>>6] |= 1 << uint(word&63)
+					}
+				}
+			} else {
+				if nw := old &^ mask; nw != old {
+					delta := bits.OnesCount64(old &^ nw)
+					b.painted -= uint64(delta)
+					c.painted -= delta
+					c.words[word] = nw
+					if nw == 0 {
+						c.sum[word>>6] &^= 1 << uint(word&63)
+					}
+				}
+			}
+			g += n
+		}
+		if !v && c.painted == 0 {
+			b.freeChunk(ck, c)
+		}
+	}
+}
+
+// setFlat is the granule-by-granule differential oracle for set. It
+// maintains exactly the same chunk, summary and group state, so the two
+// paths are interchangeable at any point.
+func (b *Bitmap) setFlat(addr, length uint64, v bool) {
 	for g := addr / ca.GranuleSize; g < (addr+length)/ca.GranuleSize; g++ {
-		chunk, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
-		c := b.chunks[chunk]
+		ck, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
+		c := b.chunks[ck]
 		if c == nil {
 			if !v {
 				continue
 			}
-			c = new([chunkWords]uint64)
-			b.chunks[chunk] = c
+			c = b.addChunk(ck)
 		}
-		old := c[word]
+		old := c.words[word]
 		if v {
-			c[word] |= 1 << bit
-			if c[word] != old {
+			c.words[word] |= 1 << bit
+			if c.words[word] != old {
 				b.painted++
+				c.painted++
+				if old == 0 {
+					c.sum[word>>6] |= 1 << uint(word&63)
+				}
 			}
 		} else {
-			c[word] &^= 1 << bit
-			if c[word] != old {
+			c.words[word] &^= 1 << bit
+			if c.words[word] != old {
 				b.painted--
+				c.painted--
+				if c.words[word] == 0 {
+					c.sum[word>>6] &^= 1 << uint(word&63)
+				}
+				if c.painted == 0 {
+					b.freeChunk(ck, c)
+				}
 			}
 		}
 	}
@@ -149,9 +299,13 @@ func (b *Bitmap) set(addr, length uint64, v bool) {
 func (b *Bitmap) Clone() *Bitmap {
 	c := New()
 	c.painted = b.painted
+	c.FlatSet = b.FlatSet
 	for k, v := range b.chunks {
 		w := *v
 		c.chunks[k] = &w
+	}
+	for k, v := range b.groups {
+		c.groups[k] = v
 	}
 	return c
 }
@@ -161,12 +315,12 @@ func (b *Bitmap) Clone() *Bitmap {
 // each call pays a chunk-map lookup, which is exactly the host cost
 // PaintedWord amortizes for the word-wise kernel.
 func (b *Bitmap) Test(addr uint64) bool {
-	chunk, word, bit := coords(addr)
-	c := b.chunks[chunk]
+	ck, word, bit := coords(addr)
+	c := b.chunks[ck]
 	if c == nil {
 		return false
 	}
-	return c[word]&(1<<bit) != 0
+	return c.words[word]&(1<<bit) != 0
 }
 
 // PaintedWord returns the 64-granule painted mask containing addr: bit i
@@ -178,16 +332,16 @@ func (b *Bitmap) Test(addr uint64) bool {
 // 64-granule word never spans chunks (chunkGranules is a multiple of 64).
 func (b *Bitmap) PaintedWord(addr uint64) uint64 {
 	g := addr / ca.GranuleSize
-	chunk, word := g/chunkGranules, int(g%chunkGranules)/64
-	if !b.cacheOK || b.cacheKey != chunk {
-		b.cacheKey = chunk
-		b.cacheChunk = b.chunks[chunk]
+	ck, word := g/chunkGranules, int(g%chunkGranules)/64
+	if !b.cacheOK || b.cacheKey != ck {
+		b.cacheKey = ck
+		b.cacheChunk = b.chunks[ck]
 		b.cacheOK = true
 	}
 	if b.cacheChunk == nil {
 		return 0
 	}
-	return b.cacheChunk[word]
+	return b.cacheChunk.words[word]
 }
 
 // PaintedGranules returns the number of currently painted granules.
@@ -197,60 +351,88 @@ func (b *Bitmap) PaintedGranules() uint64 { return b.painted }
 // painted bits.
 func (b *Bitmap) PaintedBytes() uint64 { return b.painted * ca.GranuleSize }
 
+// ChunkCount returns the number of materialized chunks (the bitmap's
+// sparse footprint, in 4 KiB units).
+func (b *Bitmap) ChunkCount() int { return len(b.chunks) }
+
 // AnyPaintedInRange reports whether any granule in [addr, addr+length) is
 // painted; used by sweep heuristics and tests.
 func (b *Bitmap) AnyPaintedInRange(addr, length uint64) bool {
 	for g := addr / ca.GranuleSize; g < (addr+length+ca.GranuleSize-1)/ca.GranuleSize; g++ {
-		chunk, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
-		if c := b.chunks[chunk]; c != nil && c[word]&(1<<bit) != 0 {
+		ck, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
+		if c := b.chunks[ck]; c != nil && c.words[word]&(1<<bit) != 0 {
 			return true
 		}
 	}
 	return false
 }
 
-// ForEachPainted visits every painted granule's base address in ascending
-// order, stopping early if fn returns false. Iteration sorts the sparse
-// chunk index, so this is for audits (internal/oracle), not hot paths.
-func (b *Bitmap) ForEachPainted(fn func(addr uint64) bool) {
-	keys := make([]uint64, 0, len(b.chunks))
-	for k := range b.chunks {
+// ForEachPaintedWord visits every nonzero 64-granule word of the bitmap in
+// ascending address order: base is the VA of the word's first granule and
+// mask its painted bits, snapshotted at visit time. It descends the
+// chunk-group → chunk → word-summary hierarchy, so the walk costs
+// O(painted words) plus a sort of the (64× coarser than chunks) group
+// index. Returns false if fn stopped the iteration early.
+func (b *Bitmap) ForEachPaintedWord(fn func(base uint64, mask uint64) bool) bool {
+	keys := make([]uint64, 0, len(b.groups))
+	for k := range b.groups {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-	for _, k := range keys {
-		c := b.chunks[k]
-		for w := 0; w < chunkWords; w++ {
-			word := c[w]
-			for word != 0 {
-				bit := bits.TrailingZeros64(word)
-				word &^= 1 << uint(bit)
-				g := k*chunkGranules + uint64(w)*64 + uint64(bit)
-				if !fn(g * ca.GranuleSize) {
-					return
+	for _, gk := range keys {
+		gw := b.groups[gk]
+		for gw != 0 {
+			ck := gk<<6 + uint64(bits.TrailingZeros64(gw))
+			gw &= gw - 1
+			c := b.chunks[ck]
+			for si := 0; si < chunkSumWords; si++ {
+				sw := c.sum[si]
+				for sw != 0 {
+					w := si<<6 + bits.TrailingZeros64(sw)
+					sw &= sw - 1
+					base := (ck*chunkGranules + uint64(w)*64) * ca.GranuleSize
+					if !fn(base, c.words[w]) {
+						return false
+					}
 				}
 			}
 		}
 	}
+	return true
+}
+
+// ForEachPainted visits every painted granule's base address in ascending
+// order, stopping early if fn returns false. Built on ForEachPaintedWord,
+// so audits (internal/oracle) cost O(painted granules) rather than a scan
+// and sort of every chunk.
+func (b *Bitmap) ForEachPainted(fn func(addr uint64) bool) {
+	b.ForEachPaintedWord(func(base uint64, mask uint64) bool {
+		for m := mask; m != 0; m &= m - 1 {
+			if !fn(base + uint64(bits.TrailingZeros64(m))*ca.GranuleSize) {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // CountPaintedInRange returns the painted granule count within the range.
 func (b *Bitmap) CountPaintedInRange(addr, length uint64) int {
 	n := 0
 	for g := addr / ca.GranuleSize; g < (addr+length)/ca.GranuleSize; {
-		chunk, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
-		c := b.chunks[chunk]
+		ck, word, bit := g/chunkGranules, int(g%chunkGranules)/64, uint(g%64)
+		c := b.chunks[ck]
 		if c == nil {
 			// Skip to next chunk boundary.
 			g = (g/chunkGranules + 1) * chunkGranules
 			continue
 		}
 		if bit == 0 && g+64 <= (addr+length)/ca.GranuleSize {
-			n += bits.OnesCount64(c[word])
+			n += bits.OnesCount64(c.words[word])
 			g += 64
 			continue
 		}
-		if c[word]&(1<<bit) != 0 {
+		if c.words[word]&(1<<bit) != 0 {
 			n++
 		}
 		g++

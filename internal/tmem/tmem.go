@@ -39,7 +39,10 @@ const NoFrame FrameID = ^FrameID(0)
 //
 // summary is a one-bit-per-tag-word digest of tags: bit w is set iff
 // tags[w] != 0. Every tag mutation maintains it (via setTag/clearTag), so
-// HasTags and sweep scans skip empty words and empty frames in O(1).
+// HasTags and sweep scans skip empty words and empty frames in O(1). The
+// bank back-pointer lets those same mutators maintain the bank-level
+// frame-group and region summaries (see Phys) on the frame's 0↔nonzero
+// transitions.
 type frame struct {
 	tags    [tagWords]uint64
 	summary uint8
@@ -47,20 +50,30 @@ type frame struct {
 	colors  *[GranulesPerPage]uint8
 	refs    int32
 	inUse   bool
+	bank    *Phys
+	id      FrameID
 }
 
 // setTag and clearTag are the only writers of the tag bitmap: they keep the
 // nonzero-word summary in lockstep with tags, which every fast path
-// (HasTags, TagCount, the word-wise sweep kernel) relies on.
+// (HasTags, TagCount, the word-wise sweep kernel) relies on, and propagate
+// the frame's empty↔tagged transitions up the bank hierarchy.
 func (f *frame) setTag(w int, m uint64) {
+	if f.summary == 0 {
+		f.bank.markTagged(f.id)
+	}
 	f.tags[w] |= m
 	f.summary |= 1 << uint(w)
 }
 
 func (f *frame) clearTag(w int, m uint64) {
-	f.tags[w] &^= m
-	if f.tags[w] == 0 {
+	old := f.tags[w]
+	f.tags[w] = old &^ m
+	if f.tags[w] == 0 && old != 0 {
 		f.summary &^= 1 << uint(w)
+		if f.summary == 0 {
+			f.bank.unmarkTagged(f.id)
+		}
 	}
 }
 
@@ -69,12 +82,39 @@ func (f *frame) clearTag(w int, m uint64) {
 // virtual-time yields, and growing the frame table under it (an app-thread
 // demand map mid-sweep) must not orphan the sweeper's view — a relocated
 // backing array would silently discard its tag clears.
+//
+// Above each frame's nonzero-word summary sits a two-level bank summary:
+// bit f%64 of groupSum[f/64] is set iff frame f holds at least one tag, and
+// bit g%64 of regionSum[g/64] is set iff frame-group g is nonzero. One
+// region word therefore digests 4096 frames (16 MiB), so bank-wide
+// iteration (ForEachTaggedFrame, ForEachTagAll) skips empty regions in
+// O(1) and costs O(live-tagged frames), not O(bank size) — the property
+// that keeps million-allocation heaps sweepable.
 type Phys struct {
 	frames    []*frame
 	free      []FrameID
 	maxFrames int
 	allocated int
 	peakAlloc int
+
+	groupSum     []uint64 // bit f%64 set iff frames[f] has tags
+	regionSum    []uint64 // bit g%64 set iff groupSum[g] != 0
+	taggedFrames int
+
+	// capsFree recycles capability arrays of freed frames. A recycled
+	// array is handed out without zeroing: every read of caps is guarded
+	// by the granule's tag bit (LoadCap, SweepTags, ForEachTag), and a
+	// fresh frame starts with all tags clear, so stale values are
+	// unobservable. Disabled under FlatAlloc.
+	capsFree []*[GranulesPerPage]ca.Capability
+
+	// FlatAlloc selects the flat differential allocation path (the
+	// kernel's MemPathFlat): capability arrays are freshly allocated and
+	// zeroed instead of recycled, and StoreData clears tags granule by
+	// granule instead of word-masked. Both paths produce identical tag
+	// state; the flat one is kept as the perf baseline and correctness
+	// oracle.
+	FlatAlloc bool
 
 	// SweepFilter, when non-nil, is consulted for every tagged granule a
 	// SweepTags scan visits; returning true hides the granule from that
@@ -90,6 +130,46 @@ func NewPhys(maxFrames int) *Phys {
 	return &Phys{maxFrames: maxFrames}
 }
 
+// markTagged records frame id's empty→tagged transition in the bank
+// summaries.
+func (p *Phys) markTagged(id FrameID) {
+	g := int(id) >> 6
+	if p.groupSum[g] == 0 {
+		p.regionSum[g>>6] |= 1 << (uint(g) & 63)
+	}
+	p.groupSum[g] |= 1 << (uint(id) & 63)
+	p.taggedFrames++
+}
+
+// unmarkTagged records frame id's tagged→empty transition.
+func (p *Phys) unmarkTagged(id FrameID) {
+	g := int(id) >> 6
+	p.groupSum[g] &^= 1 << (uint(id) & 63)
+	if p.groupSum[g] == 0 {
+		p.regionSum[g>>6] &^= 1 << (uint(g) & 63)
+	}
+	p.taggedFrames--
+}
+
+// newCaps returns a capability array for a frame, recycling a freed
+// frame's array when the fast allocation path is enabled (see capsFree).
+func (p *Phys) newCaps() *[GranulesPerPage]ca.Capability {
+	if n := len(p.capsFree); n > 0 && !p.FlatAlloc {
+		c := p.capsFree[n-1]
+		p.capsFree[n-1] = nil
+		p.capsFree = p.capsFree[:n-1]
+		return c
+	}
+	return new([GranulesPerPage]ca.Capability)
+}
+
+// recycleCaps returns a no-longer-referenced capability array to the pool.
+func (p *Phys) recycleCaps(c *[GranulesPerPage]ca.Capability) {
+	if c != nil && !p.FlatAlloc {
+		p.capsFree = append(p.capsFree, c)
+	}
+}
+
 // AllocFrame allocates a zeroed (all tags clear) frame.
 func (p *Phys) AllocFrame() (FrameID, error) {
 	var id FrameID
@@ -101,7 +181,15 @@ func (p *Phys) AllocFrame() (FrameID, error) {
 			return NoFrame, fmt.Errorf("tmem: out of physical memory (%d frames)", p.maxFrames)
 		}
 		id = FrameID(len(p.frames))
-		p.frames = append(p.frames, &frame{})
+		p.frames = append(p.frames, &frame{bank: p, id: id})
+		// Grow the bank summaries alongside the frame table. A fresh frame
+		// has no tags, so only capacity changes — never summary bits.
+		if int(id)>>6 >= len(p.groupSum) {
+			p.groupSum = append(p.groupSum, 0)
+			if (len(p.groupSum)-1)>>6 >= len(p.regionSum) {
+				p.regionSum = append(p.regionSum, 0)
+			}
+		}
 	}
 	f := p.frames[id]
 	f.tags = [tagWords]uint64{}
@@ -129,9 +217,13 @@ func (p *Phys) FreeFrame(id FrameID) {
 		f.refs--
 		return
 	}
+	if f.summary != 0 {
+		p.unmarkTagged(id)
+	}
 	f.inUse = false
 	f.tags = [tagWords]uint64{}
 	f.summary = 0
+	p.recycleCaps(f.caps)
 	f.caps = nil
 	f.colors = nil
 	f.refs = 0
@@ -192,7 +284,7 @@ func (p *Phys) StoreCap(id FrameID, g int, c ca.Capability) {
 	f, w, m := p.loc(id, g)
 	if c.Tag() {
 		if f.caps == nil {
-			f.caps = new([GranulesPerPage]ca.Capability)
+			f.caps = p.newCaps()
 		}
 		f.caps[g] = c
 		f.setTag(w, m)
@@ -202,7 +294,10 @@ func (p *Phys) StoreCap(id FrameID, g int, c ca.Capability) {
 }
 
 // StoreData records a plain-data store covering granules [g, g+n): their
-// tags are cleared. The data value itself is not retained.
+// tags are cleared. The data value itself is not retained. The fast path
+// clears whole word-masked spans (and frames with no tags at all cost
+// O(1)); under FlatAlloc the original granule-by-granule loop is kept as
+// the differential oracle.
 func (p *Phys) StoreData(id FrameID, g, n int) {
 	checkGranule(g)
 	if n <= 0 {
@@ -210,8 +305,26 @@ func (p *Phys) StoreData(id FrameID, g, n int) {
 	}
 	checkGranule(g + n - 1)
 	f := p.frame(id)
-	for i := g; i < g+n; i++ {
-		f.clearTag(i>>6, 1<<(uint(i)&63))
+	if p.FlatAlloc {
+		for i := g; i < g+n; i++ {
+			f.clearTag(i>>6, 1<<(uint(i)&63))
+		}
+		return
+	}
+	if f.summary == 0 {
+		return
+	}
+	last := g + n - 1
+	for w := g >> 6; w <= last>>6; w++ {
+		lo := w << 6
+		start, end := uint(0), uint(63)
+		if g > lo {
+			start = uint(g - lo)
+		}
+		if last < lo+63 {
+			end = uint(last - lo)
+		}
+		f.clearTag(w, ^uint64(0)>>(63-end)&(^uint64(0)<<start))
 	}
 }
 
@@ -377,12 +490,23 @@ func (p *Phys) ForEachTag(id FrameID, fn func(g int, c ca.Capability)) {
 // fork-style address-space clone does.
 func (p *Phys) CopyFrame(dst, src FrameID) {
 	d, sf := p.frame(dst), p.frame(src)
+	had := d.summary != 0
 	d.tags = sf.tags
 	d.summary = sf.summary
+	if has := d.summary != 0; has != had {
+		if has {
+			p.markTagged(dst)
+		} else {
+			p.unmarkTagged(dst)
+		}
+	}
 	if sf.caps != nil {
-		caps := *sf.caps
-		d.caps = &caps
+		if d.caps == nil {
+			d.caps = p.newCaps()
+		}
+		*d.caps = *sf.caps
 	} else {
+		p.recycleCaps(d.caps)
 		d.caps = nil
 	}
 	if sf.colors != nil {
@@ -391,6 +515,72 @@ func (p *Phys) CopyFrame(dst, src FrameID) {
 	} else {
 		d.colors = nil
 	}
+}
+
+// TaggedFrames returns the number of frames currently holding at least one
+// tagged granule. O(1): maintained by the bank summaries.
+func (p *Phys) TaggedFrames() int { return p.taggedFrames }
+
+// FrameCount returns the number of frames ever materialized (the frame
+// table's length, including freed frames awaiting reuse).
+func (p *Phys) FrameCount() int { return len(p.frames) }
+
+// ForEachTaggedFrame visits, in ascending frame order, every frame holding
+// at least one tagged granule, descending the region → frame-group summary
+// tree so empty spans of the bank cost O(1). It returns false if fn
+// stopped the iteration early.
+//
+// The iteration is weakly consistent: each region and group word is
+// snapshotted when the walk reaches it, so frames tagged for the whole
+// iteration are visited exactly once in ascending order, while frames
+// whose first tag arrives or last tag is cleared concurrently (by fn) may
+// or may not be visited. Growing the frame table from fn is safe: the
+// summary slices are indexed positionally, so a reallocation never
+// invalidates the walk (the same guarantee the by-pointer frame table
+// gives SweepTags).
+func (p *Phys) ForEachTaggedFrame(fn func(id FrameID) bool) bool {
+	for r := 0; r < len(p.regionSum); r++ {
+		rw := p.regionSum[r]
+		for rw != 0 {
+			g := r<<6 + bits.TrailingZeros64(rw)
+			rw &= rw - 1
+			gw := p.groupSum[g]
+			for gw != 0 {
+				id := FrameID(g<<6 + bits.TrailingZeros64(gw))
+				gw &= gw - 1
+				if !fn(id) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ForEachTaggedFrameFlat is the flat differential oracle for
+// ForEachTaggedFrame: a linear scan of the whole frame table checking each
+// frame's summary. O(bank size); kept for the equivalence suite and as the
+// perf baseline the sparse walk is measured against.
+func (p *Phys) ForEachTaggedFrameFlat(fn func(id FrameID) bool) bool {
+	for i := 0; i < len(p.frames); i++ {
+		f := p.frames[i]
+		if f.inUse && f.summary != 0 {
+			if !fn(FrameID(i)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ForEachTagAll visits every tagged granule of the whole bank in ascending
+// (frame, granule) order — the bank-wide audit sweep. O(live tags): empty
+// regions, groups, frames and words are all skipped via their summaries.
+func (p *Phys) ForEachTagAll(fn func(id FrameID, g int, c ca.Capability)) {
+	p.ForEachTaggedFrame(func(id FrameID) bool {
+		p.ForEachTag(id, func(g int, c ca.Capability) { fn(id, g, c) })
+		return true
+	})
 }
 
 // SetColor paints the version color of granules [g, g+n) (§7.3). Colors

@@ -149,6 +149,7 @@ type AddressSpace struct {
 	phys  *tmem.Phys
 	pages map[uint64]*PTE // keyed by vpn
 	vpns  []uint64        // sorted; mirrors pages for deterministic sweeps
+	ptes  []*PTE          // parallel to vpns, so page walks skip the map
 	resv  []*Reservation
 	next  uint64 // bump pointer for reservations
 
@@ -156,6 +157,16 @@ type AddressSpace struct {
 	// register value for this address space (§4.1).
 	coreGen []uint8
 	tlbs    []map[uint64]tlbEntry
+
+	// FlatVPNs selects the flat differential vpn-list maintenance path
+	// (the kernel's MemPathFlat): every insert does the original
+	// copy-shift into the sorted slice, O(pages) per mapping. The fast
+	// path appends in O(1) when the new vpn is above the current maximum
+	// — the overwhelmingly common case, since reservations are carved
+	// from a monotone bump pointer — turning sequential heap growth from
+	// O(pages²) into O(pages). Both paths maintain an identical sorted
+	// list.
+	FlatVPNs bool
 
 	// OnShootdown, when non-nil, is invoked once per ShootdownAll — vm has
 	// no clock of its own, so the kernel layer hooks this to timestamp and
@@ -224,18 +235,30 @@ func (as *AddressSpace) Reserve(length uint64, perms ca.Perms) (*Reservation, er
 	return r, nil
 }
 
-// insertVPN keeps the sorted vpn list in sync with the page map.
-func (as *AddressSpace) insertVPN(vpn uint64) {
+// insertVPN keeps the sorted vpn list (and its parallel PTE slice) in
+// sync with the page map.
+func (as *AddressSpace) insertVPN(vpn uint64, pte *PTE) {
+	if !as.FlatVPNs {
+		if n := len(as.vpns); n == 0 || as.vpns[n-1] < vpn {
+			as.vpns = append(as.vpns, vpn)
+			as.ptes = append(as.ptes, pte)
+			return
+		}
+	}
 	i := sort.Search(len(as.vpns), func(i int) bool { return as.vpns[i] >= vpn })
 	as.vpns = append(as.vpns, 0)
 	copy(as.vpns[i+1:], as.vpns[i:])
 	as.vpns[i] = vpn
+	as.ptes = append(as.ptes, nil)
+	copy(as.ptes[i+1:], as.ptes[i:])
+	as.ptes[i] = pte
 }
 
 func (as *AddressSpace) removeVPN(vpn uint64) {
 	i := sort.Search(len(as.vpns), func(i int) bool { return as.vpns[i] >= vpn })
 	if i < len(as.vpns) && as.vpns[i] == vpn {
 		as.vpns = append(as.vpns[:i], as.vpns[i+1:]...)
+		as.ptes = append(as.ptes[:i], as.ptes[i+1:]...)
 	}
 }
 
@@ -286,7 +309,7 @@ func (as *AddressSpace) EnsureMapped(va uint64) (*PTE, bool, error) {
 		Gen: as.coreGen[0],
 	}
 	as.pages[vpn] = pte
-	as.insertVPN(vpn)
+	as.insertVPN(vpn, pte)
 	as.stats.SoftFaults++
 	as.stats.MappedPages++
 	if as.stats.MappedPages > as.stats.PeakMappedPages {
@@ -328,8 +351,9 @@ func (as *AddressSpace) UnmapRange(va, length uint64) (*Reservation, bool, error
 			pte.Bits = PTEGuard
 			pte.Frame = tmem.NoFrame
 		} else {
-			as.pages[vpn] = &PTE{Frame: tmem.NoFrame, Bits: PTEGuard}
-			as.insertVPN(vpn)
+			g := &PTE{Frame: tmem.NoFrame, Bits: PTEGuard}
+			as.pages[vpn] = g
+			as.insertVPN(vpn, g)
 		}
 	}
 	as.ShootdownAll()
@@ -386,8 +410,8 @@ func (as *AddressSpace) Reservations() []*Reservation { return as.resv }
 // ForEachMappedPage visits every resident page in ascending VA order. fn
 // may mutate the PTE; it must not map or unmap pages.
 func (as *AddressSpace) ForEachMappedPage(fn func(vpn uint64, pte *PTE) bool) {
-	for _, vpn := range as.vpns {
-		pte := as.pages[vpn]
+	for i, vpn := range as.vpns {
+		pte := as.ptes[i]
 		if pte.Bits&PTEGuard != 0 {
 			continue
 		}
@@ -468,14 +492,15 @@ func (as *AddressSpace) ShootdownIncomplete() bool { return as.incomplete }
 // never skips a page whose shared frame carries capabilities.
 func (as *AddressSpace) CloneCOW() *AddressSpace {
 	c := NewAddressSpace(as.phys, len(as.coreGen))
+	c.FlatVPNs = as.FlatVPNs
 	c.next = as.next
 	copy(c.coreGen, as.coreGen)
 	for _, r := range as.resv {
 		nr := *r
 		c.resv = append(c.resv, &nr)
 	}
-	for _, vpn := range as.vpns {
-		pte := as.pages[vpn]
+	for i, vpn := range as.vpns {
+		pte := as.ptes[i]
 		np := &PTE{Frame: pte.Frame, Bits: pte.Bits, Gen: as.coreGen[0]}
 		np.Bits &^= PTECapLoadTrap
 		if pte.Bits&PTEGuard == 0 {
@@ -486,6 +511,7 @@ func (as *AddressSpace) CloneCOW() *AddressSpace {
 		}
 		c.pages[vpn] = np
 		c.vpns = append(c.vpns, vpn)
+		c.ptes = append(c.ptes, np)
 	}
 	as.ShootdownAll() // parents' cached writable translations are stale
 	c.stats.PeakMappedPages = c.stats.MappedPages
@@ -525,14 +551,15 @@ func (as *AddressSpace) ResolveCOW(pte *PTE) (bool, error) {
 // load traps into the child, footnote 21).
 func (as *AddressSpace) Clone() (*AddressSpace, error) {
 	c := NewAddressSpace(as.phys, len(as.coreGen))
+	c.FlatVPNs = as.FlatVPNs
 	c.next = as.next
 	copy(c.coreGen, as.coreGen)
 	for _, r := range as.resv {
 		nr := *r
 		c.resv = append(c.resv, &nr)
 	}
-	for _, vpn := range as.vpns {
-		pte := as.pages[vpn]
+	for i, vpn := range as.vpns {
+		pte := as.ptes[i]
 		np := &PTE{Frame: tmem.NoFrame, Bits: pte.Bits, Gen: as.coreGen[0]}
 		if pte.Bits&PTEGuard == 0 {
 			f, err := as.phys.AllocFrame()
@@ -546,6 +573,7 @@ func (as *AddressSpace) Clone() (*AddressSpace, error) {
 		np.Bits &^= PTECapLoadTrap
 		c.pages[vpn] = np
 		c.vpns = append(c.vpns, vpn)
+		c.ptes = append(c.ptes, np)
 	}
 	c.stats.PeakMappedPages = c.stats.MappedPages
 	return c, nil

@@ -35,6 +35,16 @@ type Fleet struct {
 	// Seed perturbs the per-connection think-time streams.
 	Seed uint64
 
+	// SessionSlots and SessionBytes size each connection's session pool;
+	// zero means the scheduler-bound defaults (sessionSlots ×
+	// sessionBytes). hostbench's FleetSetup pair raises them to make the
+	// fleet allocation-bound instead: large sessions shift host time from
+	// the simulator's sleep/wake machinery into the memory-model paths
+	// (frame and shadow-chunk population, capability-array clears, vpn
+	// appends) that the -mempath seam selects between.
+	SessionSlots int
+	SessionBytes uint64
+
 	// Messages counts completed requests across the fleet.
 	Messages uint64
 }
@@ -84,8 +94,15 @@ func (w *Fleet) serve(rig *workload.Rig, th *kernel.Thread, idx int) uint64 {
 		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
 		return z ^ (z >> 31)
 	}
-	sizes := workload.NewSizeDist([]uint64{sessionBytes}, []int{1})
-	sess, err := workload.NewPool(rig, th, sessionSlots, sizes, 0.25)
+	slots, bytes := w.SessionSlots, w.SessionBytes
+	if slots <= 0 {
+		slots = sessionSlots
+	}
+	if bytes == 0 {
+		bytes = sessionBytes
+	}
+	sizes := workload.NewSizeDist([]uint64{bytes}, []int{1})
+	sess, err := workload.NewPool(rig, th, slots, sizes, 0.25)
 	if err != nil {
 		panic(fmt.Sprintf("fleet: %v", err))
 	}
@@ -102,14 +119,14 @@ func (w *Fleet) serve(rig *workload.Rig, th *kernel.Thread, idx int) uint64 {
 			// Touch session state on a quarter of requests: enough load
 			// traffic to exercise the condition's barriers without the
 			// memory system dominating the scheduler this workload times.
-			if err := sess.Access(int(next()%sessionSlots), 128, 1); err != nil {
+			if err := sess.Access(int(next()%uint64(slots)), 128, 1); err != nil {
 				panic(fmt.Sprintf("fleet: access: %v", err))
 			}
 		}
 		if r%16 == 15 {
 			// Session churn: the frees feed the quarantine, which is what
 			// drives revocation epochs during the campaign.
-			if err := sess.Replace(int(next() % sessionSlots)); err != nil {
+			if err := sess.Replace(int(next() % uint64(slots))); err != nil {
 				panic(fmt.Sprintf("fleet: replace: %v", err))
 			}
 		}

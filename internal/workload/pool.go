@@ -168,14 +168,17 @@ func (p *Pool) fill(i int) error {
 func (p *Pool) Replace(i int) error {
 	old, err := p.Get(i)
 	if err != nil {
-		return err
+		return fmt.Errorf("pool get slot %d: %w", i, err)
 	}
 	if old.Tag() {
 		if err := p.rig.Mem.Free(p.th, old); err != nil {
 			return fmt.Errorf("pool free slot %d: %w", i, err)
 		}
 	}
-	return p.fill(i)
+	if err := p.fill(i); err != nil {
+		return fmt.Errorf("pool fill slot %d: %w", i, err)
+	}
+	return nil
 }
 
 // Access touches the object in slot i: loads touch bytes of its data, then
@@ -250,18 +253,21 @@ func (p *Pool) Drain() error {
 	for i := 0; i < p.slots; i++ {
 		obj, err := p.Get(i)
 		if err != nil {
-			return err
+			return fmt.Errorf("pool drain slot %d: %w", i, err)
 		}
 		if obj.Tag() {
 			if err := p.rig.Mem.Free(p.th, obj); err != nil {
-				return err
+				return fmt.Errorf("pool drain free slot %d: %w", i, err)
 			}
 			if err := p.th.StoreCap(p.root, p.slotOff(i), ca.Null(0)); err != nil {
-				return err
+				return fmt.Errorf("pool drain clear slot %d: %w", i, err)
 			}
 		}
 	}
-	return p.rig.Mem.Free(p.th, p.root)
+	if err := p.rig.Mem.Free(p.th, p.root); err != nil {
+		return fmt.Errorf("pool drain root: %w", err)
+	}
+	return nil
 }
 
 var _ alloc.API = (*alloc.Heap)(nil)
